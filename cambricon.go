@@ -1,0 +1,183 @@
+// Package cambricon is a from-scratch reproduction of "Cambricon: An
+// Instruction Set Architecture for Neural Networks" (ISCA 2016): the
+// Cambricon ISA, an assembler and disassembler, a cycle-approximate
+// simulator of the Cambricon-ACC prototype accelerator, the ten Table III
+// benchmark networks with verified code generators, the DaDianNao / x86 /
+// MIPS / GPU baselines, and an experiment harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// The package is a facade over the implementation packages:
+//
+//	Assemble("VLOAD $3, $0, #100 ...")   source -> program
+//	m, _ := NewMachine(DefaultConfig())  a Table II accelerator
+//	m.LoadProgram(prog.Instructions)
+//	stats, _ := m.Run()
+//
+// Benchmarks and experiments:
+//
+//	p, _ := GenerateBenchmark("MLP", seed) // runnable, self-verifying
+//	tbl, _ := RunExperiment("fig10", seed) // paper-vs-measured table
+package cambricon
+
+import (
+	"fmt"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/baseline/dadiannao"
+	"cambricon/internal/bench"
+	"cambricon/internal/codegen"
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+	"cambricon/internal/sim"
+	"cambricon/internal/workload"
+)
+
+// ISA types.
+type (
+	// Instruction is one decoded Cambricon instruction.
+	Instruction = core.Instruction
+	// Opcode identifies one of the 43 instructions.
+	Opcode = core.Opcode
+	// Program is an assembled Cambricon program.
+	Program = asm.Program
+)
+
+// NumInstructions is the instruction-set size (43, Section V-B1).
+const NumInstructions = core.NumInstructions
+
+// NumGPRs is the scalar register file size (64).
+const NumGPRs = core.NumGPRs
+
+// Fixed-point helpers (the accelerator's 16-bit Q8.8 datapath).
+type Num = fixed.Num
+
+// FromFloat converts to the accelerator's fixed-point format.
+func FromFloat(f float64) Num { return fixed.FromFloat(f) }
+
+// Assemble parses Cambricon assembly (the paper's Fig. 7 syntax).
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(src string) *Program { return asm.MustAssemble(src) }
+
+// Disassemble renders instructions back to assembly text.
+func Disassemble(prog []Instruction) string { return asm.Disassemble(prog) }
+
+// Encode packs an instruction into its 64-bit binary form.
+func Encode(inst Instruction) (uint64, error) { return core.Encode(inst) }
+
+// Decode unpacks a 64-bit instruction word.
+func Decode(w uint64) (Instruction, error) { return core.Decode(w) }
+
+// EncodeProgram serializes a program to its binary image.
+func EncodeProgram(prog []Instruction) ([]byte, error) { return core.EncodeProgram(prog) }
+
+// DecodeProgram parses a binary program image.
+func DecodeProgram(img []byte) ([]Instruction, error) { return core.DecodeProgram(img) }
+
+// Simulator types.
+type (
+	// Machine is one Cambricon-ACC accelerator instance.
+	Machine = sim.Machine
+	// Config carries the microarchitectural parameters (Table II).
+	Config = sim.Config
+	// Stats summarizes a run.
+	Stats = sim.Stats
+)
+
+// DefaultConfig returns the published Table II prototype parameters.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewMachine builds an accelerator.
+func NewMachine(cfg Config) (*Machine, error) { return sim.New(cfg) }
+
+// Benchmark types.
+type (
+	// BenchmarkProgram is a generated, self-verifying benchmark: assembly
+	// source, memory image and reference expectations.
+	BenchmarkProgram = codegen.Program
+	// Workload describes a benchmark at layer granularity.
+	Workload = workload.Benchmark
+)
+
+// BenchmarkNames lists the ten Table III benchmarks in paper order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// Workloads returns the layer-level descriptions of the ten benchmarks.
+func Workloads() []Workload { return workload.Benchmarks() }
+
+// GenerateBenchmark lowers one Table III benchmark (or "Logistic", the
+// Section VI extension) to runnable Cambricon assembly with its data image
+// and reference expectations.
+func GenerateBenchmark(name string, seed uint64) (*BenchmarkProgram, error) {
+	return codegen.ByName(name, seed)
+}
+
+// GenerateAll lowers all ten Table III benchmarks.
+func GenerateAll(seed uint64) ([]*BenchmarkProgram, error) { return codegen.All(seed) }
+
+// RunBenchmark generates, executes and verifies one benchmark on a fresh
+// Table II machine, returning the run statistics.
+func RunBenchmark(name string, seed uint64) (Stats, error) {
+	p, err := GenerateBenchmark(name, seed)
+	if err != nil {
+		return Stats{}, err
+	}
+	m, err := NewMachine(DefaultConfig())
+	if err != nil {
+		return Stats{}, err
+	}
+	return p.Execute(m)
+}
+
+// Experiment results.
+type ResultTable = bench.Table
+
+// ExperimentIDs lists the reproducible tables and figures in paper order.
+func ExperimentIDs() []string {
+	es := bench.Experiments()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunExperiment reproduces one table or figure ("tab1".."tab4",
+// "fig10".."fig13", "flex", "logreg").
+func RunExperiment(id string, seed uint64) (*ResultTable, error) {
+	e, ok := bench.ExperimentByID(id)
+	if !ok {
+		return nil, fmt.Errorf("cambricon: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return e.Run(bench.NewSuite(seed))
+}
+
+// RunAllExperiments reproduces every table and figure over one shared
+// suite (benchmark programs and simulations are generated once).
+func RunAllExperiments(seed uint64) ([]*ResultTable, error) {
+	s := bench.NewSuite(seed)
+	var out []*ResultTable
+	for _, e := range bench.Experiments() {
+		tbl, err := e.Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("cambricon: %s: %w", e.ID, err)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// DaDianNaoSupports reports whether the paper's baseline accelerator can
+// express the benchmark with its four layer-type instructions
+// (Section V-B1: 3 of the 10 Table III networks).
+func DaDianNaoSupports(w *Workload) bool {
+	return dadiannao.CanExpress(w)
+}
+
+// DaDianNaoCompileError explains why a benchmark is inexpressible on the
+// baseline (nil when it is expressible).
+func DaDianNaoCompileError(w *Workload) error {
+	_, err := dadiannao.Compile(w)
+	return err
+}

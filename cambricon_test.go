@@ -1,0 +1,112 @@
+package cambricon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeAssembleRun(t *testing.T) {
+	p := MustAssemble(`
+	SMOVE $1, #8
+	SMOVE $2, #0
+	RV    $2, $1
+	VEXP  $2, $1, $2
+	VSTORE $2, $1, #4096
+`)
+	m, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(p.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instructions != 5 || stats.Cycles <= 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+	out, err := m.ReadMainNums(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if f := v.Float(); f < 1 || f >= 3 {
+			t.Errorf("exp of [0,1) out of range at %d: %v", i, f)
+		}
+	}
+}
+
+func TestFacadeRoundTrips(t *testing.T) {
+	p := MustAssemble("\tSADD $1, $2, #3\n")
+	w, err := Encode(p.Instructions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != p.Instructions[0] {
+		t.Error("encode/decode mismatch")
+	}
+	img, err := EncodeProgram(p.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(img)
+	if err != nil || len(back) != 1 {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Disassemble(back), "SADD $1, $2, #3") {
+		t.Error("disassembly mismatch")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 10 {
+		t.Fatalf("%d benchmarks", len(names))
+	}
+	if len(Workloads()) != 10 {
+		t.Fatal("workloads mismatch")
+	}
+	stats, err := RunBenchmark("MLP", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MACOps == 0 {
+		t.Error("no MACs recorded")
+	}
+	if _, err := GenerateBenchmark("Logistic", 5); err != nil {
+		t.Error(err)
+	}
+	if _, err := GenerateBenchmark("bogus", 5); err == nil {
+		t.Error("unknown benchmark resolved")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 12 {
+		t.Fatalf("%d experiments: %v", len(ids), ids)
+	}
+	tbl, err := RunExperiment("tab2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Render(), "issue width") {
+		t.Error("Table II render wrong")
+	}
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Error("unknown experiment resolved")
+	}
+}
+
+func TestFixedPointFacade(t *testing.T) {
+	if FromFloat(1).Float() != 1 {
+		t.Error("fixed-point conversion broken")
+	}
+	if NumInstructions != 43 || NumGPRs != 64 {
+		t.Error("architectural constants wrong")
+	}
+}

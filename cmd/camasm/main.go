@@ -1,0 +1,62 @@
+// Command camasm assembles Cambricon assembly into its 64-bit binary
+// program image.
+//
+// Usage:
+//
+//	camasm [-o out.bin] [-list] prog.cam
+//
+// With -list, the assembled program is printed as a numbered listing with
+// hexadecimal instruction words instead of (or in addition to) the binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "", "output binary path (default: stdout listing only)")
+	list := flag.Bool("list", false, "print a numbered listing with encodings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: camasm [-o out.bin] [-list] prog.cam\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := core.EncodeProgram(prog.Instructions)
+	if err != nil {
+		fatal(err)
+	}
+	if *list || *out == "" {
+		for pc, inst := range prog.Instructions {
+			w, _ := core.Encode(inst)
+			fmt.Printf("%4d  %016x  %s\n", pc, w, inst)
+		}
+		fmt.Printf("# %d instructions, %d bytes\n", prog.Len(), len(img))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "camasm:", err)
+	os.Exit(1)
+}

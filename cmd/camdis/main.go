@@ -1,0 +1,41 @@
+// Command camdis disassembles a Cambricon binary program image back to
+// assembly text.
+//
+// Usage:
+//
+//	camdis prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: camdis prog.bin\n")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := core.DecodeProgram(img)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(asm.Disassemble(prog))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "camdis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command camrepro regenerates the paper's evaluation: every table and
+// figure of Section V (plus the Section VI extension), each rendered with
+// the published value alongside the measured one.
+//
+// Usage:
+//
+//	camrepro                   # run every experiment, plain-text tables
+//	camrepro -exp fig12        # one experiment
+//	camrepro -md               # markdown output (EXPERIMENTS.md body)
+//	camrepro -seed 7           # benchmark generation seed
+//	camrepro -listing x86:MLP  # dump a baseline pseudo-assembly listing
+//	camrepro -source BM        # dump a generated Cambricon program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cambricon/internal/baseline/genarch"
+	"cambricon/internal/bench"
+	"cambricon/internal/codegen"
+	"cambricon/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (tab1..tab4, fig10..fig13, flex, logreg, ablate); empty = all")
+	seed := flag.Uint64("seed", 7, "benchmark generation seed")
+	md := flag.Bool("md", false, "render markdown instead of plain text")
+	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
+	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
+	flag.Parse()
+
+	if *listing != "" {
+		dumpListing(*listing)
+		return
+	}
+	if *source != "" {
+		p, err := codegen.ByName(*source, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Print(p.Source)
+		return
+	}
+
+	suite := bench.NewSuite(*seed)
+	var experiments []bench.Experiment
+	if *exp == "" {
+		experiments = bench.Experiments()
+	} else {
+		e, ok := bench.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "camrepro: unknown experiment %q\navailable:", *exp)
+			for _, e := range bench.Experiments() {
+				fmt.Fprintf(os.Stderr, " %s", e.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		tbl, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "camrepro: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+}
+
+// dumpListing prints one baseline architecture's pseudo-assembly for a
+// benchmark, the raw material of the Fig. 10 comparison.
+func dumpListing(spec string) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "camrepro: -listing wants ARCH:BENCHMARK (e.g. x86:MLP)")
+		os.Exit(2)
+	}
+	var arch genarch.Arch
+	switch strings.ToLower(parts[0]) {
+	case "x86":
+		arch = genarch.X86()
+	case "mips":
+		arch = genarch.MIPS()
+	case "gpu":
+		arch = genarch.GPU()
+	default:
+		fmt.Fprintf(os.Stderr, "camrepro: unknown architecture %q (x86, MIPS, GPU)\n", parts[0])
+		os.Exit(2)
+	}
+	b, ok := workload.ByName(parts[1])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "camrepro: unknown benchmark %q\n", parts[1])
+		os.Exit(2)
+	}
+	for _, line := range arch.Listing(&b) {
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,203 @@
+// Command camsim runs Cambricon programs on the cycle-approximate
+// Cambricon-ACC simulator.
+//
+// Run an assembly file (optionally seeding registers and memory, and
+// dumping memory regions afterwards):
+//
+//	camsim [-gpr n=v ...] [-poke addr=v0,v1,... ] [-dump addr:count ...] prog.cam
+//
+// Or run one of the built-in Table III benchmarks (generated, executed and
+// verified against its float reference):
+//
+//	camsim -benchmark MLP [-seed 7] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/codegen"
+	"cambricon/internal/fixed"
+	"cambricon/internal/sim"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var gprs, pokes, dumps multiFlag
+	benchmark := flag.String("benchmark", "", "run a built-in benchmark (MLP, CNN, ..., Logistic)")
+	seed := flag.Uint64("seed", 7, "benchmark generation seed")
+	verbose := flag.Bool("v", false, "print the generated assembly before running")
+	trace := flag.Bool("trace", false, "print a per-instruction execution trace")
+	hist := flag.Bool("hist", false, "print the dynamic opcode histogram")
+	jsonOut := flag.Bool("json", false, "print run statistics as JSON")
+	flag.Var(&gprs, "gpr", "initialize a register, e.g. -gpr 1=64 (repeatable)")
+	flag.Var(&pokes, "poke", "write fixed-point values to main memory, e.g. -poke 100=1.5,2.25 (repeatable)")
+	flag.Var(&dumps, "dump", "print a main-memory region after the run, e.g. -dump 200:8 (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: camsim [flags] prog.cam\n       camsim -benchmark NAME [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	m, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		m.SetTrace(os.Stdout)
+	}
+
+	if *benchmark != "" {
+		if len(gprs)+len(pokes)+len(dumps) > 0 {
+			fmt.Fprintln(os.Stderr, "camsim: -gpr/-poke/-dump are ignored with -benchmark (the benchmark carries its own image)")
+		}
+		p, err := codegen.ByName(*benchmark, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Print(p.Source)
+		}
+		stats, err := p.Execute(m)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			printJSON(&stats)
+			return
+		}
+		fmt.Printf("%s: verified against reference model\n", p.Name)
+		fmt.Printf("static code length: %d instructions\n", p.Len())
+		fmt.Printf("%v\n", &stats)
+		fmt.Printf("time at 1 GHz: %.2f us\n", stats.Seconds(1e9)*1e6)
+		if *hist {
+			printHistogram(&stats)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	// Apply the program's own .data image first; -poke can override it.
+	for _, c := range prog.Data {
+		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
+			fatal(err)
+		}
+	}
+	for _, g := range gprs {
+		reg, val, err := parsePair(g)
+		if err != nil {
+			fatal(fmt.Errorf("-gpr %s: %w", g, err))
+		}
+		m.SetGPR(uint8(reg), uint32(val))
+	}
+	for _, p := range pokes {
+		addr, vals, err := parsePoke(p)
+		if err != nil {
+			fatal(fmt.Errorf("-poke %s: %w", p, err))
+		}
+		if err := m.WriteMainNums(addr, vals); err != nil {
+			fatal(err)
+		}
+	}
+	m.LoadProgram(prog.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		printJSON(&stats)
+	} else {
+		fmt.Printf("%v\n", &stats)
+	}
+	if *hist {
+		printHistogram(&stats)
+	}
+	for _, d := range dumps {
+		addr, count, err := parsePair(strings.Replace(d, ":", "=", 1))
+		if err != nil {
+			fatal(fmt.Errorf("-dump %s: %w", d, err))
+		}
+		ns, err := m.ReadMainNums(addr, count)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[%d:%d] %v\n", addr, count, fixed.Floats(ns))
+	}
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want KEY=VALUE")
+	}
+	k, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return k, v, nil
+}
+
+func parsePoke(s string) (int, []fixed.Num, error) {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return 0, nil, fmt.Errorf("want ADDR=v0,v1,...")
+	}
+	addr, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, nil, err
+	}
+	var vals []fixed.Num
+	for _, f := range strings.Split(parts[1], ",") {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return 0, nil, err
+		}
+		vals = append(vals, fixed.FromFloat(v))
+	}
+	return addr, vals, nil
+}
+
+func printJSON(stats *sim.Stats) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(stats); err != nil {
+		fatal(err)
+	}
+}
+
+func printHistogram(stats *sim.Stats) {
+	fmt.Println("dynamic opcode histogram:")
+	for _, oc := range stats.TopOpcodes(0) {
+		fmt.Printf("  %-8v %10d (%5.1f%%)\n", oc.Op, oc.Count,
+			100*float64(oc.Count)/float64(stats.Instructions))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "camsim:", err)
+	os.Exit(1)
+}

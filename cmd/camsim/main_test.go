@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParsePair(t *testing.T) {
+	k, v, err := parsePair("3=64")
+	if err != nil || k != 3 || v != 64 {
+		t.Errorf("parsePair = %d,%d,%v", k, v, err)
+	}
+	for _, bad := range []string{"", "3", "x=1", "1=y", "=", "1=2=3"} {
+		if _, _, err := parsePair(bad); err == nil {
+			t.Errorf("parsePair(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePoke(t *testing.T) {
+	addr, vals, err := parsePoke("100=1.5,-2,0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != 100 || len(vals) != 3 {
+		t.Errorf("parsePoke = %d,%v", addr, vals)
+	}
+	if vals[0].Float() != 1.5 || vals[1].Float() != -2 || vals[2].Float() != 0.25 {
+		t.Errorf("values = %v", vals)
+	}
+	for _, bad := range []string{"", "100", "x=1", "100=", "100=1,,2", "100=zz"} {
+		if _, _, err := parsePoke(bad); err == nil {
+			t.Errorf("parsePoke(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a,b" || len(m) != 2 {
+		t.Errorf("multiFlag = %q", m.String())
+	}
+}

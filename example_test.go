@@ -1,0 +1,91 @@
+package cambricon_test
+
+import (
+	"fmt"
+	"log"
+
+	"cambricon"
+)
+
+// Assemble and run the paper's published sigmoid chain on the simulated
+// accelerator.
+func ExampleAssemble() {
+	prog, err := cambricon.Assemble(`
+	SMOVE  $1, #4
+	SMOVE  $2, #0
+	SMOVE  $3, #64
+	VLOAD  $2, $1, #1000     // load pre-activations
+	VEXP   $3, $1, $2        // exp(x)
+	VAS    $2, $1, $3, #256  // 1 + exp(x)
+	VDV    $2, $1, $3, $2    // sigmoid
+	VSTORE $2, $1, #2000
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre := []cambricon.Num{
+		cambricon.FromFloat(0),
+		cambricon.FromFloat(2),
+		cambricon.FromFloat(-2),
+		cambricon.FromFloat(4),
+	}
+	if err := m.WriteMainNums(1000, pre); err != nil {
+		log.Fatal(err)
+	}
+	m.LoadProgram(prog.Instructions)
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.ReadMainNums(2000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range out {
+		fmt.Printf("%.3f\n", v.Float())
+	}
+	// Output:
+	// 0.500
+	// 0.879
+	// 0.121
+	// 0.980
+}
+
+// Generate, run and verify a Table III benchmark in three lines.
+func ExampleRunBenchmark() {
+	stats, err := cambricon.RunBenchmark("HNN", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified:", err == nil)
+	fmt.Println("executed instructions:", stats.Instructions > 0)
+	// Output:
+	// verified: true
+	// executed instructions: true
+}
+
+// Reproduce a figure of the paper's evaluation.
+func ExampleRunExperiment() {
+	tbl, err := cambricon.RunExperiment("tab2", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl.Rows[0][0], "=", tbl.Rows[0][1])
+	// Output:
+	// issue width = 2
+}
+
+// Inspect the DaDianNao flexibility result programmatically.
+func ExampleDaDianNaoSupports() {
+	for _, w := range cambricon.Workloads() {
+		w := w
+		if !cambricon.DaDianNaoSupports(&w) && w.Name == "BM" {
+			fmt.Println(cambricon.DaDianNaoCompileError(&w))
+		}
+	}
+	// Output:
+	// dadiannao: BM requires capabilities outside the four layer types: recurrence, lateral intra-layer connections
+}

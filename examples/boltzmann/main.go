@@ -1,0 +1,126 @@
+// Boltzmann: the paper's Fig. 7 BM fragment with the Random-Vector (RV)
+// instruction (Section III-B: "random vector generation is an important
+// operation common in many NN techniques ... but is not deemed as a
+// necessity in traditional linear algebra libraries").
+//
+// One Gibbs update of a small Boltzmann machine's hidden layer:
+//
+//	y = sigmoid(W v + L h + b);  h'[i] = (r[i] > y[i]) ? 1 : 0
+//
+//	go run ./examples/boltzmann
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cambricon"
+	"cambricon/internal/fixed"
+)
+
+const n = 16 // visible and hidden sizes
+
+// The Fig. 7 BM fragment verbatim (plus a bias load), at V(16)-H(16).
+const src = `
+	// $0: visible size, $1: hidden size, $2: W size, $3: L size
+	// $4: visible addr, $5: W addr, $6: L addr, $7: bias addr
+	// $8: hidden addr, $9-$17: temporaries
+	SMOVE  $0, #16
+	SMOVE  $1, #16
+	SMOVE  $2, #256
+	SMOVE  $3, #256
+	SMOVE  $4, #0
+	SMOVE  $5, #0
+	SMOVE  $6, #512
+	SMOVE  $7, #64
+	SMOVE  $8, #128
+	SMOVE  $9, #192
+	SMOVE  $10, #256
+	SMOVE  $11, #320
+	SMOVE  $12, #384
+	SMOVE  $13, #448
+	SMOVE  $14, #512
+	SMOVE  $15, #576
+	SMOVE  $16, #640
+	SMOVE  $17, #704
+	VLOAD  $4, $0, #1000         // load visible vector from address (1000)
+	VLOAD  $9, $1, #2000         // load hidden vector from address (2000)
+	VLOAD  $7, $1, #6000         // load bias vector
+	MLOAD  $5, $2, #3000         // load W matrix from address (3000)
+	MLOAD  $6, $3, #4000         // load L matrix from address (4000)
+	MMV    $10, $1, $5, $4, $0   // Wv
+	MMV    $11, $1, $6, $9, $1   // Lh
+	VAV    $12, $1, $10, $11     // Wv + Lh
+	VAV    $13, $1, $12, $7      // tmp = Wv + Lh + b
+	VEXP   $14, $1, $13          // exp(tmp)
+	VAS    $15, $1, $14, #256    // 1 + exp(tmp)
+	VDV    $16, $1, $14, $15     // y = exp(tmp)/(1+exp(tmp))
+	RV     $17, $1               // r[i] = random(0, 1)
+	VGT    $8, $1, $17, $16      // h[i] = (r[i] > y[i]) ? 1 : 0
+	VSTORE $8, $1, #5000         // store hidden vector to address (5000)
+	VSTORE $16, $1, #7000        // store probabilities for inspection
+	VSTORE $17, $1, #8000        // store draws for inspection
+`
+
+func main() {
+	prog, err := cambricon.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Small symmetric weights keep the sigmoid well away from saturation.
+	v := make([]float64, n)
+	h := make([]float64, n)
+	w := make([]float64, n*n)
+	l := make([]float64, n*n)
+	bias := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v[i] = float64(i % 2) // alternating visible state
+		h[i] = float64((i / 2) % 2)
+		bias[i] = 0.05 * float64(i-n/2)
+		for j := 0; j < n; j++ {
+			w[i*n+j] = 0.03 * float64((i+j)%5-2)
+			if i != j {
+				l[i*n+j] = 0.02 * float64((i*j)%3-1)
+			}
+		}
+	}
+	// Round everything to the Q8.8 grid first so the float reference
+	// compares against exactly the parameters the accelerator sees.
+	for _, vals := range [][]float64{v, h, w, l, bias} {
+		copy(vals, fixed.Floats(fixed.FromFloats(vals)))
+	}
+	for addr, vals := range map[int][]float64{1000: v, 2000: h, 3000: w, 4000: l, 6000: bias} {
+		if err := m.WriteMainNums(addr, fixed.FromFloats(vals)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m.LoadProgram(prog.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	probs, _ := m.ReadMainNums(7000, n)
+	draws, _ := m.ReadMainNums(8000, n)
+	hNew, _ := m.ReadMainNums(5000, n)
+
+	fmt.Println("  i   p=sigmoid(Wv+Lh+b)   reference    r ~ U[0,1)   h' = (r > p)")
+	for i := 0; i < n; i++ {
+		pre := bias[i]
+		for j := 0; j < n; j++ {
+			pre += w[i*n+j]*v[j] + l[i*n+j]*h[j]
+		}
+		ref := 1 / (1 + math.Exp(-pre))
+		fmt.Printf(" %2d   %12.4f       %12.4f  %10.4f   %10g\n",
+			i, probs[i].Float(), ref, draws[i].Float(), hNew[i].Float())
+	}
+	fmt.Printf("\n%v\n", &stats)
+	fmt.Println("re-running with the same seed reproduces the same draws (deterministic RV)")
+}

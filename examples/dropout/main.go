@@ -1,0 +1,93 @@
+// Dropout: the paper's other headline use of the Random-Vector instruction
+// (§III-B: "the random vector generation is an important operation common
+// in many NN techniques (e.g., dropout [8] and random sampling [39])").
+//
+// An activation vector is masked with keep probability p and rescaled by
+// 1/p (inverted dropout), entirely with Cambricon instructions:
+//
+//	r    = RV              uniform draws
+//	keep = VGT(p, r)       1.0 where r < p
+//	y    = VMV(a, keep)    mask
+//	y    = VMV(y, 1/p)     rescale (constant vector)
+//
+//	go run ./examples/dropout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cambricon"
+	"cambricon/internal/fixed"
+)
+
+const (
+	n        = 32
+	keepProb = 0.75
+)
+
+const src = `
+	// $1: vector length; regions: $10 activations, $11 draws, $12 keep
+	// mask, $13 p-vector, $14 scale vector, $15 output
+	SMOVE  $1, #32
+	SMOVE  $10, #0
+	SMOVE  $11, #64
+	SMOVE  $12, #128
+	SMOVE  $13, #192
+	SMOVE  $14, #256
+	SMOVE  $15, #320
+	VLOAD  $10, $1, #1000       // activations
+	RV     $11, $1              // r ~ U[0,1)
+	VSV    $13, $1, $13, $13    // zero
+	VAS    $13, $1, $13, #192   // p = 0.75
+	VGT    $12, $1, $13, $11    // keep = (p > r) ? 1 : 0
+	VSV    $14, $1, $14, $14    // zero
+	VAS    $14, $1, $14, #341   // 1/p = 1.3320 in Q8.8
+	VMV    $15, $1, $10, $12    // mask
+	VMV    $15, $1, $15, $14    // rescale
+	VSTORE $15, $1, #2000
+	VSTORE $12, $1, #3000       // the mask, for inspection
+`
+
+func main() {
+	prog, err := cambricon.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	acts := make([]float64, n)
+	for i := range acts {
+		acts[i] = 0.5 + 0.01*float64(i)
+	}
+	if err := m.WriteMainNums(1000, fixed.FromFloats(acts)); err != nil {
+		log.Fatal(err)
+	}
+	m.LoadProgram(prog.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := m.ReadMainNums(2000, n)
+	mask, _ := m.ReadMainNums(3000, n)
+
+	kept := 0
+	for i := 0; i < n; i++ {
+		if mask[i] != 0 {
+			kept++
+			// A kept activation must be scaled up by ~1/p.
+			want := acts[i] / keepProb
+			if d := out[i].Float() - want; d > 0.02 || d < -0.02 {
+				log.Fatalf("lane %d: %v, want ~%v", i, out[i].Float(), want)
+			}
+		} else if out[i] != 0 {
+			log.Fatalf("dropped lane %d not zeroed: %v", i, out[i].Float())
+		}
+	}
+	fmt.Printf("inverted dropout over %d activations, keep probability %.2f\n", n, keepProb)
+	fmt.Printf("kept %d/%d lanes (empirical rate %.2f)\n", kept, n, float64(kept)/n)
+	fmt.Println("kept lanes scaled by 1/p, dropped lanes exactly zero")
+	fmt.Printf("%v\n", &stats)
+}

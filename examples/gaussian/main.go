@@ -1,0 +1,103 @@
+// Gaussian: §III-B claims that "given uniform random vectors, we can
+// further generate random vectors obeying other distributions (e.g.,
+// Gaussian distribution) ... with the help of vector arithmetic
+// instructions and vector compare instructions in Cambricon."
+//
+// This example demonstrates the claim with the Irwin-Hall construction
+// (the classic fixed-point-friendly alternative to Ziggurat's table walk):
+// the sum of 12 independent U[0,1) draws minus 6 is approximately N(0,1).
+// Only RV, VAV and VAS are needed:
+//
+//	acc = 0
+//	repeat 12: r = RV; acc = VAV(acc, r)
+//	z = VAS(acc, -6)
+//
+//	go run ./examples/gaussian
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cambricon"
+	"cambricon/internal/fixed"
+)
+
+const n = 2048
+
+const src = `
+	SMOVE  $1, #2048       // vector length
+	SMOVE  $10, #0         // accumulator region
+	SMOVE  $11, #8192      // draw region
+	SMOVE  $2, #12         // Irwin-Hall term count
+	VSV    $10, $1, $10, $10   // acc = 0
+sum:	RV     $11, $1             // r ~ U[0,1)
+	VAV    $10, $1, $10, $11   // acc += r
+	SADD   $2, $2, #-1
+	CB     #sum, $2
+	VAS    $10, $1, $10, #-1536 // z = acc - 6  (6.0 = 1536 in Q8.8)
+	VSTORE $10, $1, #65536
+`
+
+func main() {
+	prog, err := cambricon.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.LoadProgram(prog.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.ReadMainNums(65536, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	z := fixed.Floats(out)
+
+	var mean, m2 float64
+	for _, v := range z {
+		mean += v
+	}
+	mean /= n
+	for _, v := range z {
+		m2 += (v - mean) * (v - mean)
+	}
+	variance := m2 / n
+
+	// A coarse histogram over [-3, 3).
+	var hist [12]int
+	for _, v := range z {
+		b := int((v + 3) / 0.5)
+		if b >= 0 && b < len(hist) {
+			hist[b]++
+		}
+	}
+	fmt.Printf("Irwin-Hall Gaussian from 12 RV draws, %d samples\n", n)
+	fmt.Printf("mean     %+.4f (expect ~0)\n", mean)
+	fmt.Printf("variance %.4f (expect ~1)\n", variance)
+	fmt.Println("\nhistogram over [-3, 3):")
+	for b, c := range hist {
+		lo := -3 + 0.5*float64(b)
+		fmt.Printf("  [%+.1f, %+.1f)  %s\n", lo, lo+0.5,
+			bar(c, n))
+	}
+	if math.Abs(mean) > 0.1 || variance < 0.7 || variance > 1.3 {
+		log.Fatal("distribution is off: not approximately N(0,1)")
+	}
+	fmt.Printf("\n%v\n", &stats)
+}
+
+func bar(c, total int) string {
+	width := c * 400 / total
+	out := ""
+	for i := 0; i < width; i++ {
+		out += "#"
+	}
+	return fmt.Sprintf("%-4d %s", c, out)
+}

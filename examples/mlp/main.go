@@ -1,0 +1,67 @@
+// MLP: the full Table III benchmark (input(64) - H1(150) - H2(150) -
+// output(14), anchorperson detection) generated, executed on the simulated
+// accelerator and verified against the float64 reference model.
+//
+// The example prints the generated Cambricon assembly (pass -v), the
+// classifier outputs next to the reference, and the run statistics the
+// paper's Figs. 11-13 are built from.
+//
+//	go run ./examples/mlp [-v] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cambricon"
+	"cambricon/internal/fixed"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print the generated assembly")
+	seed := flag.Uint64("seed", 7, "weight/input generation seed")
+	flag.Parse()
+
+	prog, err := cambricon.GenerateBenchmark("MLP", *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		fmt.Print(prog.Source)
+		fmt.Println()
+	}
+	fmt.Printf("generated %d Cambricon instructions for the 64-150-150-14 MLP\n",
+		prog.Len())
+
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := prog.Execute(m) // loads the image, runs, verifies
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The program's result table records where the outputs live and what
+	// the reference expects.
+	res := prog.Results[len(prog.Results)-1]
+	got, err := m.ReadMainNums(res.Addr, res.N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  output   accelerator    reference")
+	for i, v := range fixed.Floats(got) {
+		fmt.Printf("  y[%2d]    %10.6f   %10.6f\n", i, v, res.Want[i])
+	}
+
+	fmt.Printf("\nall outputs within |err| <= %.3f of the float64 reference\n", res.Tol)
+	fmt.Printf("%v\n", &stats)
+	fmt.Printf("execution time at 1 GHz: %.2f us\n", stats.Seconds(1e9)*1e6)
+
+	// Static instruction mix: the Fig. 11 measurement for this benchmark.
+	fmt.Println("\nstatic instruction mix (Fig. 11):")
+	for typ, n := range prog.TypeMix() {
+		fmt.Printf("  %-14v %3d (%.1f%%)\n", typ, n, 100*float64(n)/float64(prog.Len()))
+	}
+}

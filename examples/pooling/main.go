@@ -1,0 +1,129 @@
+// Pooling: the paper's Fig. 7 max-pooling fragment (Section III-C).
+//
+// A 4x4 image with 4 feature maps in [y][x][channel] layout is max-pooled
+// with 2x2 windows down to 2x2x4, using the Vector-Greater-Than-Merge
+// (VGTM) instruction exactly as Fig. 5c illustrates: the channel vectors of
+// the window's positions merge iteratively into the output accumulator.
+//
+//	go run ./examples/pooling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cambricon"
+	"cambricon/internal/fixed"
+)
+
+const (
+	channels = 4
+	inEdge   = 4
+	outEdge  = 2
+)
+
+// The Fig. 7 pooling fragment, one loop nest per output window, adapted to
+// pool a full feature map (outer loops over windows added around the
+// paper's single-window fragment).
+const src = `
+	// $0: feature map count, $1: input size, $2: output channel vector
+	// $3: window edge - as loop count, $6: input cursor, $7: output cursor
+	// $8: window row stride remainder, $9/$10: window x/y counters
+	// $11: window base cursor, $12: outer x counter, $13: outer y counter
+	SMOVE  $0, #4          // feature maps
+	SMOVE  $1, #64         // input elements (4x4x4)
+	SMOVE  $2, #4          // output elems per window (channel vector)
+	SMOVE  $3, #2          // pooling window edge
+	SMOVE  $6, #0          // input base (vector scratchpad)
+	SMOVE  $7, #512        // output cursor
+	VLOAD  $6, $1, #100    // load input neurons from address (100)
+	SMOVE  $13, #2         // outer y windows
+oy:	SMOVE  $12, #2         // outer x windows
+ox:	SMOVE  $11, $6         // window base
+	SMOVE  $5, $3          // init y (Fig. 7)
+L0:	SMOVE  $4, $3          // init x (Fig. 7)
+L1:	VGTM   $7, $0, $11, $7 // output[m] = max(input[x][y][m], output[m])
+	SADD   $11, $11, #8    // next pixel (4 channels x 2 bytes)
+	SADD   $4, $4, #-1     // x--
+	CB     #L1, $4
+	SADD   $11, $11, #16   // skip to the window's next row
+	SADD   $5, $5, #-1     // y--
+	CB     #L0, $5
+	SADD   $7, $7, #8      // next output position
+	SADD   $6, $6, #16     // next window base (2 pixels right)
+	SADD   $12, $12, #-1
+	CB     #ox, $12
+	SADD   $6, $6, #32     // skip the second input row of this band
+	SADD   $13, $13, #-1
+	CB     #oy, $13
+	SMOVE  $7, #512
+	SMOVE  $1, #16         // output elements (2x2x4)
+	VSTORE $7, $1, #200    // store output neurons to address (200)
+`
+
+func main() {
+	// Build a [y][x][c] image where channel c at (x, y) is
+	// c*10 + y*4 + x, so every pooled maximum is predictable.
+	input := make([]float64, inEdge*inEdge*channels)
+	for y := 0; y < inEdge; y++ {
+		for x := 0; x < inEdge; x++ {
+			for c := 0; c < channels; c++ {
+				input[(y*inEdge+x)*channels+c] = float64(c*10 + y*4 + x)
+			}
+		}
+	}
+
+	prog, err := cambricon.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WriteMainNums(100, fixed.FromFloats(input)); err != nil {
+		log.Fatal(err)
+	}
+	m.LoadProgram(prog.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.ReadMainNums(200, outEdge*outEdge*channels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("max-pooled %dx%dx%d -> %dx%dx%d with VGTM\n\n",
+		inEdge, inEdge, channels, outEdge, outEdge, channels)
+	ok := true
+	for y := 0; y < outEdge; y++ {
+		for x := 0; x < outEdge; x++ {
+			fmt.Printf("window (%d,%d):", x, y)
+			for c := 0; c < channels; c++ {
+				got := out[(y*outEdge+x)*channels+c].Float()
+				// Reference: maximum of the 2x2 window.
+				want := 0.0
+				for ky := 0; ky < 2; ky++ {
+					for kx := 0; kx < 2; kx++ {
+						v := input[((2*y+ky)*inEdge+2*x+kx)*channels+c]
+						if v > want {
+							want = v
+						}
+					}
+				}
+				marker := " "
+				if got != want {
+					marker = "!"
+					ok = false
+				}
+				fmt.Printf("  c%d=%g%s", c, got, marker)
+			}
+			fmt.Println()
+		}
+	}
+	if !ok {
+		log.Fatal("pooled output does not match the reference")
+	}
+	fmt.Printf("\nall windows match the reference\n%v\n", &stats)
+}

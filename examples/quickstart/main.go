@@ -1,0 +1,93 @@
+// Quickstart: assemble and run the paper's Fig. 7 MLP layer fragment.
+//
+// The program computes one sigmoid MLP layer y = sigmoid(Wx + b) on the
+// Cambricon-ACC simulator, exactly as the paper's listing does: MMV for Wx,
+// VAV for the bias, and the published VEXP/VAS/VDV sigmoid chain.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cambricon"
+	"cambricon/internal/fixed"
+)
+
+// The Fig. 7 MLP fragment, extended with a bias load and the register
+// setup the paper omits "for the sake of brevity".
+const src = `
+	// $0: input size, $1: output size, $2: matrix size
+	// $3: input address, $4: weight address (matrix scratchpad)
+	// $5: bias address, $6: output address, $7-$8: temporaries
+	SMOVE  $0, #3
+	SMOVE  $1, #3
+	SMOVE  $2, #9
+	SMOVE  $3, #0
+	SMOVE  $4, #0
+	SMOVE  $5, #64
+	SMOVE  $6, #512
+	SMOVE  $7, #128
+	SMOVE  $8, #192
+	VLOAD  $3, $0, #100       // load input vector from address (100)
+	VLOAD  $5, $1, #400       // load bias vector
+	MLOAD  $4, $2, #300       // load weight matrix from address (300)
+	MMV    $7, $1, $4, $3, $0 // Wx
+	VAV    $7, $1, $7, $5     // tmp = Wx + b
+	VEXP   $8, $1, $7         // exp(tmp)
+	VAS    $7, $1, $8, #256   // 1 + exp(tmp)   (Q8.8: 256 = 1.0)
+	VDV    $6, $1, $8, $7     // y = exp(tmp)/(1+exp(tmp))
+	VSTORE $6, $1, #200       // store output vector to address (200)
+`
+
+func main() {
+	prog, err := cambricon.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d Cambricon instructions\n\n", prog.Len())
+
+	m, err := cambricon.NewMachine(cambricon.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Problem data: the Fig. 3 layer (3 inputs, 3 outputs).
+	x := []float64{0.5, -1, 0.25}
+	w := []float64{
+		0.5, 1.0, -0.5,
+		-1.0, 0.25, 0.75,
+		2.0, -1.0, 0.5,
+	}
+	bias := []float64{0.1, -0.2, 0.3}
+	for addr, vals := range map[int][]float64{100: x, 300: w, 400: bias} {
+		if err := m.WriteMainNums(addr, fixed.FromFloats(vals)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m.LoadProgram(prog.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := m.ReadMainNums(200, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  i   accelerator    reference      |error|")
+	for i := 0; i < 3; i++ {
+		pre := bias[i]
+		for j := 0; j < 3; j++ {
+			pre += w[i*3+j] * x[j]
+		}
+		want := 1 / (1 + math.Exp(-pre))
+		got := out[i].Float()
+		fmt.Printf("  %d   %10.6f   %10.6f   %10.6f\n", i, got, want, math.Abs(got-want))
+	}
+	fmt.Printf("\n%v\n", &stats)
+	fmt.Printf("execution time at 1 GHz: %.0f ns\n", stats.Seconds(1e9)*1e9)
+}

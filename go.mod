@@ -1,0 +1,3 @@
+module cambricon
+
+go 1.22

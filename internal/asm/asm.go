@@ -1,0 +1,341 @@
+// Package asm implements the Cambricon assembler and disassembler.
+//
+// The accepted syntax follows the paper's program listings (Fig. 7):
+//
+//	// comment
+//	        VLOAD  $3, $0, $63, #100   // load input neurons
+//	L0:     SMOVE  $4, $3
+//	        SADD   $4, $4, #-1
+//	        CB     #L0, $4             // if ($4 != 0) goto L0
+//	        JUMP   #done
+//	done:   SMOVE  $0, #0
+//
+// Operands are GPRs written $0..$63 and immediates written #value, where
+// value is a decimal or 0x-hex integer or a label. Branch and jump offsets
+// are PC-relative and counted in instructions; the assembler resolves labels
+// to offsets. A label may share a line with an instruction or stand alone.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+)
+
+// Program is an assembled Cambricon program.
+type Program struct {
+	// Instructions in program order.
+	Instructions []core.Instruction
+	// Labels maps label names to instruction indices.
+	Labels map[string]int
+	// Lines maps each instruction to its 1-based source line, for
+	// diagnostics. Empty when the program was built programmatically.
+	Lines []int
+	// Data holds the main-memory image declared by .data directives.
+	Data []DataChunk
+}
+
+// DataChunk is one .data directive: fixed-point values to place in main
+// memory before the program runs.
+//
+//	.data 1000: 0.5, -1, 0.25
+type DataChunk struct {
+	Addr   int
+	Values []fixed.Num
+}
+
+// Len returns the instruction count (the paper's "code length" metric,
+// Section V-B2).
+func (p *Program) Len() int { return len(p.Instructions) }
+
+// TypeMix counts instructions per Fig. 11 category.
+func (p *Program) TypeMix() map[core.Type]int {
+	mix := make(map[core.Type]int, core.NumTypes)
+	for _, inst := range p.Instructions {
+		mix[inst.Op.Type()]++
+	}
+	return mix
+}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// operand is one parsed operand: either a register, a numeric immediate, or
+// a label reference (resolved in pass two).
+type operand struct {
+	isReg bool
+	reg   uint8
+	isLbl bool
+	label string
+	imm   int64
+}
+
+// srcInst is one parsed instruction before label resolution.
+type srcInst struct {
+	line int
+	op   core.Opcode
+	args []operand
+}
+
+// Assemble parses and encodes a Cambricon assembly source.
+func Assemble(src string) (*Program, error) {
+	lines := strings.Split(src, "\n")
+	labels := make(map[string]int)
+	var insts []srcInst
+	var dataChunks []DataChunk
+
+	// Pass one: tokenize, record label positions.
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := raw
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		// Data directives place fixed-point values in main memory.
+		if strings.HasPrefix(line, ".data") {
+			chunk, err := parseData(lineNo, line)
+			if err != nil {
+				return nil, err
+			}
+			dataChunks = append(dataChunks, chunk)
+			continue
+		}
+		// Labels: one or more "name:" prefixes.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !isIdent(name) {
+				return nil, errf(lineNo, "invalid label %q", name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, errf(lineNo, "duplicate label %q", name)
+			}
+			labels[name] = len(insts)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		inst, err := parseInstruction(lineNo, line)
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, inst)
+	}
+
+	// Pass two: resolve labels and map operands onto formats.
+	prog := &Program{Labels: labels, Data: dataChunks}
+	for pc, si := range insts {
+		inst, err := lowerInstruction(si, pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		if verr := inst.Validate(); verr != nil {
+			return nil, errf(si.line, "%v", verr)
+		}
+		prog.Instructions = append(prog.Instructions, inst)
+		prog.Lines = append(prog.Lines, si.line)
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble for known-good sources (tests, generators); it
+// panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstruction(lineNo int, line string) (srcInst, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToUpper(fields[0])
+	op, ok := core.ByName(mnemonic)
+	if !ok {
+		return srcInst{}, errf(lineNo, "unknown instruction %q", fields[0])
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	si := srcInst{line: lineNo, op: op}
+	if rest == "" {
+		return si, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		tok := strings.TrimSpace(part)
+		if tok == "" {
+			return srcInst{}, errf(lineNo, "empty operand in %q", line)
+		}
+		arg, err := parseOperand(lineNo, tok)
+		if err != nil {
+			return srcInst{}, err
+		}
+		si.args = append(si.args, arg)
+	}
+	return si, nil
+}
+
+func parseOperand(lineNo int, tok string) (operand, error) {
+	switch tok[0] {
+	case '$':
+		n, err := strconv.ParseUint(tok[1:], 10, 8)
+		if err != nil || n >= core.NumGPRs {
+			return operand{}, errf(lineNo, "bad register %q (want $0..$%d)", tok, core.NumGPRs-1)
+		}
+		return operand{isReg: true, reg: uint8(n)}, nil
+	case '#':
+		body := tok[1:]
+		if body == "" {
+			return operand{}, errf(lineNo, "empty immediate %q", tok)
+		}
+		if v, err := strconv.ParseInt(body, 0, 64); err == nil {
+			if v < -(1<<31) || v > (1<<31)-1 {
+				return operand{}, errf(lineNo, "immediate %s does not fit in 32 bits", body)
+			}
+			return operand{imm: v}, nil
+		}
+		if !isIdent(body) {
+			return operand{}, errf(lineNo, "bad immediate %q", tok)
+		}
+		return operand{isLbl: true, label: body}, nil
+	default:
+		return operand{}, errf(lineNo, "bad operand %q (want $reg or #imm)", tok)
+	}
+}
+
+// BaseReg is the software-convention base register: main-memory transfer
+// instructions written in the short absolute form of the paper's listings
+// ("VLOAD $3, $0, #100") are expanded by the assembler with $63 as the
+// base-register operand. Programs using the short form must keep $63 zero
+// (the simulator resets all GPRs to zero).
+const BaseReg = 63
+
+func lowerInstruction(si srcInst, pc int, labels map[string]int) (core.Instruction, error) {
+	f := si.op.Format()
+	want := f.Operands()
+	args := si.args
+	// Short absolute form for main-memory transfers: insert the $63 base
+	// register before the offset immediate.
+	if isMemTransfer(si.op) && len(args) == want-1 {
+		expanded := make([]operand, 0, want)
+		expanded = append(expanded, args[:len(args)-1]...)
+		expanded = append(expanded, operand{isReg: true, reg: BaseReg})
+		expanded = append(expanded, args[len(args)-1])
+		args = expanded
+	}
+	if len(args) != want {
+		return core.Instruction{}, errf(si.line, "%v takes %d operands, got %d", si.op, want, len(si.args))
+	}
+	// The paper writes branches target-first ("CB #L1, $4"): accept both
+	// target-first and predictor-first by rotating the offset operand to
+	// the tail position.
+	if si.op == core.CB && len(args) == 2 && !args[0].isReg {
+		args = []operand{args[1], args[0]}
+	}
+	inst := core.Instruction{Op: si.op}
+	for i := 0; i < f.Regs; i++ {
+		if !args[i].isReg {
+			return core.Instruction{}, errf(si.line, "%v operand %d must be a register", si.op, i+1)
+		}
+		inst.R[i] = args[i].reg
+	}
+	if f.Tail == core.TailNone {
+		return inst, nil
+	}
+	tail := args[want-1]
+	switch {
+	case tail.isReg:
+		if f.Tail == core.TailImm {
+			return core.Instruction{}, errf(si.line, "%v operand %d must be an immediate", si.op, want)
+		}
+		inst.R[f.Regs] = tail.reg
+	case tail.isLbl:
+		target, ok := labels[tail.label]
+		if !ok {
+			return core.Instruction{}, errf(si.line, "undefined label %q", tail.label)
+		}
+		if !si.op.IsBranch() {
+			return core.Instruction{}, errf(si.line, "label operand on non-branch %v", si.op)
+		}
+		inst.TailImm = true
+		inst.Imm = int32(target - pc)
+	default:
+		inst.TailImm = true
+		inst.Imm = int32(tail.imm)
+	}
+	return inst, nil
+}
+
+// isMemTransfer reports whether op addresses main memory through a base
+// register + offset pair and therefore supports the short absolute form.
+func isMemTransfer(op core.Opcode) bool {
+	switch op {
+	case core.VLOAD, core.VSTORE, core.MLOAD, core.MSTORE, core.SLOAD, core.SSTORE:
+		return true
+	default:
+		return false
+	}
+}
+
+// parseData parses ".data ADDR: v0, v1, ..." with float values.
+func parseData(lineNo int, line string) (DataChunk, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, ".data"))
+	colon := strings.Index(body, ":")
+	if colon < 0 {
+		return DataChunk{}, errf(lineNo, ".data wants \".data ADDR: v0, v1, ...\"")
+	}
+	addr, err := strconv.Atoi(strings.TrimSpace(body[:colon]))
+	if err != nil || addr < 0 {
+		return DataChunk{}, errf(lineNo, "bad .data address %q", body[:colon])
+	}
+	var vals []fixed.Num
+	for _, f := range strings.Split(body[colon+1:], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return DataChunk{}, errf(lineNo, "empty value in .data")
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return DataChunk{}, errf(lineNo, "bad .data value %q", f)
+		}
+		vals = append(vals, fixed.FromFloat(v))
+	}
+	if len(vals) == 0 {
+		return DataChunk{}, errf(lineNo, ".data has no values")
+	}
+	return DataChunk{Addr: addr, Values: vals}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

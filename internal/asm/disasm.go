@@ -1,0 +1,67 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"cambricon/internal/core"
+)
+
+// Disassemble renders a program back to assembly text. Immediate branch
+// targets are rebuilt as labels (L0, L1, ... in address order); all other
+// operands print in canonical instruction syntax. The output re-assembles to
+// the same instruction sequence.
+func Disassemble(prog []core.Instruction) string {
+	// Collect branch targets that resolve inside the program.
+	targets := map[int]string{}
+	var order []int
+	for pc, inst := range prog {
+		if inst.Op.IsBranch() && inst.TailImm {
+			t := pc + int(inst.Imm)
+			if t >= 0 && t <= len(prog) {
+				if _, seen := targets[t]; !seen {
+					targets[t] = ""
+					order = append(order, t)
+				}
+			}
+		}
+	}
+	// Name labels in address order for stable output.
+	sortInts(order)
+	for i, t := range order {
+		targets[t] = fmt.Sprintf("L%d", i)
+	}
+
+	var b strings.Builder
+	for pc, inst := range prog {
+		if name, ok := targets[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		line := inst.String()
+		if inst.Op.IsBranch() && inst.TailImm {
+			if name, ok := targets[pc+int(inst.Imm)]; ok {
+				// Replace the numeric offset with the label, using the
+				// paper's target-first operand order for CB.
+				switch inst.Op {
+				case core.JUMP:
+					line = fmt.Sprintf("JUMP #%s", name)
+				case core.CB:
+					line = fmt.Sprintf("CB #%s, $%d", name, inst.R[0])
+				}
+			}
+		}
+		fmt.Fprintf(&b, "\t%s\n", line)
+	}
+	if name, ok := targets[len(prog)]; ok {
+		fmt.Fprintf(&b, "%s:\n", name)
+	}
+	return b.String()
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

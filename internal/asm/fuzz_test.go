@@ -1,0 +1,69 @@
+package asm
+
+import (
+	"testing"
+
+	"cambricon/internal/core"
+)
+
+// FuzzAssemble checks that arbitrary source text never panics the
+// assembler and that anything it accepts is a valid, encodable program
+// whose disassembly reassembles to the same instructions.
+func FuzzAssemble(f *testing.F) {
+	f.Add("\tSMOVE $1, #5\n")
+	f.Add("loop:\tSADD $1, $1, #-1\n\tCB #loop, $1\n")
+	f.Add("\tVLOAD $3, $0, #100\n")
+	f.Add("\tMMV $7, $1, $4, $3, $0\n")
+	f.Add(".data 100: 0.5, -1\n\tSMOVE $1, #0\n")
+	f.Add("x::: $$$ ###\n")
+	f.Add("\tCB #1, $1\n") // offset leaving the program: still encodable
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for i, inst := range p.Instructions {
+			if verr := inst.Validate(); verr != nil {
+				t.Fatalf("accepted invalid instruction %d: %v", i, verr)
+			}
+		}
+		if _, err := core.EncodeProgram(p.Instructions); err != nil {
+			t.Fatalf("accepted unencodable program: %v", err)
+		}
+		text := Disassemble(p.Instructions)
+		back, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+		if len(back.Instructions) != len(p.Instructions) {
+			t.Fatalf("round trip changed length %d -> %d", len(p.Instructions), len(back.Instructions))
+		}
+		for i := range p.Instructions {
+			if back.Instructions[i] != p.Instructions[i] {
+				t.Fatalf("round trip changed instruction %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecode checks that arbitrary 64-bit words never panic the decoder and
+// that every decodable word re-encodes to itself modulo unused bits.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(0x0180000000000005))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		inst, err := core.Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := core.Encode(inst)
+		if err != nil {
+			t.Fatalf("decoded instruction does not re-encode: %v", err)
+		}
+		inst2, err := core.Decode(w2)
+		if err != nil || inst2 != inst {
+			t.Fatalf("re-encode not stable: %v vs %v", inst, inst2)
+		}
+	})
+}

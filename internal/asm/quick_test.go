@@ -1,0 +1,97 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cambricon/internal/core"
+)
+
+// randProgram builds a random structurally-valid program: arbitrary
+// non-control instructions with in-range operands, plus backward/forward
+// branches that stay inside the program.
+func randProgram(r *rand.Rand, n int) []core.Instruction {
+	ops := core.Opcodes()
+	prog := make([]core.Instruction, n)
+	for pc := range prog {
+		op := ops[r.Intn(len(ops))]
+		f := op.Format()
+		inst := core.Instruction{Op: op}
+		tailImm := f.Tail == core.TailImm || (f.Tail == core.TailRegImm && r.Intn(2) == 0)
+		if op.IsBranch() && tailImm {
+			// Keep the target inside [0, n] so disassembly labels it.
+			target := r.Intn(n + 1)
+			inst.TailImm = true
+			inst.Imm = int32(target - pc)
+		} else if tailImm {
+			inst.TailImm = true
+			inst.Imm = int32(r.Uint32())
+		}
+		nregs := f.Regs
+		if f.Tail == core.TailRegImm && !inst.TailImm {
+			nregs++
+		}
+		for i := 0; i < nregs; i++ {
+			inst.R[i] = uint8(r.Intn(core.NumGPRs))
+		}
+		prog[pc] = inst
+	}
+	return prog
+}
+
+// Property: disassembling any structurally-valid program and reassembling
+// it reproduces the identical instruction sequence.
+func TestQuickDisassembleAssembleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randProgram(r, 1+r.Intn(40))
+		text := Disassemble(prog)
+		back, err := Assemble(text)
+		if err != nil {
+			t.Logf("reassembly failed: %v\n%s", err, text)
+			return false
+		}
+		if len(back.Instructions) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if back.Instructions[i] != prog[i] {
+				t.Logf("instruction %d: %v != %v\n%s", i, back.Instructions[i], prog[i], text)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: binary encode/decode of any structurally-valid program is the
+// identity.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randProgram(r, 1+r.Intn(40))
+		img, err := core.EncodeProgram(prog)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		back, err := core.DecodeProgram(img)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		for i := range prog {
+			if back[i] != prog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package dadiannao models the paper's baseline accelerator: the
+// re-implemented DaDianNao of Section V-A — a machine with the same
+// arithmetic-operator counts and on-chip SRAM capacity as Cambricon-ACC
+// (one central tile: 64 KB SRAM + 32 adders/multipliers; 32 leaf tiles:
+// 24 KB SRAM + 32 adders/multipliers each), driven by an ISA of exactly
+// four 512-bit VLIW layer instructions (Section V-B1): fully-connected
+// classifier, convolutional, pooling and local response normalization.
+//
+// The package provides the two things the evaluation needs:
+//
+//   - Compile: the expressibility check behind the flexibility result —
+//     a benchmark compiles only if every capability it requires is one of
+//     the four layer types (plus their built-in sigmoid lookup table and
+//     Bernoulli sampler). MLP, CNN and RBM compile; the other seven
+//     benchmarks of Table III do not (Section V-B1).
+//
+//   - Cycles/Energy: a timing and activity model with the same functional
+//     units and DMA engines as the Cambricon-ACC simulator, but
+//     layer-granularity control: one fixed decode/setup overhead per layer
+//     instruction and no per-operation instruction-pipeline costs. This is
+//     the baseline for Figs. 12 and 13.
+package dadiannao
+
+import (
+	"fmt"
+
+	"cambricon/internal/workload"
+)
+
+// LayerKind is one of the four DaDianNao VLIW instruction types.
+type LayerKind uint8
+
+const (
+	// LayerClassifier is the fully-connected classifier layer.
+	LayerClassifier LayerKind = iota
+	// LayerConv is the convolutional layer.
+	LayerConv
+	// LayerPool is the pooling layer.
+	LayerPool
+	// LayerLRN is the local response normalization layer.
+	LayerLRN
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case LayerClassifier:
+		return "classifier"
+	case LayerConv:
+		return "conv"
+	case LayerPool:
+		return "pool"
+	case LayerLRN:
+		return "lrn"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", uint8(k))
+	}
+}
+
+// Instruction is one 512-bit VLIW layer instruction: a layer kind plus the
+// dimensions and flags its decoder needs.
+type Instruction struct {
+	Kind LayerKind
+	// MACs, VecElems and TransElems are the layer's work.
+	MACs, VecElems, TransElems int64
+	// ParamBytes is the layer's weight footprint.
+	ParamBytes int64
+	// Sample marks the built-in Bernoulli sampling path (RBM).
+	Sample bool
+	// Repeat is the layer's trip count.
+	Repeat int
+}
+
+// Program is a compiled DaDianNao benchmark.
+type Program struct {
+	Name         string
+	Instructions []Instruction
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.Instructions) }
+
+// Supported is the feature set the four layer instructions cover: dense and
+// convolutional layers, pooling, sigmoid activation (hardwired lookup
+// table) and Bernoulli sampling of activations.
+const Supported = workload.FeatFC | workload.FeatConv | workload.FeatPool |
+	workload.FeatSigmoid | workload.FeatSample
+
+// UnsupportedError reports why a benchmark cannot be expressed.
+type UnsupportedError struct {
+	Benchmark string
+	Missing   workload.Feature
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("dadiannao: %s requires capabilities outside the four layer types: %v",
+		e.Benchmark, e.Missing)
+}
+
+// CanExpress reports whether the benchmark is an aggregation of the four
+// layer types.
+func CanExpress(b *workload.Benchmark) bool {
+	return b.Features&^Supported == 0
+}
+
+// Compile lowers a benchmark to layer instructions, or fails with an
+// UnsupportedError — the Section V-B1 flexibility result.
+func Compile(b *workload.Benchmark) (*Program, error) {
+	if missing := b.Features &^ Supported; missing != 0 {
+		return nil, &UnsupportedError{Benchmark: b.Name, Missing: missing}
+	}
+	p := &Program{Name: b.Name}
+	for _, op := range b.Ops {
+		inst := Instruction{
+			MACs:       op.MACs(),
+			VecElems:   op.VectorElems(),
+			TransElems: op.TranscendentalElems(),
+			ParamBytes: op.ParamBytes(),
+			Repeat:     op.Times(),
+		}
+		switch op.Kind {
+		case workload.OpFC:
+			inst.Kind = LayerClassifier
+		case workload.OpConv:
+			inst.Kind = LayerConv
+		case workload.OpPool:
+			inst.Kind = LayerPool
+		case workload.OpElemwise:
+			inst.Kind = LayerLRN
+		case workload.OpSample:
+			inst.Kind = LayerClassifier
+			inst.Sample = true
+		default:
+			return nil, &UnsupportedError{Benchmark: b.Name}
+		}
+		p.Instructions = append(p.Instructions, inst)
+	}
+	return p, nil
+}
+
+// Config sizes the machine. Defaults match the re-implemented baseline.
+type Config struct {
+	// MACs is the total multiplier/adder count (1056 = 33 tiles x 32).
+	MACs int
+	// VectorLanes is the central tile's element-wise width.
+	VectorLanes int
+	// DMAStartupCycles and DMABytesPerCycle match the Cambricon-ACC DMA.
+	DMAStartupCycles int
+	DMABytesPerCycle int
+	// LayerOverheadCycles is the VLIW decode + tile configuration cost
+	// per layer instruction.
+	LayerOverheadCycles int
+	// ClockHz converts cycles to seconds.
+	ClockHz float64
+}
+
+// DefaultConfig returns the resource-matched baseline of Section V-A.
+func DefaultConfig() Config {
+	return Config{
+		MACs:                1056,
+		VectorLanes:         32,
+		DMAStartupCycles:    24,
+		DMABytesPerCycle:    32,
+		LayerOverheadCycles: 64,
+		ClockHz:             1e9,
+	}
+}
+
+// Activity summarizes a run for the energy model.
+type Activity struct {
+	Cycles       int64
+	MACOps       int64
+	VectorElems  int64
+	LookupElems  int64 // activations through the lookup table
+	DMABytes     int64
+	Instructions int64
+}
+
+// Cycles estimates the execution time of a compiled program: every layer
+// pays one decode/configure overhead and runs at full MAC-array
+// utilization; weights stream once per layer (SRAM has no persistent eDRAM
+// image in the re-implemented baseline) through a DMA that double-buffers
+// against compute, so total time is the larger of the DMA stream and the
+// compute stream. There is no instruction pipeline to bubble — the
+// Section V-B3 contrast with Cambricon's finer-grained stream.
+func (c Config) Cycles(p *Program) (int64, Activity) {
+	var act Activity
+	var dmaCycles, computeCycles int64
+	dmaPerByte := func(n int64) int64 {
+		if n <= 0 {
+			return 0
+		}
+		return int64(c.DMAStartupCycles) + (n+int64(c.DMABytesPerCycle)-1)/int64(c.DMABytesPerCycle)
+	}
+	for _, inst := range p.Instructions {
+		// Weights load once per instruction (repeats reuse them).
+		dmaCycles += dmaPerByte(inst.ParamBytes)
+		act.DMABytes += inst.ParamBytes
+		for rep := 0; rep < inst.Repeat; rep++ {
+			compute := ceilDiv64(inst.MACs, int64(c.MACs)) +
+				ceilDiv64(inst.VecElems, int64(c.VectorLanes))
+			computeCycles += int64(c.LayerOverheadCycles) + compute
+			act.MACOps += inst.MACs
+			act.VectorElems += inst.VecElems
+			act.LookupElems += inst.TransElems
+			act.Instructions++
+		}
+	}
+	cycles := dmaCycles
+	if computeCycles > cycles {
+		cycles = computeCycles
+	}
+	act.Cycles = cycles
+	return cycles, act
+}
+
+// Seconds converts a cycle count to time.
+func (c Config) Seconds(cycles int64) float64 { return float64(cycles) / c.ClockHz }
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		b = 1
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,78 @@
+package dadiannao
+
+import "fmt"
+
+// Word is one 512-bit VLIW instruction as eight 64-bit lanes. The paper
+// specifies only the width ("four 512-bit VLIW instructions",
+// Section V-B1); the field layout below is this model's documented choice:
+//
+//	lane 0: [7:0] kind, [8] sample flag, [39:32] repeat (low 8 bits)
+//	lane 1: MACs
+//	lane 2: element-wise work
+//	lane 3: lookup-table (transcendental) work
+//	lane 4: parameter bytes
+//	lanes 5-7: reserved (zero)
+type Word [8]uint64
+
+// Encode packs a layer instruction into its 512-bit word.
+func Encode(inst Instruction) (Word, error) {
+	var w Word
+	if inst.Kind > LayerLRN {
+		return w, fmt.Errorf("dadiannao: invalid layer kind %d", inst.Kind)
+	}
+	if inst.MACs < 0 || inst.VecElems < 0 || inst.TransElems < 0 || inst.ParamBytes < 0 {
+		return w, fmt.Errorf("dadiannao: negative work fields")
+	}
+	rep := inst.Repeat
+	if rep <= 0 {
+		rep = 1
+	}
+	if rep > 255 {
+		return w, fmt.Errorf("dadiannao: repeat %d exceeds the 8-bit field", rep)
+	}
+	w[0] = uint64(inst.Kind)
+	if inst.Sample {
+		w[0] |= 1 << 8
+	}
+	w[0] |= uint64(rep) << 32
+	w[1] = uint64(inst.MACs)
+	w[2] = uint64(inst.VecElems)
+	w[3] = uint64(inst.TransElems)
+	w[4] = uint64(inst.ParamBytes)
+	return w, nil
+}
+
+// Decode unpacks a 512-bit word.
+func Decode(w Word) (Instruction, error) {
+	kind := LayerKind(w[0] & 0xff)
+	if kind > LayerLRN {
+		return Instruction{}, fmt.Errorf("dadiannao: invalid layer kind %d in word", kind)
+	}
+	if w[5] != 0 || w[6] != 0 || w[7] != 0 {
+		return Instruction{}, fmt.Errorf("dadiannao: reserved lanes must be zero")
+	}
+	return Instruction{
+		Kind:       kind,
+		Sample:     w[0]>>8&1 == 1,
+		Repeat:     int(w[0] >> 32 & 0xff),
+		MACs:       int64(w[1]),
+		VecElems:   int64(w[2]),
+		TransElems: int64(w[3]),
+		ParamBytes: int64(w[4]),
+	}, nil
+}
+
+// EncodeProgram packs a compiled program; total image size in bytes is
+// 64 * len(instructions) — the code-size contrast with Cambricon's 8-byte
+// instructions.
+func EncodeProgram(p *Program) ([]Word, error) {
+	out := make([]Word, 0, len(p.Instructions))
+	for i, inst := range p.Instructions {
+		w, err := Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("dadiannao: instruction %d: %w", i, err)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

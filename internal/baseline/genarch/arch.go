@@ -1,0 +1,463 @@
+// Package genarch models the paper's general-purpose baselines: x86 (Xeon
+// E5-2620 + MKL), MIPS, and GPU (NVIDIA K40M + cuBLAS).
+//
+// We have neither the 2014 hardware nor the vendor toolchains, so both
+// sides of the comparison are reproduced by construction (see DESIGN.md):
+//
+//   - Code density (Fig. 10): static pseudo-assembly listings generated
+//     from the same workload IR the Cambricon code generators consume. The
+//     listings model what an optimizing compiler emits for each layer-level
+//     op — prologue and addressing code, alignment-peel / unrolled-vector /
+//     remainder loop triples for vectorized loops, inlined polynomial
+//     transcendentals, reduction trees — in each architecture's style.
+//
+//   - Performance and energy (Figs. 12, 13): analytic roofline models
+//     (per-call overhead + max(compute, memory) + transcendental cost)
+//     calibrated to the published machine specifications.
+package genarch
+
+import (
+	"fmt"
+
+	"cambricon/internal/workload"
+)
+
+// Style selects the instruction-emission strategy.
+type Style uint8
+
+const (
+	// StyleSIMD is a CISC core with vector extensions (x86 + AVX).
+	StyleSIMD Style = iota
+	// StyleScalar is a classic RISC core without SIMD (MIPS).
+	StyleScalar
+	// StyleGPU is a PTX-like data-parallel target: one kernel per layer
+	// op, per-thread scalar bodies.
+	StyleGPU
+)
+
+// Arch describes one baseline instruction set for code generation.
+type Arch struct {
+	// Name labels listings and results.
+	Name string
+	// Style picks the emission strategy.
+	Style Style
+	// VecWidth is the SIMD element width (fp32 lanes) for StyleSIMD.
+	VecWidth int
+	// Unroll is the main-loop unroll factor the compiler applies.
+	Unroll int
+	// ExpSeq is the instruction count of one inlined exponential
+	// approximation (range reduction + polynomial + scaling) — scalar
+	// for StyleScalar, vector for StyleSIMD, per-thread for StyleGPU.
+	ExpSeq int
+}
+
+// X86 is the paper's x86-CPU baseline ISA: AVX (256-bit = 8 fp32 lanes),
+// compiler-style vectorization with peel/main/tail loops.
+func X86() Arch {
+	return Arch{Name: "x86", Style: StyleSIMD, VecWidth: 8, Unroll: 4, ExpSeq: 30}
+}
+
+// MIPS is the scalar RISC baseline: no SIMD, 4-way unrolled scalar loops,
+// scalar polynomial exponential.
+func MIPS() Arch {
+	return Arch{Name: "MIPS", Style: StyleScalar, Unroll: 4, ExpSeq: 40}
+}
+
+// GPU is the PTX-like baseline: per-op kernels with hardware special
+// function units for transcendentals.
+func GPU() Arch {
+	return Arch{Name: "GPU", Style: StyleGPU, ExpSeq: 4}
+}
+
+// Listing generates the static pseudo-assembly for one benchmark. The
+// returned lines are the Fig. 10 code-length measurement.
+func (a Arch) Listing(b *workload.Benchmark) []string {
+	e := &emitter{arch: a}
+	e.linef("# %s listing for %s (%s)", a.Name, b.Name, b.Structure)
+	e.prologue(b.Name)
+	for i, op := range b.Ops {
+		e.emitOp(i, op)
+	}
+	e.epilogue()
+	return e.lines
+}
+
+// CodeLength is the instruction count of Listing (comments excluded).
+func (a Arch) CodeLength(b *workload.Benchmark) int {
+	n := 0
+	for _, l := range a.Listing(b) {
+		if len(l) > 0 && l[0] != '#' {
+			n++
+		}
+	}
+	return n
+}
+
+// emitter accumulates listing lines.
+type emitter struct {
+	arch  Arch
+	lines []string
+	label int
+}
+
+func (e *emitter) linef(format string, args ...any) {
+	e.lines = append(e.lines, fmt.Sprintf(format, args...))
+}
+
+// emit appends n synthesized instructions of the given class; the mnemonic
+// stream is representative rather than executable.
+func (e *emitter) emit(class string, mnemonics ...string) {
+	for _, m := range mnemonics {
+		e.lines = append(e.lines, "\t"+m+"\t# "+class)
+	}
+}
+
+func (e *emitter) emitN(class, mnemonic string, n int) {
+	for i := 0; i < n; i++ {
+		e.emit(class, mnemonic)
+	}
+}
+
+func (e *emitter) newLabel(prefix string) string {
+	e.label++
+	return fmt.Sprintf(".%s%d", prefix, e.label)
+}
+
+func (e *emitter) prologue(name string) {
+	switch e.arch.Style {
+	case StyleSIMD:
+		e.emit("prologue", "push rbp", "mov rbp, rsp", "push rbx", "push r12",
+			"push r13", "sub rsp, 64")
+	case StyleScalar:
+		e.emit("prologue", "addiu sp, sp, -48", "sw ra, 44(sp)", "sw s0, 40(sp)",
+			"sw s1, 36(sp)", "sw s2, 32(sp)")
+	case StyleGPU:
+		e.emit("module", ".version 4.2", ".target sm_35", ".address_size 64")
+	}
+	_ = name
+}
+
+func (e *emitter) epilogue() {
+	switch e.arch.Style {
+	case StyleSIMD:
+		e.emit("epilogue", "add rsp, 64", "pop r13", "pop r12", "pop rbx",
+			"pop rbp", "ret")
+	case StyleScalar:
+		e.emit("epilogue", "lw ra, 44(sp)", "lw s0, 40(sp)", "lw s1, 36(sp)",
+			"lw s2, 32(sp)", "addiu sp, sp, 48", "jr ra")
+	case StyleGPU:
+		// Kernel-per-op targets have no shared epilogue.
+	}
+}
+
+// emitOp dispatches one layer-level op.
+func (e *emitter) emitOp(idx int, op workload.Op) {
+	e.linef("# op %d: %s", idx, op.Kind)
+	switch e.arch.Style {
+	case StyleGPU:
+		e.emitGPUOp(op)
+		return
+	default:
+	}
+	switch op.Kind {
+	case workload.OpFC, workload.OpBackFC:
+		e.emitGEMV(op.Out)
+		e.emitActivation(op)
+	case workload.OpFCLateral:
+		e.emitGEMV(op.Out)
+		e.emitGEMV(op.Out)
+		e.emitElemLoop("combine lateral term", 1)
+		e.emitActivation(op)
+	case workload.OpConv:
+		e.emitConvLoops(op)
+	case workload.OpPool:
+		e.emitPoolLoops()
+	case workload.OpElemwise:
+		e.emitElemLoop("elementwise pass", 2)
+	case workload.OpSample:
+		e.emitSampleLoop()
+	case workload.OpOuterUpdate:
+		e.emitOuterLoops()
+	case workload.OpDistance:
+		e.emitDistanceLoops()
+	case workload.OpArgExtreme:
+		e.emitArgScan()
+	}
+}
+
+// vectorizedLoop emits the peel / unrolled-main / remainder triple a
+// vectorizing compiler generates, with the given per-element body size.
+func (e *emitter) vectorizedLoop(what string, scalarBody, vecBody int) {
+	peel := e.newLabel("peel")
+	main := e.newLabel("main")
+	tail := e.newLabel("tail")
+	e.emit(what+" peel setup", "lea rax, [rdi]", "and rax, 31", "jz "+main)
+	e.linef("%s:", peel)
+	e.emitN(what+" peel body", "movss/mulss/addss ...", scalarBody)
+	e.emit(what+" peel ctl", "add rdi, 4", "dec rcx", "jnz "+peel)
+	e.linef("%s:", main)
+	for u := 0; u < e.arch.Unroll; u++ {
+		e.emitN(what+" vector body", "vmovups/vfmadd231ps ...", vecBody)
+	}
+	e.emit(what+" main ctl", "add rdi, 64", "sub rcx, 16", "ja "+main)
+	e.linef("%s:", tail)
+	e.emitN(what+" tail body", "movss/mulss/addss ...", scalarBody)
+	e.emit(what+" tail ctl", "add rdi, 4", "dec rcx", "jnz "+tail)
+}
+
+// scalarLoop emits an unrolled scalar loop (MIPS style).
+func (e *emitter) scalarLoop(what string, body int) {
+	top := e.newLabel("loop")
+	e.emit(what+" setup", "move t0, a0", "move t1, a1", "li t2, 0")
+	e.linef("%s:", top)
+	for u := 0; u < e.arch.Unroll; u++ {
+		e.emitN(what+" body", "lw/mul/addu/sw ...", body)
+	}
+	e.emit(what+" ctl", "addiu t0, t0, 16", "addiu t2, t2, 4", "bne t2, t3, "+top, "nop")
+	rem := e.newLabel("rem")
+	e.linef("%s:", rem)
+	e.emitN(what+" remainder", "lw/mul/addu/sw ...", body)
+	e.emit(what+" rem ctl", "addiu t2, t2, 1", "bne t2, t4, "+rem, "nop")
+}
+
+// emitGEMV emits a dense matrix-vector product: an outer row loop wrapping
+// a dot-product inner loop plus a horizontal reduction.
+func (e *emitter) emitGEMV(rows int) {
+	outer := e.newLabel("row")
+	e.emit("gemv setup", "load matrix base", "load vector base", "load row count")
+	e.linef("%s:", outer)
+	switch e.arch.Style {
+	case StyleSIMD:
+		e.emit("gemv acc init", "vxorps ymm0, ymm0, ymm0")
+		e.vectorizedLoop("dot", 3, 3)
+		e.emit("gemv reduce", "vextractf128 ...", "vhaddps ...", "vhaddps ...",
+			"vaddss ...", "movss store")
+	case StyleScalar:
+		e.emit("gemv acc init", "mtc1 zero, f0")
+		e.scalarLoop("dot", 6)
+		e.emit("gemv store", "swc1 f0, 0(t5)")
+	}
+	e.emit("gemv row ctl", "advance row pointer", "dec row counter", "jnz "+outer)
+	_ = rows
+}
+
+// emitActivation emits the activation pass (sigmoid/tanh need an inlined
+// exponential; sign is a compare loop).
+func (e *emitter) emitActivation(op workload.Op) {
+	switch op.Act {
+	case workload.ActSigmoid, workload.ActTanh:
+		switch e.arch.Style {
+		case StyleSIMD:
+			// The vectorizer clones the inlined exponential into the
+			// alignment-peel, main-vector and remainder bodies.
+			peel := e.newLabel("act_peel")
+			main := e.newLabel("act_main")
+			tail := e.newLabel("act_tail")
+			e.emit("activation setup", "load count", "load base", "test alignment")
+			e.linef("%s:", peel)
+			e.emitN("inlined exp (peel)", "range-reduce/poly/scale ...", e.arch.ExpSeq)
+			e.emit("sigmoid finish", "addss 1.0", "divss", "movss store")
+			e.emit("activation peel ctl", "advance", "dec", "jnz "+peel)
+			e.linef("%s:", main)
+			e.emitN("inlined exp (vector)", "vrange-reduce/vpoly/vscale ...", e.arch.ExpSeq)
+			e.emit("sigmoid finish", "vaddps 1.0", "vdivps", "vmovups store")
+			e.emit("activation main ctl", "advance", "sub count", "ja "+main)
+			e.linef("%s:", tail)
+			e.emitN("inlined exp (tail)", "range-reduce/poly/scale ...", e.arch.ExpSeq)
+			e.emit("sigmoid finish", "addss 1.0", "divss", "movss store")
+			e.emit("activation tail ctl", "advance", "dec", "jnz "+tail)
+		case StyleScalar:
+			// Unrolled-by-two scalar loop plus a remainder copy.
+			top := e.newLabel("act")
+			rem := e.newLabel("act_rem")
+			e.emit("activation setup", "load count", "load base")
+			e.linef("%s:", top)
+			e.emitN("inlined exp", "range-reduce/poly/scale ...", e.arch.ExpSeq)
+			e.emit("sigmoid finish", "add.s 1.0", "div.s", "swc1 store")
+			e.emitN("inlined exp (unrolled)", "range-reduce/poly/scale ...", e.arch.ExpSeq)
+			e.emit("sigmoid finish", "add.s 1.0", "div.s", "swc1 store")
+			e.emit("activation ctl", "addiu advance", "addiu dec", "bne "+top, "nop")
+			e.linef("%s:", rem)
+			e.emitN("inlined exp (remainder)", "range-reduce/poly/scale ...", e.arch.ExpSeq)
+			e.emit("sigmoid finish", "add.s 1.0", "div.s", "swc1 store")
+		}
+	case workload.ActSign:
+		e.emitElemLoop("sign threshold", 3)
+	}
+}
+
+// emitElemLoop is a simple element-wise pass of the given body size.
+func (e *emitter) emitElemLoop(what string, body int) {
+	switch e.arch.Style {
+	case StyleSIMD:
+		e.vectorizedLoop(what, body, body)
+	case StyleScalar:
+		e.scalarLoop(what, body+1)
+	}
+}
+
+// emitSampleLoop draws uniforms and thresholds them.
+func (e *emitter) emitSampleLoop() {
+	top := e.newLabel("sample")
+	e.emit("sample setup", "load rng state", "load count")
+	e.linef("%s:", top)
+	e.emit("xorshift step", "xor/shift ...", "xor/shift ...", "xor/shift ...",
+		"convert to float")
+	e.emit("threshold", "compare", "set 0/1", "store")
+	e.emit("sample ctl", "advance", "dec", "jnz "+top)
+}
+
+// emitConvLoops emits the four-deep convolution nest: output y/x loops,
+// channel loop, and the kernel dot product.
+func (e *emitter) emitConvLoops(op workload.Op) {
+	yl := e.newLabel("conv_y")
+	xl := e.newLabel("conv_x")
+	cl := e.newLabel("conv_c")
+	e.emit("conv setup", "load input base", "load weight base", "load output base",
+		"load geometry", "compute strides")
+	e.linef("%s:", yl)
+	e.linef("%s:", xl)
+	e.linef("%s:", cl)
+	e.emit("patch addressing", "compute window base", "compute filter base")
+	switch e.arch.Style {
+	case StyleSIMD:
+		e.vectorizedLoop("patch dot", 3, 3)
+		e.emit("conv reduce", "vhaddps ...", "vhaddps ...", "vaddss bias")
+	case StyleScalar:
+		e.scalarLoop("patch dot", 6)
+		e.emit("conv bias", "add.s f0, f0, f2")
+	}
+	e.emitN("inlined exp", "range-reduce/poly/scale ...", e.arch.ExpSeq)
+	e.emit("sigmoid finish", "add 1.0", "divide", "store output")
+	e.emit("conv c ctl", "advance filter", "dec channel", "jnz "+cl)
+	e.emit("conv x ctl", "advance window", "dec x", "jnz "+xl)
+	e.emit("conv y ctl", "advance row", "dec y", "jnz "+yl)
+	_ = op
+}
+
+// emitPoolLoops emits the pooling nest.
+func (e *emitter) emitPoolLoops() {
+	yl := e.newLabel("pool_y")
+	xl := e.newLabel("pool_x")
+	e.emit("pool setup", "load input base", "load output base", "load geometry")
+	e.linef("%s:", yl)
+	e.linef("%s:", xl)
+	e.emit("window max", "load (0,0)", "load (0,1)", "max", "load (1,0)", "max",
+		"load (1,1)", "max", "store")
+	e.emit("pool x ctl", "advance window", "dec x", "jnz "+xl)
+	e.emit("pool y ctl", "advance row", "dec y", "jnz "+yl)
+}
+
+// emitOuterLoops emits the rank-1 update nest.
+func (e *emitter) emitOuterLoops() {
+	rl := e.newLabel("outer_r")
+	e.emit("outer setup", "load a base", "load b base", "load W base", "load eta")
+	e.linef("%s:", rl)
+	e.emit("outer row scale", "load a[i]", "mul eta")
+	e.emitElemLoop("rank-1 row update", 3)
+	e.emit("outer row ctl", "advance row", "dec", "jnz "+rl)
+}
+
+// emitDistanceLoops emits the prototype-distance nest (SOM).
+func (e *emitter) emitDistanceLoops() {
+	nl := e.newLabel("dist_n")
+	e.emit("distance setup", "load prototype base", "load input base")
+	e.linef("%s:", nl)
+	switch e.arch.Style {
+	case StyleSIMD:
+		e.vectorizedLoop("squared distance", 4, 4)
+		e.emit("distance reduce", "vhaddps ...", "vhaddps ...", "store")
+	case StyleScalar:
+		e.scalarLoop("squared distance", 7)
+		e.emit("distance store", "swc1 f0, 0(t6)")
+	}
+	e.emit("distance ctl", "advance prototype", "dec", "jnz "+nl)
+}
+
+// emitArgScan emits the argmin scan.
+func (e *emitter) emitArgScan() {
+	top := e.newLabel("argmin")
+	e.emit("argmin setup", "load base", "init best")
+	e.linef("%s:", top)
+	e.emit("argmin body", "load", "compare", "cmov/branch update", "advance")
+	e.emit("argmin ctl", "dec", "jnz "+top)
+}
+
+// emitGPUOp emits one PTX-like kernel per op.
+func (e *emitter) emitGPUOp(op workload.Op) {
+	e.linef(".visible .entry %s_kernel(", op.Kind)
+	e.emit("kernel params", ".param .u64 in", ".param .u64 w", ".param .u64 b",
+		".param .u64 out", ".param .u32 n", ".param .u32 k")
+	e.emit("register decls", ".reg .pred %p<4>", ".reg .f32 %f<16>",
+		".reg .b32 %r<12>", ".reg .b64 %rd<12>")
+	e.emit("kernel header", "ld.param.u64 %rd1, [in]", "ld.param.u64 %rd2, [w]",
+		"ld.param.u64 %rd3, [b]", "ld.param.u64 %rd4, [out]",
+		"ld.param.u32 %r1, [n]", "mov.u32 %r2, %tid.x", "mov.u32 %r3, %ctaid.x",
+		"mov.u32 %r4, %ntid.x", "mad.lo.u32 %r5, %r3, %r4, %r2",
+		"setp.ge.u32 %p1, %r5, %r1", "@%p1 bra DONE",
+		"cvta.to.global.u64 %rd5, %rd1", "cvta.to.global.u64 %rd6, %rd2",
+		"cvta.to.global.u64 %rd7, %rd4", "mul.wide.u32 %rd8, %r5, 4",
+		"add.u64 %rd9, %rd5, %rd8")
+	switch op.Kind {
+	case workload.OpFC, workload.OpBackFC, workload.OpFCLateral:
+		top := e.newLabel("dot")
+		e.linef("%s:", top)
+		e.emit("dot body", "ld.global.f32 %f1, [w]", "ld.global.f32 %f2, [x]",
+			"fma.rn.f32 %f0, %f1, %f2, %f0", "add.u64 w, w, 4", "add.u64 x, x, 4")
+		e.emit("dot ctl", "add.u32 %i, %i, 1", "setp.lt.u32 %p, %i, K", "@%p bra "+top)
+		if op.Kind == workload.OpFCLateral {
+			top2 := e.newLabel("dot")
+			e.linef("%s:", top2)
+			e.emit("lateral dot body", "ld.global.f32 ...", "ld.global.f32 ...",
+				"fma.rn.f32 ...", "add.u64 ...", "add.u64 ...")
+			e.emit("lateral dot ctl", "add.u32 ...", "setp.lt.u32 ...", "@%p bra "+top2)
+		}
+		switch op.Act {
+		case workload.ActSigmoid, workload.ActTanh:
+			e.emit("bias", "ld.global.f32 %f3, [b]", "add.f32 %f0, %f0, %f3")
+			e.emitN("sfu sigmoid", "ex2.approx.f32/rcp.approx.f32 ...", e.arch.ExpSeq)
+		case workload.ActSign:
+			// Hopfield-style threshold with hold-previous-state.
+			e.emit("sign threshold", "ld.global.f32 %f4, [state]",
+				"setp.gt.f32 %p2, %f0, 0f00000000", "setp.lt.f32 %p3, %f0, 0f00000000",
+				"selp.f32 %f5, 0f3F800000, %f4, %p2", "selp.f32 %f5, 0fBF800000, %f5, %p3",
+				"mov.f32 %f0, %f5")
+		}
+		e.emit("store", "st.global.f32 [out], %f0")
+	case workload.OpConv:
+		kyl := e.newLabel("ky")
+		e.emit("conv index math", "div/rem for (y,x,c)", "compute window base",
+			"compute filter base")
+		e.linef("%s:", kyl)
+		e.emit("conv body", "ld.global.f32 ...", "ld.global.f32 ...", "fma.rn.f32 ...",
+			"add.u64 ...", "add.u64 ...")
+		e.emit("conv ctl", "add.u32 ...", "setp.lt.u32 ...", "@%p bra "+kyl)
+		e.emitN("sfu sigmoid", "ex2.approx.f32/rcp.approx.f32 ...", e.arch.ExpSeq)
+		e.emit("store", "st.global.f32 [out], %f0")
+	case workload.OpPool:
+		e.emit("pool body", "ld.global.f32 ...", "ld.global.f32 ...", "max.f32 ...",
+			"ld.global.f32 ...", "max.f32 ...", "ld.global.f32 ...", "max.f32 ...",
+			"st.global.f32 ...")
+	case workload.OpElemwise:
+		e.emit("elemwise body", "ld.global.f32 ...", "mul.f32 ...", "add.f32 ...",
+			"st.global.f32 ...")
+	case workload.OpSample:
+		e.emit("sample body", "curand xorshift ...", "curand xorshift ...",
+			"cvt.rn.f32.u32 ...", "setp.gt.f32 ...", "selp.f32 ...", "st.global.f32 ...")
+	case workload.OpOuterUpdate:
+		e.emit("rank-1 body", "ld.global.f32 a", "ld.global.f32 b", "mul.f32 ...",
+			"fma.rn.f32 ...", "st.global.f32 ...")
+	case workload.OpDistance:
+		top := e.newLabel("dist")
+		e.linef("%s:", top)
+		e.emit("distance body", "ld.global.f32 ...", "ld.global.f32 ...",
+			"sub.f32 ...", "fma.rn.f32 ...", "add.u64 ...")
+		e.emit("distance ctl", "add.u32 ...", "setp.lt.u32 ...", "@%p bra "+top)
+		e.emit("store", "st.global.f32 [out], %f0")
+	case workload.OpArgExtreme:
+		e.emit("argmin body", "shared-memory tree reduction ...",
+			"ld.shared/min/st.shared", "bar.sync 0", "ld.shared/min/st.shared",
+			"bar.sync 0", "st.global ...")
+	}
+	e.emit("kernel end", "DONE: ret")
+}

@@ -1,0 +1,110 @@
+package genarch
+
+import (
+	"strings"
+	"testing"
+
+	"cambricon/internal/workload"
+)
+
+func TestCodeLengthOrderingAcrossArchitectures(t *testing.T) {
+	// Fig. 10's consistent ordering: for every benchmark, MIPS (pure
+	// scalar) emits the longest code, then x86 (SIMD), then GPU (thread-
+	// parallel kernels hide the loops).
+	for _, b := range workload.Benchmarks() {
+		b := b
+		mips := MIPS().CodeLength(&b)
+		x86 := X86().CodeLength(&b)
+		gpu := GPU().CodeLength(&b)
+		if !(mips > x86 && x86 > gpu) {
+			t.Errorf("%s: want MIPS(%d) > x86(%d) > GPU(%d)", b.Name, mips, x86, gpu)
+		}
+		if gpu <= 0 {
+			t.Errorf("%s: empty GPU listing", b.Name)
+		}
+	}
+}
+
+func TestListingsAreCommentedAssembly(t *testing.T) {
+	b, _ := workload.ByName("MLP")
+	for _, a := range []Arch{X86(), MIPS(), GPU()} {
+		lines := Arch.Listing(a, &b)
+		if len(lines) < 20 {
+			t.Errorf("%s: suspiciously short listing (%d lines)", a.Name, len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "#") {
+			t.Errorf("%s: missing header comment", a.Name)
+		}
+	}
+	// Sigmoid layers must include an inlined exponential on CPU ISAs.
+	x := strings.Join(X86().Listing(&b), "\n")
+	if !strings.Contains(x, "inlined exp") {
+		t.Error("x86 listing missing inlined exponential")
+	}
+	g := strings.Join(GPU().Listing(&b), "\n")
+	if !strings.Contains(g, "ex2.approx") {
+		t.Error("GPU listing should use the SFU path")
+	}
+}
+
+func TestCodeLengthDeterministic(t *testing.T) {
+	b, _ := workload.ByName("CNN")
+	if X86().CodeLength(&b) != X86().CodeLength(&b) {
+		t.Error("code length must be deterministic")
+	}
+}
+
+func TestStaticLengthIgnoresRepeats(t *testing.T) {
+	// Static code length must not scale with trip counts: RNN code is
+	// the same program whether it runs 8 or 800 timesteps.
+	rnn, _ := workload.ByName("RNN")
+	longer := rnn
+	longer.Ops = append([]workload.Op(nil), rnn.Ops...)
+	for i := range longer.Ops {
+		longer.Ops[i].Repeat = 100 * longer.Ops[i].Times()
+	}
+	if X86().CodeLength(&rnn) != X86().CodeLength(&longer) {
+		t.Error("static code length scaled with repeat count")
+	}
+}
+
+func TestPerfModelsScaleWithWork(t *testing.T) {
+	cpu, gpu := CPUPerf(), GPUPerf()
+	mlp, _ := workload.ByName("MLP")
+	bm, _ := workload.ByName("BM")
+	if cpu.Seconds(&mlp) <= 0 || gpu.Seconds(&mlp) <= 0 {
+		t.Fatal("non-positive time")
+	}
+	if cpu.Seconds(&bm) <= cpu.Seconds(&mlp) {
+		t.Error("BM (2M MACs) should take the CPU longer than MLP (34k MACs)")
+	}
+	// The CPU is slower than the GPU on every benchmark (Fig. 12 shows
+	// x86/Cambricon far above GPU/Cambricon).
+	for _, b := range workload.Benchmarks() {
+		b := b
+		if cpu.Seconds(&b) <= gpu.Seconds(&b) {
+			t.Errorf("%s: CPU (%.3g s) should be slower than GPU (%.3g s)",
+				b.Name, cpu.Seconds(&b), gpu.Seconds(&b))
+		}
+	}
+}
+
+func TestEnergyUsesAveragePower(t *testing.T) {
+	gpu := GPUPerf()
+	b, _ := workload.ByName("RBM")
+	if got, want := gpu.EnergyJoules(&b), gpu.AvgPowerWatts*gpu.Seconds(&b); got != want {
+		t.Errorf("energy %v != power*time %v", got, want)
+	}
+}
+
+func TestGPULaunchOverheadDominatesSmallNets(t *testing.T) {
+	gpu := GPUPerf()
+	mlp, _ := workload.ByName("MLP")
+	overhead := gpu.CallOverheadSec * gpu.KernelsPerOp * float64(len(mlp.Ops))
+	if gpu.Seconds(&mlp) < overhead {
+		t.Error("total time below launch overhead")
+	}
+	if gpu.Seconds(&mlp) > 10*overhead {
+		t.Error("MLP on the GPU should be launch-bound, not compute-bound")
+	}
+}

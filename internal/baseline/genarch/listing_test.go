@@ -1,0 +1,120 @@
+package genarch
+
+import (
+	"strings"
+	"testing"
+
+	"cambricon/internal/workload"
+)
+
+// opListing renders a one-op benchmark on the given arch.
+func opListing(a Arch, op workload.Op) string {
+	b := workload.Benchmark{Name: "probe", Structure: "probe", Ops: []workload.Op{op}}
+	return strings.Join(a.Listing(&b), "\n")
+}
+
+func TestX86StructuralMarkers(t *testing.T) {
+	a := X86()
+	cases := []struct {
+		op   workload.Op
+		want []string
+	}{
+		{workload.Op{Kind: workload.OpFC, Act: workload.ActSigmoid, In: 64, Out: 32},
+			[]string{"gemv", "peel", "vector body", "tail", "inlined exp", "divss"}},
+		{workload.Op{Kind: workload.OpConv, Act: workload.ActSigmoid, InC: 3, InH: 8, InW: 8, OutC: 4, K: 3},
+			[]string{"conv setup", "patch dot", "conv y ctl", "inlined exp"}},
+		{workload.Op{Kind: workload.OpPool, InC: 4, InH: 8, InW: 8, K: 2},
+			[]string{"window max", "pool x ctl"}},
+		{workload.Op{Kind: workload.OpSample, Out: 64},
+			[]string{"xorshift", "threshold"}},
+		{workload.Op{Kind: workload.OpDistance, In: 16, Out: 8},
+			[]string{"squared distance", "distance reduce"}},
+		{workload.Op{Kind: workload.OpArgExtreme, In: 8},
+			[]string{"argmin body"}},
+		{workload.Op{Kind: workload.OpOuterUpdate, In: 16, Out: 8},
+			[]string{"rank-1 row update", "outer row scale"}},
+		{workload.Op{Kind: workload.OpFCLateral, Act: workload.ActSigmoid, In: 32, Out: 32},
+			[]string{"combine lateral term"}},
+		{workload.Op{Kind: workload.OpBackFC, Act: workload.ActNone, In: 16, Out: 16},
+			[]string{"gemv"}},
+		{workload.Op{Kind: workload.OpElemwise, Out: 64},
+			[]string{"elementwise pass"}},
+	}
+	for _, c := range cases {
+		text := opListing(a, c.op)
+		for _, want := range c.want {
+			if !strings.Contains(text, want) {
+				t.Errorf("%v: x86 listing missing %q", c.op.Kind, want)
+			}
+		}
+	}
+}
+
+func TestMIPSHasNoVectorInstructions(t *testing.T) {
+	b, _ := workload.ByName("MLP")
+	text := strings.Join(MIPS().Listing(&b), "\n")
+	for _, forbidden := range []string{"vmovups", "vfmadd", "ymm"} {
+		if strings.Contains(text, forbidden) {
+			t.Errorf("MIPS listing contains SIMD artifact %q", forbidden)
+		}
+	}
+	for _, want := range []string{"lw/mul", "addiu", "jr ra"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("MIPS listing missing %q", want)
+		}
+	}
+}
+
+func TestGPUKernelPerOp(t *testing.T) {
+	b, _ := workload.ByName("Autoencoder")
+	text := strings.Join(GPU().Listing(&b), "\n")
+	// One .visible .entry per op.
+	if got := strings.Count(text, ".visible .entry"); got != len(b.Ops) {
+		t.Errorf("%d kernels for %d ops", got, len(b.Ops))
+	}
+	for _, want := range []string{".param .u64", ".reg .pred", "mad.lo.u32",
+		"cvta.to.global", "st.global.f32"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("GPU listing missing %q", want)
+		}
+	}
+}
+
+func TestGPUHopfieldHoldState(t *testing.T) {
+	// The sign activation carries hold-previous-state logic.
+	text := opListing(GPU(), workload.Op{Kind: workload.OpFC, Act: workload.ActSign, In: 100, Out: 100})
+	if !strings.Contains(text, "selp.f32") {
+		t.Error("GPU sign activation missing select chain")
+	}
+}
+
+func TestListingLabelsUnique(t *testing.T) {
+	// Labels must be unique within a listing or the modelled assembly
+	// would not assemble.
+	for _, a := range []Arch{X86(), MIPS(), GPU()} {
+		b, _ := workload.ByName("CNN")
+		seen := map[string]bool{}
+		for _, line := range a.Listing(&b) {
+			if strings.HasSuffix(line, ":") && strings.HasPrefix(line, ".") {
+				if seen[line] {
+					t.Errorf("%s: duplicate label %q", a.Name, line)
+				}
+				seen[line] = true
+			}
+		}
+	}
+}
+
+func TestCPUFasterOnBiggerMachineAssumptions(t *testing.T) {
+	// Sanity of the roofline: doubling effective FLOPS cannot slow any
+	// benchmark down.
+	base := CPUPerf()
+	fast := base
+	fast.EffFLOPS *= 2
+	for _, b := range workload.Benchmarks() {
+		b := b
+		if fast.Seconds(&b) > base.Seconds(&b) {
+			t.Errorf("%s: faster machine is slower", b.Name)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package genarch
+
+import "cambricon/internal/workload"
+
+// PerfModel is an analytic roofline performance/energy model for one
+// general-purpose baseline: per-op dispatch overhead plus the larger of the
+// compute and memory times, plus transcendental cost where the machine has
+// no fast special-function path.
+type PerfModel struct {
+	// Name labels results.
+	Name string
+	// CallOverheadSec is the fixed cost of dispatching one layer-level
+	// op (library-call overhead on the CPU, kernel-launch overhead on
+	// the GPU).
+	CallOverheadSec float64
+	// KernelsPerOp is how many dispatches one layer op needs (e.g. GEMV
+	// plus activation).
+	KernelsPerOp float64
+	// EffFLOPS is the sustained FLOP/s on these small NN kernels.
+	EffFLOPS float64
+	// MemBWBytesPerSec is the sustained memory bandwidth.
+	MemBWBytesPerSec float64
+	// ExpSecPerElem is the per-element cost of exp() where it runs on
+	// the ALUs (zero when a special-function unit hides it).
+	ExpSecPerElem float64
+	// BytesPerElem is the storage width (the baselines compute in fp32).
+	BytesPerElem float64
+	// AvgPowerWatts is the average package power while running these
+	// kernels (for the Fig. 13 energy comparison).
+	AvgPowerWatts float64
+}
+
+// CPUPerf models the Xeon E5-2620 + MKL baseline: a 2.1 GHz Sandy
+// Bridge-era core running MKL's small-GEMV paths. Small, skinny NN
+// operands keep sustained throughput far below peak (no blocking, fp32
+// GEMV is memory-shape bound), and libm exp costs tens of nanoseconds per
+// element.
+func CPUPerf() PerfModel {
+	return PerfModel{
+		Name:             "x86-CPU",
+		CallOverheadSec:  2e-6,
+		KernelsPerOp:     2,
+		EffFLOPS:         1.2e9,
+		MemBWBytesPerSec: 12e9,
+		ExpSecPerElem:    60e-9,
+		BytesPerElem:     4,
+		AvgPowerWatts:    95,
+	}
+}
+
+// GPUPerf models the K40M + cuBLAS baseline: 4.29 TFLOP/s peak but
+// dispatch-floor-dominated on Table III's small layers (the paper measures
+// kernel time, so the floor is the minimum kernel duration rather than the
+// full host-side launch gap), with low achieved utilization and
+// special-function units absorbing transcendentals.
+func GPUPerf() PerfModel {
+	return PerfModel{
+		Name:             "GPU",
+		CallOverheadSec:  1.5e-6,
+		KernelsPerOp:     1.5,
+		EffFLOPS:         4.29e12 * 0.08,
+		MemBWBytesPerSec: 288e9 * 0.5,
+		ExpSecPerElem:    0,
+		BytesPerElem:     4,
+		AvgPowerWatts:    75,
+	}
+}
+
+// Seconds estimates the benchmark's execution time.
+func (p PerfModel) Seconds(b *workload.Benchmark) float64 {
+	var total float64
+	for _, op := range b.Ops {
+		reps := float64(op.Times())
+		flops := 2 * float64(op.MACs())
+		elemOps := float64(op.VectorElems())
+		bytes := p.BytesPerElem * (float64(op.ParamBytes())/2 + elemOps)
+		compute := (flops + elemOps) / p.EffFLOPS
+		memory := bytes / p.MemBWBytesPerSec
+		t := p.CallOverheadSec * p.KernelsPerOp
+		if compute > memory {
+			t += compute
+		} else {
+			t += memory
+		}
+		t += p.ExpSecPerElem * float64(op.TranscendentalElems())
+		total += t * reps
+	}
+	return total
+}
+
+// EnergyJoules estimates the benchmark's energy as average power times
+// execution time, the same product the paper uses (Section V-B4).
+func (p PerfModel) EnergyJoules(b *workload.Benchmark) float64 {
+	return p.AvgPowerWatts * p.Seconds(b)
+}

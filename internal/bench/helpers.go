@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"cambricon/internal/codegen"
+	"cambricon/internal/sim"
+)
+
+// codegenLogistic builds the Section VI prediction-phase program.
+func codegenLogistic(seed uint64) (*codegen.Program, error) {
+	return codegen.GenLogistic(seed)
+}
+
+// codegenLogisticTraining builds the Section VI training-phase program.
+func codegenLogisticTraining(seed uint64) (*codegen.Program, error) {
+	return codegen.GenLogisticTraining(seed)
+}
+
+// runProgram executes a generated program on a fresh suite-configured
+// machine, verifying its expectations.
+func runProgram(s *Suite, p *codegen.Program) (sim.Stats, error) {
+	cfg := s.Config
+	cfg.Seed = s.Seed ^ 0xcafe
+	m, err := sim.New(cfg)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	return p.Execute(m)
+}

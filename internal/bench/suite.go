@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"cambricon/internal/baseline/dadiannao"
+	"cambricon/internal/codegen"
+	"cambricon/internal/sim"
+	"cambricon/internal/workload"
+)
+
+// Suite shares generated programs and simulation runs across experiments:
+// Figs. 10-13 all measure the same ten benchmark executions.
+type Suite struct {
+	// Seed drives weight/input generation and the RV stream.
+	Seed uint64
+	// Config is the accelerator configuration (Table II defaults).
+	Config sim.Config
+
+	progs []*codegen.Program
+	stats map[string]sim.Stats
+}
+
+// NewSuite builds a suite over the Table II machine.
+func NewSuite(seed uint64) *Suite {
+	return &Suite{Seed: seed, Config: sim.DefaultConfig(), stats: map[string]sim.Stats{}}
+}
+
+// Programs generates (once) the ten Table III benchmark programs.
+func (s *Suite) Programs() ([]*codegen.Program, error) {
+	if s.progs == nil {
+		progs, err := codegen.All(s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.progs = progs
+	}
+	return s.progs, nil
+}
+
+// Program returns one named benchmark program.
+func (s *Suite) Program(name string) (*codegen.Program, error) {
+	progs, err := s.Programs()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range progs {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: no benchmark %q", name)
+}
+
+// Stats runs (once) the named benchmark on the Cambricon-ACC simulator,
+// verifying its outputs against the reference model.
+func (s *Suite) Stats(name string) (sim.Stats, error) {
+	if st, ok := s.stats[name]; ok {
+		return st, nil
+	}
+	p, err := s.Program(name)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	cfg := s.Config
+	cfg.Seed = s.Seed ^ 0xcafe
+	m, err := sim.New(cfg)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	st, err := p.Execute(m)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	s.stats[name] = st
+	return st, nil
+}
+
+// Seconds returns the simulated wall-clock time of one benchmark.
+func (s *Suite) Seconds(name string) (float64, error) {
+	st, err := s.Stats(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Seconds(s.Config.ClockHz), nil
+}
+
+// DaDianNao compiles and times one benchmark on the baseline, when
+// expressible.
+func (s *Suite) DaDianNao(name string) (int64, dadiannao.Activity, bool, error) {
+	b, ok := workload.ByName(name)
+	if !ok {
+		return 0, dadiannao.Activity{}, false, fmt.Errorf("bench: no workload %q", name)
+	}
+	prog, err := dadiannao.Compile(&b)
+	if err != nil {
+		return 0, dadiannao.Activity{}, false, nil // inexpressible, not an error
+	}
+	cycles, act := dadiannao.DefaultConfig().Cycles(prog)
+	return cycles, act, true, nil
+}

@@ -1,0 +1,194 @@
+package codegen
+
+import (
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/nn"
+)
+
+// Autoencoder generation constants.
+const (
+	aeEta = 0.5
+	// Tolerances: the forward pass crosses four sigmoid layers; the
+	// pretraining quantities are small gradients where absolute
+	// fixed-point error dominates.
+	aeForwardTol = 0.08
+	aeReconTol   = 0.05
+	aeParamTol   = 0.04
+)
+
+// GenAutoencoder lowers the Table III autoencoder benchmarks
+// (320-200-100-50-10 stacks pretrained on MNIST-like data): the stacked
+// feedforward pass plus one greedy pretraining step of the first layer —
+// tied-weight decode via VMM, reconstruction deltas from element-wise
+// vector code, and the OP/MMS/MSM outer-product weight updates of
+// Section III-A. sparse adds the bounded sparsity surrogate beta*(h-rho).
+// The on-device training work is what DaDianNao's four layer-types cannot
+// express (Section V-B1).
+func GenAutoencoder(sparse bool, seed uint64) (*Program, error) {
+	sizes := nn.AutoencoderSizes()
+	net := nn.NewAutoencoder(sizes, sparse, seed).QuantizeParams()
+	rng := nn.NewRNG(seed + 1)
+	x := nn.Quantize(rng.FillVec(sizes[0], 0, 1))
+	wantForward := net.Forward(x)
+	// The pretraining expectations come from a cloned reference (the
+	// update mutates parameters).
+	ref := nn.NewAutoencoder(sizes, sparse, seed).QuantizeParams()
+	wantRecon := ref.PretrainStep(0, x, aeEta)
+	wantW := append(nn.Vec(nil), ref.MLP.W[0].Data...)
+	wantB := append(nn.Vec(nil), ref.MLP.B[0]...)
+
+	name := "Autoencoder"
+	if sparse {
+		name = "Sparse Autoencoder"
+	}
+
+	g := newGen()
+	var b asm.Builder
+
+	inMain := g.data(x)
+	wMain := make([]int, net.MLP.Layers())
+	bMain := make([]int, net.MLP.Layers())
+	for l := range wMain {
+		wMain[l] = g.data(net.MLP.W[l].Data)
+		bMain[l] = g.data(net.MLP.B[l])
+	}
+	outMain := g.out("forward output", len(wantForward), wantForward, aeForwardTol)
+	reconMain := g.out("reconstruction", len(wantRecon), wantRecon, aeReconTol)
+	wOutMain := g.out("updated W1", len(wantW), wantW, aeParamTol)
+	bOutMain := g.out("updated b1", len(wantB), wantB, aeParamTol)
+
+	in0, h0 := sizes[0], sizes[1]
+	// Scratchpad layout: per-layer activations (layer-1 activations are
+	// reused by the pretraining step), plus the element-wise work areas.
+	actV := make([]int, len(sizes))
+	for i, s := range sizes {
+		actV[i] = g.vspadA.takeElems(s)
+	}
+	maxW := 0
+	for _, s := range sizes {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	biasV := g.vspadA.takeElems(h0)  // widest bias; reused per layer
+	tmpV := g.vspadA.takeElems(maxW) // sigmoid scratch for the widest vector
+	xrV := g.vspadA.takeElems(in0)
+	eV := g.vspadA.takeElems(in0)
+	onesXV := g.vspadA.takeElems(in0)
+	dXrV := g.vspadA.takeElems(in0)
+	dHV := g.vspadA.takeElems(h0)
+	backV := g.vspadA.takeElems(h0)
+	constV := g.vspadA.takeElems(h0)
+	wSpad := make([]int, net.MLP.Layers())
+	for l := range wSpad {
+		wSpad[l] = g.mspadA.takeElems(sizes[l] * sizes[l+1])
+	}
+	dwM := g.mspadA.takeElems(in0 * h0)
+
+	const (
+		rInSize  = 0
+		rOutSize = 1
+		rMatSize = 2
+		rX       = 3
+		rW       = 4
+		rB       = 5
+		rY       = 6
+		rTmp     = 7
+		rXr      = 8
+		rE       = 9
+		rOnesX   = 10
+		rDXr     = 11
+		rDH      = 12
+		rBack    = 13
+		rConst   = 14
+		rDW      = 15
+		rH       = 16
+		rX0      = 17
+		rW0      = 18
+		rB0      = 19
+	)
+
+	b.Comment("%s %v: stacked feedforward pass (Table III)", name, sizes)
+	loadImm(&b, rInSize, int32(sizes[0]))
+	loadImm(&b, rX, int32(actV[0]))
+	b.Opc(core.VLOAD, "load input", asm.R(rX), asm.R(rInSize), asm.Imm(int32(inMain)))
+	for l := 0; l < net.MLP.Layers(); l++ {
+		inS, outS := sizes[l], sizes[l+1]
+		b.Comment("layer %d: %d -> %d", l+1, inS, outS)
+		loadImm(&b, rInSize, int32(inS))
+		loadImm(&b, rOutSize, int32(outS))
+		loadImm(&b, rMatSize, int32(inS*outS))
+		loadImm(&b, rW, int32(wSpad[l]))
+		b.Opc(core.MLOAD, "load weights", asm.R(rW), asm.R(rMatSize), asm.Imm(int32(wMain[l])))
+		loadImm(&b, rB, int32(biasV))
+		b.Opc(core.VLOAD, "load bias", asm.R(rB), asm.R(rOutSize), asm.Imm(int32(bMain[l])))
+		loadImm(&b, rX, int32(actV[l]))
+		loadImm(&b, rY, int32(actV[l+1]))
+		loadImm(&b, rTmp, int32(tmpV))
+		b.Opc(core.MMV, "Wx", asm.R(rY), asm.R(rOutSize), asm.R(rW), asm.R(rX), asm.R(rInSize))
+		b.Op(core.VAV, asm.R(rY), asm.R(rOutSize), asm.R(rY), asm.R(rB))
+		emitSigmoid(&b, rY, rY, sigmoidRegs{size: rOutSize, tmp: rTmp})
+	}
+	b.Opc(core.VSTORE, "store forward output", asm.R(rY), asm.R(rOutSize), asm.Imm(int32(outMain)))
+
+	b.Comment("greedy pretraining step of layer 1 (tied weights)")
+	loadImm(&b, rInSize, int32(in0))
+	loadImm(&b, rOutSize, int32(h0))
+	loadImm(&b, rMatSize, int32(in0*h0))
+	loadImm(&b, rX0, int32(actV[0]))
+	loadImm(&b, rH, int32(actV[1]))
+	loadImm(&b, rW0, int32(wSpad[0]))
+	loadImm(&b, rXr, int32(xrV))
+	loadImm(&b, rTmp, int32(tmpV))
+	b.Opc(core.VMM, "decode: W^T h", asm.R(rXr), asm.R(rInSize), asm.R(rW0), asm.R(rH), asm.R(rOutSize))
+	emitSigmoid(&b, rXr, rXr, sigmoidRegs{size: rInSize, tmp: rTmp})
+	b.Opc(core.VSTORE, "store reconstruction", asm.R(rXr), asm.R(rInSize), asm.Imm(int32(reconMain)))
+
+	loadImm(&b, rE, int32(eV))
+	b.Opc(core.VSV, "e = xr - x", asm.R(rE), asm.R(rInSize), asm.R(rXr), asm.R(rX0))
+	loadImm(&b, rOnesX, int32(onesXV))
+	emitConstVecImm(&b, rOnesX, rInSize, 1)
+	loadImm(&b, rDXr, int32(dXrV))
+	b.Opc(core.VSV, "1 - xr", asm.R(rDXr), asm.R(rInSize), asm.R(rOnesX), asm.R(rXr))
+	b.Opc(core.VMV, "xr (1 - xr)", asm.R(rDXr), asm.R(rInSize), asm.R(rDXr), asm.R(rXr))
+	b.Opc(core.VMV, "dXr = e xr (1 - xr)", asm.R(rDXr), asm.R(rInSize), asm.R(rDXr), asm.R(rE))
+
+	loadImm(&b, rBack, int32(backV))
+	b.Opc(core.MMV, "back = W dXr", asm.R(rBack), asm.R(rOutSize), asm.R(rW0), asm.R(rDXr), asm.R(rInSize))
+	loadImm(&b, rDH, int32(dHV))
+	loadImm(&b, rConst, int32(constV))
+	emitConstVecImm(&b, rConst, rOutSize, 1)
+	b.Opc(core.VSV, "1 - h", asm.R(rDH), asm.R(rOutSize), asm.R(rConst), asm.R(rH))
+	b.Opc(core.VMV, "h (1 - h)", asm.R(rDH), asm.R(rOutSize), asm.R(rDH), asm.R(rH))
+	b.Opc(core.VMV, "dH = back h (1 - h)", asm.R(rDH), asm.R(rOutSize), asm.R(rDH), asm.R(rBack))
+	if sparse {
+		b.Comment("sparsity surrogate: dH += beta (h - rho)")
+		b.Opc(core.VAS, "h - rho", asm.R(rConst), asm.R(rOutSize), asm.R(rH), asm.Imm(fix(-net.Rho)))
+		loadImm(&b, rTmp, int32(tmpV))
+		emitConstVecImm(&b, rTmp, rOutSize, net.Beta)
+		b.Opc(core.VMV, "beta (h - rho)", asm.R(rConst), asm.R(rOutSize), asm.R(rConst), asm.R(rTmp))
+		b.Op(core.VAV, asm.R(rDH), asm.R(rOutSize), asm.R(rDH), asm.R(rConst))
+	}
+
+	b.Comment("tied-weight outer-product updates")
+	loadImm(&b, rDW, int32(dwM))
+	b.Opc(core.OP, "dW = dH (x) x", asm.R(rDW), asm.R(rDH), asm.R(rOutSize), asm.R(rX0), asm.R(rInSize))
+	b.Opc(core.MMS, "dW *= eta", asm.R(rDW), asm.R(rMatSize), asm.R(rDW), asm.Imm(fix(aeEta)))
+	b.Opc(core.MSM, "W -= dW", asm.R(rW0), asm.R(rMatSize), asm.R(rW0), asm.R(rDW))
+	b.Opc(core.OP, "dW2 = h (x) dXr", asm.R(rDW), asm.R(rH), asm.R(rOutSize), asm.R(rDXr), asm.R(rInSize))
+	b.Opc(core.MMS, "dW2 *= eta", asm.R(rDW), asm.R(rMatSize), asm.R(rDW), asm.Imm(fix(aeEta)))
+	b.Opc(core.MSM, "W -= dW2", asm.R(rW0), asm.R(rMatSize), asm.R(rW0), asm.R(rDW))
+
+	b.Comment("bias update b -= eta dH")
+	loadImm(&b, rB0, int32(biasV))
+	b.Opc(core.VLOAD, "reload layer-1 bias", asm.R(rB0), asm.R(rOutSize), asm.Imm(int32(bMain[0])))
+	emitConstVecImm(&b, rConst, rOutSize, aeEta)
+	b.Opc(core.VMV, "eta dH", asm.R(rConst), asm.R(rOutSize), asm.R(rConst), asm.R(rDH))
+	b.Op(core.VSV, asm.R(rB0), asm.R(rOutSize), asm.R(rB0), asm.R(rConst))
+
+	b.Opc(core.MSTORE, "store updated W1", asm.R(rW0), asm.R(rMatSize), asm.Imm(int32(wOutMain)))
+	b.Opc(core.VSTORE, "store updated b1", asm.R(rB0), asm.R(rOutSize), asm.Imm(int32(bOutMain)))
+
+	return finish(name, &b, g)
+}

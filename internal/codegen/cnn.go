@@ -1,0 +1,278 @@
+package codegen
+
+import (
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/nn"
+)
+
+// CNNTolerance bounds the fixed-point error of the full LeNet-5 pipeline
+// (two conv+pool stages and three FC layers).
+const CNNTolerance = 0.12
+
+// cnnRegs is the register window shared by the convolution, pooling and FC
+// stage emitters (stages run sequentially, so one window suffices — exactly
+// how hand-written Cambricon assembly would budget its 64 GPRs).
+type cnnRegs struct {
+	rPatchN uint8       // patch size K*K*inC
+	rOutC   uint8       // output channels / FC output size
+	rSeg    uint8       // VMOVE segment length K*inC
+	rW      uint8       // weight matrix address (mspad)
+	rBias   uint8       // bias vector address (vspad)
+	rRow    uint8       // current input window address
+	rSrc    uint8       // segment read cursor
+	rOut    uint8       // output write cursor
+	rX      uint8       // x loop counter
+	rY      uint8       // y loop counter
+	rTmp    uint8       // sigmoid scratch region
+	rP      uint8       // pooling window cursor
+	rPk     [2][5]uint8 // static patch-row cursors, double buffered
+	rRowN   uint8       // output-row element count
+	rOutRow uint8       // output-row base address
+	rBT     uint8       // tiled (row-wide) bias base address
+	rS      [5]uint8    // per-segment source addresses (independent adds)
+}
+
+func newCNNRegs() cnnRegs {
+	r := cnnRegs{
+		rPatchN: 0, rOutC: 1, rSeg: 2, rW: 3, rBias: 4,
+		rRow: 7, rSrc: 8, rOut: 9, rX: 10, rY: 11,
+		rTmp: 12, rP: 13, rRowN: 25, rOutRow: 26, rBT: 27,
+	}
+	next := uint8(15)
+	for b := 0; b < 2; b++ {
+		for k := 0; k < 5; k++ {
+			r.rPk[b][k] = next
+			next++
+		}
+	}
+	for k := range r.rS {
+		r.rS[k] = 28 + uint8(k)
+	}
+	return r
+}
+
+// emitConv lowers one valid convolution with sigmoid activation over the
+// [y][x][c] layout. Two hand-optimizations a Cambricon programmer would
+// apply (and that the paper's performance results presuppose) are built in:
+// patch gathers double-buffer so the VMOVEs of the next position overlap
+// the MMV of the current one, and bias-add plus the sigmoid chain are
+// batched once per output row instead of once per position, keeping the
+// vector unit's CORDIC beats amortized over outW*outC elements.
+func emitConv(b *asm.Builder, r cnnRegs, l nn.ConvLayer, inBase, outBase, wSpad, biasV, tiledBiasV int, patchV [2]int, tmpV int) {
+	outH, outW := l.OutH(), l.OutW()
+	if outW%2 != 0 {
+		panic("codegen: emitConv requires an even output width")
+	}
+	if l.K > 5 {
+		panic("codegen: emitConv supports kernels up to 5x5")
+	}
+	elem := 2 // bytes per element
+	rowN := outW * l.OutC
+	b.Comment("conv %dx%dx%d -> %dx%dx%d (K=%d)", l.InH, l.InW, l.InC, outH, outW, l.OutC, l.K)
+	loadImm(b, r.rPatchN, int32(l.K*l.K*l.InC))
+	loadImm(b, r.rOutC, int32(l.OutC))
+	loadImm(b, r.rSeg, int32(l.K*l.InC))
+	loadImm(b, r.rW, int32(wSpad))
+	loadImm(b, r.rTmp, int32(tmpV))
+	loadImm(b, r.rRowN, int32(rowN))
+	for buf := 0; buf < 2; buf++ {
+		for ky := 0; ky < l.K; ky++ {
+			loadImm(b, r.rPk[buf][ky], int32(patchV[buf]+ky*l.K*l.InC*elem))
+		}
+	}
+	b.Comment("tile the per-channel bias across one output row")
+	loadImm(b, r.rBias, int32(biasV))
+	loadImm(b, r.rBT, int32(tiledBiasV))
+	loadImm(b, r.rP, int32(tiledBiasV))
+	loadImm(b, r.rX, int32(outW))
+	tileTop := b.NewLabel("bias_tile")
+	b.Label(tileTop)
+	b.Op(core.VMOVE, asm.R(r.rP), asm.R(r.rOutC), asm.R(r.rBias))
+	b.Op(core.SADD, asm.R(r.rP), asm.R(r.rP), asm.Imm(int32(l.OutC*elem)))
+	b.Op(core.SADD, asm.R(r.rX), asm.R(r.rX), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(tileTop), asm.R(r.rX))
+
+	loadImm(b, r.rRow, int32(inBase))
+	loadImm(b, r.rOut, int32(outBase))
+	loadImm(b, r.rY, int32(outH))
+	yTop := b.NewLabel("conv_y")
+	xTop := b.NewLabel("conv_x")
+	b.Label(yTop)
+	b.Op(core.SMOVE, asm.R(r.rOutRow), asm.R(r.rOut))
+	loadImm(b, r.rX, int32(outW/2))
+	b.Label(xTop)
+	for buf := 0; buf < 2; buf++ {
+		// Independent segment addresses (no serial cursor chain): every
+		// add reads only rRow, so the gathers issue back to back.
+		for ky := 1; ky < l.K; ky++ {
+			b.Op(core.SADD, asm.R(r.rS[ky]), asm.R(r.rRow), asm.Imm(int32(ky*l.InW*l.InC*elem)))
+		}
+		b.Opc(core.VMOVE, "gather patch row", asm.R(r.rPk[buf][0]), asm.R(r.rSeg), asm.R(r.rRow))
+		for ky := 1; ky < l.K; ky++ {
+			b.Opc(core.VMOVE, "gather patch row", asm.R(r.rPk[buf][ky]), asm.R(r.rSeg), asm.R(r.rS[ky]))
+		}
+		b.Opc(core.MMV, "all output channels at this position",
+			asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rW), asm.R(r.rPk[buf][0]), asm.R(r.rPatchN))
+		b.Op(core.SADD, asm.R(r.rOut), asm.R(r.rOut), asm.Imm(int32(l.OutC*elem)))
+		b.Op(core.SADD, asm.R(r.rRow), asm.R(r.rRow), asm.Imm(int32(l.InC*elem)))
+	}
+	b.Op(core.SADD, asm.R(r.rX), asm.R(r.rX), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(xTop), asm.R(r.rX))
+	b.Opc(core.VAV, "row-wide bias add", asm.R(r.rOutRow), asm.R(r.rRowN), asm.R(r.rOutRow), asm.R(r.rBT))
+	emitSigmoid(b, r.rOutRow, r.rOutRow, sigmoidRegs{size: r.rRowN, tmp: r.rTmp})
+	b.Opc(core.SADD, "skip the window tail of the row",
+		asm.R(r.rRow), asm.R(r.rRow), asm.Imm(int32((l.InW-outW)*l.InC*elem)))
+	b.Op(core.SADD, asm.R(r.rY), asm.R(r.rY), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(yTop), asm.R(r.rY))
+}
+
+// emitPool lowers non-overlapping 2x2 max pooling with VGTM over
+// channel-interleaved feature maps, following the paper's Fig. 7 pooling
+// fragment: the channel vector at each window position merges into the
+// output accumulator.
+func emitPool(b *asm.Builder, r cnnRegs, l nn.PoolLayer, inBase, outBase int) {
+	outH, outW := l.OutH(), l.OutW()
+	elem := 2
+	rowBytes := l.InW * l.C * elem
+	b.Comment("max pool %dx%dx%d -> %dx%dx%d (K=%d)", l.InH, l.InW, l.C, outH, outW, l.C, l.K)
+	loadImm(b, r.rOutC, int32(l.C))
+	loadImm(b, r.rRow, int32(inBase))
+	loadImm(b, r.rOut, int32(outBase))
+	loadImm(b, r.rY, int32(outH))
+	yTop := b.NewLabel("pool_y")
+	xTop := b.NewLabel("pool_x")
+	b.Label(yTop)
+	loadImm(b, r.rX, int32(outW))
+	b.Label(xTop)
+	b.Op(core.SMOVE, asm.R(r.rP), asm.R(r.rRow))
+	b.Opc(core.VMOVE, "init accumulator with window corner",
+		asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rP))
+	b.Op(core.SADD, asm.R(r.rP), asm.R(r.rP), asm.Imm(int32(l.C*elem)))
+	b.Opc(core.VGTM, "merge (x+1, y)", asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rP), asm.R(r.rOut))
+	b.Op(core.SMOVE, asm.R(r.rP), asm.R(r.rRow))
+	b.Op(core.SADD, asm.R(r.rP), asm.R(r.rP), asm.Imm(int32(rowBytes)))
+	b.Opc(core.VGTM, "merge (x, y+1)", asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rP), asm.R(r.rOut))
+	b.Op(core.SADD, asm.R(r.rP), asm.R(r.rP), asm.Imm(int32(l.C*elem)))
+	b.Opc(core.VGTM, "merge (x+1, y+1)", asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rP), asm.R(r.rOut))
+	b.Op(core.SADD, asm.R(r.rOut), asm.R(r.rOut), asm.Imm(int32(l.C*elem)))
+	b.Op(core.SADD, asm.R(r.rRow), asm.R(r.rRow), asm.Imm(int32(l.K*l.C*elem)))
+	b.Op(core.SADD, asm.R(r.rX), asm.R(r.rX), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(xTop), asm.R(r.rX))
+	b.Opc(core.SADD, "skip the second input row of the window band",
+		asm.R(r.rRow), asm.R(r.rRow), asm.Imm(int32(rowBytes)))
+	b.Op(core.SADD, asm.R(r.rY), asm.R(r.rY), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(yTop), asm.R(r.rY))
+}
+
+// emitFC lowers one fully-connected sigmoid layer, reusing the conv
+// register window.
+func emitFC(b *asm.Builder, r cnnRegs, in, out, wSpad, biasV, inBase, outBase, tmpV int) {
+	b.Comment("fully connected %d -> %d", in, out)
+	loadImm(b, r.rPatchN, int32(in))
+	loadImm(b, r.rOutC, int32(out))
+	loadImm(b, r.rW, int32(wSpad))
+	loadImm(b, r.rBias, int32(biasV))
+	loadImm(b, r.rRow, int32(inBase))
+	loadImm(b, r.rOut, int32(outBase))
+	loadImm(b, r.rTmp, int32(tmpV))
+	b.Op(core.MMV, asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rW), asm.R(r.rRow), asm.R(r.rPatchN))
+	b.Op(core.VAV, asm.R(r.rOut), asm.R(r.rOutC), asm.R(r.rOut), asm.R(r.rBias))
+	emitSigmoid(b, r.rOut, r.rOut, sigmoidRegs{size: r.rOutC, tmp: r.rTmp})
+}
+
+// GenCNN lowers the Table III LeNet-5 benchmark. Weights for every stage
+// are preloaded into the matrix scratchpad (123 KB of 768 KB); all feature
+// maps fit the vector scratchpad simultaneously (under 20 KB of 64 KB).
+func GenCNN(seed uint64) (*Program, error) {
+	net := nn.NewLeNet5(seed).QuantizeParams()
+	rng := nn.NewRNG(seed + 1)
+	input := nn.Quantize(rng.FillVec(32*32, 0, 1))
+	want := net.Forward(input)
+
+	g := newGen()
+	var b asm.Builder
+	r := newCNNRegs()
+
+	inMain := g.data(input)
+	c1wMain := g.data(net.Convs[0].W.Data)
+	c1bMain := g.data(net.Convs[0].B)
+	c2wMain := g.data(net.Convs[1].W.Data)
+	c2bMain := g.data(net.Convs[1].B)
+	fwMain := make([]int, 3)
+	fbMain := make([]int, 3)
+	for i, fc := range net.FCs {
+		fwMain[i] = g.data(fc.W.Data)
+		fbMain[i] = g.data(fc.B)
+	}
+	outMain := g.out("classifier output", len(want), want, CNNTolerance)
+
+	// Vector scratchpad: all stage activations live simultaneously.
+	in0V := g.vspadA.takeElems(32 * 32)
+	c1V := g.vspadA.takeElems(28 * 28 * 6)
+	p1V := g.vspadA.takeElems(14 * 14 * 6)
+	c2V := g.vspadA.takeElems(10 * 10 * 16)
+	p2V := g.vspadA.takeElems(5 * 5 * 16)
+	f1V := g.vspadA.takeElems(120)
+	f2V := g.vspadA.takeElems(84)
+	f3V := g.vspadA.takeElems(10)
+	patchV := [2]int{g.vspadA.takeElems(5 * 5 * 6), g.vspadA.takeElems(5 * 5 * 6)}
+	tmpV := g.vspadA.takeElems(28 * 6) // widest sigmoid batch: one C1 row
+	biasV := g.vspadA.takeElems(120)
+	tiledBiasV := g.vspadA.takeElems(28 * 6)
+
+	// Matrix scratchpad: all weights resident.
+	c1wM := g.mspadA.takeElems(6 * 25)
+	c2wM := g.mspadA.takeElems(16 * 150)
+	fwM := []int{
+		g.mspadA.takeElems(120 * 400),
+		g.mspadA.takeElems(84 * 120),
+		g.mspadA.takeElems(10 * 84),
+	}
+
+	const rSz = 14 // reusable size register for loads (outside cnnRegs)
+
+	b.Comment("LeNet-5 (Table III CNN benchmark)")
+	b.Comment("preload input and all weights")
+	loadImm(&b, rSz, 32*32)
+	loadImm(&b, r.rRow, int32(in0V))
+	b.Opc(core.VLOAD, "input image", asm.R(r.rRow), asm.R(rSz), asm.Imm(int32(inMain)))
+	loadImm(&b, rSz, 6*25)
+	loadImm(&b, r.rW, int32(c1wM))
+	b.Op(core.MLOAD, asm.R(r.rW), asm.R(rSz), asm.Imm(int32(c1wMain)))
+	loadImm(&b, rSz, 16*150)
+	loadImm(&b, r.rW, int32(c2wM))
+	b.Op(core.MLOAD, asm.R(r.rW), asm.R(rSz), asm.Imm(int32(c2wMain)))
+	fcDims := [3][2]int{{400, 120}, {120, 84}, {84, 10}}
+	for i := range fwM {
+		loadImm(&b, rSz, int32(fcDims[i][0]*fcDims[i][1]))
+		loadImm(&b, r.rW, int32(fwM[i]))
+		b.Op(core.MLOAD, asm.R(r.rW), asm.R(rSz), asm.Imm(int32(fwMain[i])))
+	}
+
+	loadImm(&b, rSz, 6)
+	loadImm(&b, r.rBias, int32(biasV))
+	b.Opc(core.VLOAD, "C1 bias", asm.R(r.rBias), asm.R(rSz), asm.Imm(int32(c1bMain)))
+	emitConv(&b, r, net.Convs[0], in0V, c1V, c1wM, biasV, tiledBiasV, patchV, tmpV)
+	emitPool(&b, r, net.Pools[0], c1V, p1V)
+
+	loadImm(&b, rSz, 16)
+	loadImm(&b, r.rBias, int32(biasV))
+	b.Opc(core.VLOAD, "C2 bias", asm.R(r.rBias), asm.R(rSz), asm.Imm(int32(c2bMain)))
+	emitConv(&b, r, net.Convs[1], p1V, c2V, c2wM, biasV, tiledBiasV, patchV, tmpV)
+	emitPool(&b, r, net.Pools[1], c2V, p2V)
+
+	fcIn := []int{p2V, f1V, f2V}
+	fcOut := []int{f1V, f2V, f3V}
+	for i := range net.FCs {
+		loadImm(&b, rSz, int32(fcDims[i][1]))
+		loadImm(&b, r.rBias, int32(biasV))
+		b.Opc(core.VLOAD, "FC bias", asm.R(r.rBias), asm.R(rSz), asm.Imm(int32(fbMain[i])))
+		emitFC(&b, r, fcDims[i][0], fcDims[i][1], fwM[i], biasV, fcIn[i], fcOut[i], tmpV)
+	}
+
+	loadImm(&b, rSz, 10)
+	b.Opc(core.VSTORE, "store classifier output", asm.R(r.rOut), asm.R(rSz), asm.Imm(int32(outMain)))
+
+	return finish("CNN", &b, g)
+}

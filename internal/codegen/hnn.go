@@ -1,0 +1,93 @@
+package codegen
+
+import (
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/nn"
+	"cambricon/internal/workload"
+)
+
+// GenHNN lowers the Table III Hopfield benchmark (5 patterns of 100 bipolar
+// components): HopfieldIters synchronous relaxation iterations, each one
+// MMV plus a comparison network that realizes
+//
+//	s' = sign(W s), with sign(0) holding the previous state
+//
+// from VGT/VSV/VMV/VAV primitives. Fixed point is exact here (weights are
+// Q8.8 grid points, states are +/-1, and the wide MMV accumulator never
+// saturates), so the final state must match the reference bit for bit.
+func GenHNN(seed uint64) (*Program, error) {
+	patterns, n := nn.HNNBenchmark()
+	net := nn.NewHNN(patterns, n, seed).QuantizeParams()
+	start := net.Corrupt(0, 10)
+	want := append(nn.Vec(nil), start...)
+	for i := 0; i < workload.HopfieldIters; i++ {
+		want = net.Step(want)
+	}
+
+	g := newGen()
+	var b asm.Builder
+
+	wMain := g.data(net.W.Data)
+	sMain := g.data(start)
+	outMain := g.out("final state", n, want, 0)
+
+	wM := g.mspadA.takeElems(n * n)
+	sV := g.vspadA.takeElems(n)
+	preV := g.vspadA.takeElems(n)
+	zeroV := g.vspadA.takeElems(n)
+	oneV := g.vspadA.takeElems(n)
+	gtV := g.vspadA.takeElems(n)
+	ltV := g.vspadA.takeElems(n)
+	maskV := g.vspadA.takeElems(n)
+	signV := g.vspadA.takeElems(n)
+
+	const (
+		rN    = 0 // component count
+		rMat  = 1 // matrix size
+		rS    = 2 // state address
+		rW    = 3 // weight address
+		rPre  = 4
+		rZero = 5
+		rOne  = 6
+		rGt   = 7
+		rLt   = 8
+		rMask = 9
+		rSign = 10
+		rIter = 11
+	)
+
+	b.Comment("Hopfield network: %d patterns, %d components (Table III)", patterns, n)
+	loadImm(&b, rN, int32(n))
+	loadImm(&b, rMat, int32(n*n))
+	loadImm(&b, rW, int32(wM))
+	b.Opc(core.MLOAD, "load Hebbian weight matrix", asm.R(rW), asm.R(rMat), asm.Imm(int32(wMain)))
+	loadImm(&b, rS, int32(sV))
+	b.Opc(core.VLOAD, "load corrupted probe state", asm.R(rS), asm.R(rN), asm.Imm(int32(sMain)))
+	loadImm(&b, rZero, int32(zeroV))
+	emitConstVecImm(&b, rZero, rN, 0)
+	loadImm(&b, rOne, int32(oneV))
+	emitConstVecImm(&b, rOne, rN, 1)
+	loadImm(&b, rPre, int32(preV))
+	loadImm(&b, rGt, int32(gtV))
+	loadImm(&b, rLt, int32(ltV))
+	loadImm(&b, rMask, int32(maskV))
+	loadImm(&b, rSign, int32(signV))
+
+	loadImm(&b, rIter, workload.HopfieldIters)
+	top := b.NewLabel("relax")
+	b.Label(top)
+	b.Opc(core.MMV, "pre = W s", asm.R(rPre), asm.R(rN), asm.R(rW), asm.R(rS), asm.R(rN))
+	b.Opc(core.VGT, "gt = pre > 0", asm.R(rGt), asm.R(rN), asm.R(rPre), asm.R(rZero))
+	b.Opc(core.VGT, "lt = pre < 0", asm.R(rLt), asm.R(rN), asm.R(rZero), asm.R(rPre))
+	b.Opc(core.VSV, "mask = 1 - gt", asm.R(rMask), asm.R(rN), asm.R(rOne), asm.R(rGt))
+	b.Opc(core.VSV, "mask -= lt (1 only where pre == 0)", asm.R(rMask), asm.R(rN), asm.R(rMask), asm.R(rLt))
+	b.Opc(core.VMV, "hold = mask .* s", asm.R(rMask), asm.R(rN), asm.R(rMask), asm.R(rS))
+	b.Opc(core.VSV, "sign = gt - lt", asm.R(rSign), asm.R(rN), asm.R(rGt), asm.R(rLt))
+	b.Opc(core.VAV, "s = sign + hold", asm.R(rS), asm.R(rN), asm.R(rSign), asm.R(rMask))
+	b.Opc(core.SADD, "iteration counter", asm.R(rIter), asm.R(rIter), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(top), asm.R(rIter))
+
+	b.Opc(core.VSTORE, "store relaxed state", asm.R(rS), asm.R(rN), asm.Imm(int32(outMain)))
+	return finish("HNN", &b, g)
+}

@@ -1,0 +1,193 @@
+package codegen
+
+import (
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/nn"
+)
+
+// logEta is the §VI training-phase learning rate.
+const logEta = 0.25
+
+// LogisticBatch and LogisticDim size the Section VI extension example.
+const (
+	LogisticBatch = 32
+	LogisticDim   = 16
+)
+
+// GenLogistic lowers the Section VI logistic-regression extension: a single
+// prediction via the dot-product instruction plus scalar transcendentals,
+// and a batched prediction that computes n inputs in parallel with one MMV
+// (the batch matrix times the parameter vector) followed by the vector
+// sigmoid chain — exactly the decomposition the paper sketches.
+func GenLogistic(seed uint64) (*Program, error) {
+	rng := nn.NewRNG(seed)
+	theta := nn.Quantize(rng.FillVec(LogisticDim, -0.5, 0.5))
+	batch := make([]nn.Vec, LogisticBatch)
+	flat := make(nn.Vec, 0, LogisticBatch*LogisticDim)
+	for i := range batch {
+		batch[i] = nn.Quantize(rng.FillVec(LogisticDim, -1, 1))
+		flat = append(flat, batch[i]...)
+	}
+	wantBatch := make([]float64, LogisticBatch)
+	for i, x := range batch {
+		wantBatch[i] = nn.Sigmoid(nn.Dot(theta, x))
+	}
+	wantOne := []float64{wantBatch[0]}
+
+	g := newGen()
+	var b asm.Builder
+
+	thetaMain := g.data(theta)
+	xMain := g.data(flat)
+	oneOut := g.out("single prediction", 1, wantOne, 0.02)
+	batchOut := g.out("batch predictions", LogisticBatch, wantBatch, 0.02)
+
+	thetaV := g.vspadA.takeElems(LogisticDim)
+	x0V := g.vspadA.takeElems(LogisticDim)
+	yV := g.vspadA.takeElems(LogisticBatch)
+	tmpV := g.vspadA.takeElems(LogisticBatch)
+	xM := g.mspadA.takeElems(LogisticBatch * LogisticDim)
+
+	const (
+		rDim   = 0
+		rBatch = 1
+		rMat   = 2
+		rTheta = 3
+		rX0    = 4
+		rXM    = 5
+		rY     = 6
+		rTmp   = 7
+		rAcc   = 8 // scalar accumulator
+		rExp   = 9
+		rDen   = 10
+	)
+
+	b.Comment("logistic regression (Section VI extension)")
+	loadImm(&b, rDim, LogisticDim)
+	loadImm(&b, rBatch, LogisticBatch)
+	loadImm(&b, rMat, LogisticBatch*LogisticDim)
+	loadImm(&b, rTheta, int32(thetaV))
+	b.Opc(core.VLOAD, "load parameters theta", asm.R(rTheta), asm.R(rDim), asm.Imm(int32(thetaMain)))
+
+	b.Comment("prediction phase, single input: dot product + scalar sigmoid")
+	loadImm(&b, rX0, int32(x0V))
+	b.Opc(core.VLOAD, "load input x0", asm.R(rX0), asm.R(rDim), asm.Imm(int32(xMain)))
+	b.Opc(core.VDOT, "a = theta . x0", asm.R(rAcc), asm.R(rDim), asm.R(rTheta), asm.R(rX0))
+	b.Opc(core.SEXP, "e = exp(a)", asm.R(rExp), asm.R(rAcc))
+	b.Opc(core.SADD, "d = 1 + e", asm.R(rDen), asm.R(rExp), asm.Imm(fix(1)))
+	// Scalar division on the GPR file is integer division; produce the
+	// Q8.8 quotient by pre-scaling the numerator by 2^8.
+	b.Opc(core.SMUL, "numerator << 8", asm.R(rExp), asm.R(rExp), asm.Imm(256))
+	b.Opc(core.SDIV, "y0 = e/(1+e) in Q8.8", asm.R(rAcc), asm.R(rExp), asm.R(rDen))
+	b.Opc(core.SSTORE, "store single prediction", asm.R(rAcc), asm.Imm(int32(oneOut)))
+
+	b.Comment("prediction phase, batch of %d inputs: one MMV", LogisticBatch)
+	loadImm(&b, rXM, int32(xM))
+	b.Opc(core.MLOAD, "load input batch as matrix", asm.R(rXM), asm.R(rMat), asm.Imm(int32(xMain)))
+	loadImm(&b, rY, int32(yV))
+	loadImm(&b, rTmp, int32(tmpV))
+	b.Opc(core.MMV, "a = X theta", asm.R(rY), asm.R(rBatch), asm.R(rXM), asm.R(rTheta), asm.R(rDim))
+	emitSigmoid(&b, rY, rY, sigmoidRegs{size: rBatch, tmp: rTmp})
+	b.Opc(core.VSTORE, "store batch predictions", asm.R(rY), asm.R(rBatch), asm.Imm(int32(batchOut)))
+
+	return finish("Logistic", &b, g)
+}
+
+// GenLogisticTraining lowers the Section VI training phase: "a gradient
+// descent algorithm similar to the training phase of MLP". One batch
+// gradient step over LogisticBatch samples:
+//
+//	p     = sigmoid(X theta)          one MMV + the sigmoid chain
+//	e     = p - y                     VSV
+//	grad  = X^T e                     one VMM (no transpose in memory)
+//	theta = theta - eta/n * grad      constant vector + VMV + VSV
+//
+// The updated parameters are verified against the float64 reference.
+func GenLogisticTraining(seed uint64) (*Program, error) {
+	rng := nn.NewRNG(seed)
+	theta := nn.Quantize(rng.FillVec(LogisticDim, -0.5, 0.5))
+	batch := make([]nn.Vec, LogisticBatch)
+	flat := make(nn.Vec, 0, LogisticBatch*LogisticDim)
+	labels := make(nn.Vec, LogisticBatch)
+	for i := range batch {
+		batch[i] = nn.Quantize(rng.FillVec(LogisticDim, -1, 1))
+		flat = append(flat, batch[i]...)
+		if rng.Float64() < 0.5 {
+			labels[i] = 1
+		}
+	}
+
+	// Float reference for one gradient step on quantized parameters.
+	wantTheta := append(nn.Vec(nil), theta...)
+	probs := make(nn.Vec, LogisticBatch)
+	for i, x := range batch {
+		probs[i] = nn.Sigmoid(nn.Dot(wantTheta, x))
+	}
+	scale := logEta / LogisticBatch
+	for j := 0; j < LogisticDim; j++ {
+		var grad float64
+		for i, x := range batch {
+			grad += (probs[i] - labels[i]) * x[j]
+		}
+		wantTheta[j] -= scale * grad
+	}
+
+	g := newGen()
+	var b asm.Builder
+
+	thetaMain := g.data(theta)
+	xMain := g.data(flat)
+	yMain := g.data(labels)
+	thetaOut := g.out("updated theta", LogisticDim, wantTheta, 0.03)
+
+	thetaV := g.vspadA.takeElems(LogisticDim)
+	yV := g.vspadA.takeElems(LogisticBatch)
+	pV := g.vspadA.takeElems(LogisticBatch)
+	eV := g.vspadA.takeElems(LogisticBatch)
+	gradV := g.vspadA.takeElems(LogisticDim)
+	constV := g.vspadA.takeElems(LogisticDim)
+	tmpV := g.vspadA.takeElems(LogisticBatch)
+	xM := g.mspadA.takeElems(LogisticBatch * LogisticDim)
+
+	const (
+		rDim   = 0
+		rBatch = 1
+		rMat   = 2
+		rTheta = 3
+		rY     = 4
+		rP     = 5
+		rE     = 6
+		rGrad  = 7
+		rConst = 8
+		rTmp   = 9
+		rXM    = 10
+	)
+
+	b.Comment("logistic regression training phase (Section VI): one batch gradient step")
+	loadImm(&b, rDim, LogisticDim)
+	loadImm(&b, rBatch, LogisticBatch)
+	loadImm(&b, rMat, LogisticBatch*LogisticDim)
+	loadImm(&b, rTheta, int32(thetaV))
+	b.Opc(core.VLOAD, "load theta", asm.R(rTheta), asm.R(rDim), asm.Imm(int32(thetaMain)))
+	loadImm(&b, rY, int32(yV))
+	b.Opc(core.VLOAD, "load labels", asm.R(rY), asm.R(rBatch), asm.Imm(int32(yMain)))
+	loadImm(&b, rXM, int32(xM))
+	b.Opc(core.MLOAD, "load sample batch X", asm.R(rXM), asm.R(rMat), asm.Imm(int32(xMain)))
+
+	loadImm(&b, rP, int32(pV))
+	loadImm(&b, rTmp, int32(tmpV))
+	b.Opc(core.MMV, "p = X theta", asm.R(rP), asm.R(rBatch), asm.R(rXM), asm.R(rTheta), asm.R(rDim))
+	emitSigmoid(&b, rP, rP, sigmoidRegs{size: rBatch, tmp: rTmp})
+	loadImm(&b, rE, int32(eV))
+	b.Opc(core.VSV, "e = p - y", asm.R(rE), asm.R(rBatch), asm.R(rP), asm.R(rY))
+	loadImm(&b, rGrad, int32(gradV))
+	b.Opc(core.VMM, "grad = X^T e", asm.R(rGrad), asm.R(rDim), asm.R(rXM), asm.R(rE), asm.R(rBatch))
+	loadImm(&b, rConst, int32(constV))
+	emitConstVecImm(&b, rConst, rDim, logEta/LogisticBatch)
+	b.Opc(core.VMV, "scale gradient", asm.R(rGrad), asm.R(rDim), asm.R(rGrad), asm.R(rConst))
+	b.Opc(core.VSV, "theta -= eta/n grad", asm.R(rTheta), asm.R(rDim), asm.R(rTheta), asm.R(rGrad))
+	b.Opc(core.VSTORE, "store updated theta", asm.R(rTheta), asm.R(rDim), asm.Imm(int32(thetaOut)))
+
+	return finish("Logistic-Training", &b, g)
+}

@@ -1,0 +1,173 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+	"cambricon/internal/nn"
+	"cambricon/internal/workload"
+)
+
+// LSTMTolerance bounds the fixed-point drift of the gated cell state over
+// workload.SeqLen timesteps (tanh doubles the sigmoid-chain error).
+const LSTMTolerance = 0.15
+
+// emitTanh lowers tanh(a) = 2*sigmoid(2a) - 1 using the sigmoid chain:
+// the accelerator has no tanh instruction, but the identity needs only VAV
+// and VAS around the published VEXP/VAS/VDV sequence. dst may equal src.
+func emitTanh(b *asm.Builder, dst, src, size, tmp uint8) {
+	b.Opc(core.VAV, "2a", asm.R(dst), asm.R(size), asm.R(src), asm.R(src))
+	emitSigmoid(b, dst, dst, sigmoidRegs{size: size, tmp: tmp})
+	b.Opc(core.VAV, "2*sigmoid(2a)", asm.R(dst), asm.R(size), asm.R(dst), asm.R(dst))
+	b.Opc(core.VAS, "- 1", asm.R(dst), asm.R(size), asm.R(dst), asm.Imm(fix(-1)))
+}
+
+// GenLSTM lowers the Table III LSTM benchmark (26-93-61 over SeqLen steps):
+// four gate matrix pairs per step, element-wise gate combination (VMV), a
+// tanh lowered through the sigmoid identity, and the output projection.
+func GenLSTM(seed uint64) (*Program, error) {
+	in, hid, out := 26, 93, 61
+	net := nn.NewLSTM(in, hid, out, seed).QuantizeParams()
+	rng := nn.NewRNG(seed + 1)
+	xs := make([]nn.Vec, workload.SeqLen)
+	flat := make(nn.Vec, 0, workload.SeqLen*in)
+	for t := range xs {
+		xs[t] = nn.Quantize(rng.FillVec(in, 0, 1))
+		flat = append(flat, xs[t]...)
+	}
+	ys := net.Forward(xs)
+	wantAll := make([]float64, 0, workload.SeqLen*out)
+	for _, y := range ys {
+		wantAll = append(wantAll, y...)
+	}
+
+	g := newGen()
+	var b asm.Builder
+
+	xMain := g.data(flat)
+	var wxMain, whMain, bMain [4]int
+	for gi := 0; gi < 4; gi++ {
+		wxMain[gi] = g.data(net.Wx[gi].Data)
+		whMain[gi] = g.data(net.Wh[gi].Data)
+		bMain[gi] = g.data(net.B[gi])
+	}
+	whyMain := g.data(net.Why.Data)
+	byMain := g.data(net.By)
+	yMain := g.out("per-step outputs", workload.SeqLen*out, wantAll, LSTMTolerance)
+
+	var wxM, whM [4]int
+	for gi := 0; gi < 4; gi++ {
+		wxM[gi] = g.mspadA.takeElems(hid * in)
+		whM[gi] = g.mspadA.takeElems(hid * hid)
+	}
+	whyM := g.mspadA.takeElems(out * hid)
+
+	xV := g.vspadA.takeElems(in)
+	hV := g.vspadA.takeElems(hid)
+	cV := g.vspadA.takeElems(hid)
+	gateV := [4]int{
+		g.vspadA.takeElems(hid), g.vspadA.takeElems(hid),
+		g.vspadA.takeElems(hid), g.vspadA.takeElems(hid),
+	}
+	bV := [4]int{
+		g.vspadA.takeElems(hid), g.vspadA.takeElems(hid),
+		g.vspadA.takeElems(hid), g.vspadA.takeElems(hid),
+	}
+	t1V := g.vspadA.takeElems(hid)
+	t2V := g.vspadA.takeElems(hid)
+	tmpV := g.vspadA.takeElems(hid)
+	thV := g.vspadA.takeElems(hid)
+	byV := g.vspadA.takeElems(out)
+	yV := g.vspadA.takeElems(out)
+
+	// Registers: sizes, region pointers and loop state.
+	next := uint8(0)
+	reg := func() uint8 { r := next; next++; return r }
+	rIn, rHid, rOut, rSz := reg(), reg(), reg(), reg()
+	rX, rH, rC := reg(), reg(), reg()
+	var rGate, rB, rWx, rWh [4]uint8
+	for gi := 0; gi < 4; gi++ {
+		rGate[gi], rB[gi], rWx[gi], rWh[gi] = reg(), reg(), reg(), reg()
+	}
+	rWhy, rBy, rY := reg(), reg(), reg()
+	rT1, rT2, rTmp, rTh := reg(), reg(), reg(), reg()
+	rXCur, rYCur, rSteps := reg(), reg(), reg()
+
+	gateNames := [4]string{"input", "forget", "output", "candidate"}
+
+	b.Comment("LSTM %d-%d-%d over %d timesteps (Table III)", in, hid, out, workload.SeqLen)
+	loadImm(&b, rIn, int32(in))
+	loadImm(&b, rHid, int32(hid))
+	loadImm(&b, rOut, int32(out))
+	for gi := 0; gi < 4; gi++ {
+		loadImm(&b, rWx[gi], int32(wxM[gi]))
+		loadImm(&b, rSz, int32(hid*in))
+		b.Opc(core.MLOAD, fmt.Sprintf("load Wx[%s]", gateNames[gi]),
+			asm.R(rWx[gi]), asm.R(rSz), asm.Imm(int32(wxMain[gi])))
+		loadImm(&b, rWh[gi], int32(whM[gi]))
+		loadImm(&b, rSz, int32(hid*hid))
+		b.Opc(core.MLOAD, fmt.Sprintf("load Wh[%s]", gateNames[gi]),
+			asm.R(rWh[gi]), asm.R(rSz), asm.Imm(int32(whMain[gi])))
+		loadImm(&b, rB[gi], int32(bV[gi]))
+		b.Opc(core.VLOAD, fmt.Sprintf("load b[%s]", gateNames[gi]),
+			asm.R(rB[gi]), asm.R(rHid), asm.Imm(int32(bMain[gi])))
+		loadImm(&b, rGate[gi], int32(gateV[gi]))
+	}
+	loadImm(&b, rWhy, int32(whyM))
+	loadImm(&b, rSz, int32(out*hid))
+	b.Opc(core.MLOAD, "load Why", asm.R(rWhy), asm.R(rSz), asm.Imm(int32(whyMain)))
+	loadImm(&b, rBy, int32(byV))
+	b.Opc(core.VLOAD, "load by", asm.R(rBy), asm.R(rOut), asm.Imm(int32(byMain)))
+
+	loadImm(&b, rX, int32(xV))
+	loadImm(&b, rH, int32(hV))
+	loadImm(&b, rC, int32(cV))
+	loadImm(&b, rT1, int32(t1V))
+	loadImm(&b, rT2, int32(t2V))
+	loadImm(&b, rTmp, int32(tmpV))
+	loadImm(&b, rTh, int32(thV))
+	loadImm(&b, rY, int32(yV))
+	b.Comment("h_0 = c_0 = 0")
+	b.Op(core.VSV, asm.R(rH), asm.R(rHid), asm.R(rH), asm.R(rH))
+	b.Op(core.VSV, asm.R(rC), asm.R(rHid), asm.R(rC), asm.R(rC))
+
+	loadImm(&b, rXCur, int32(xMain))
+	loadImm(&b, rYCur, int32(yMain))
+	loadImm(&b, rSteps, workload.SeqLen)
+
+	top := b.NewLabel("step")
+	b.Label(top)
+	b.Opc(core.VLOAD, "load x_t", asm.R(rX), asm.R(rIn), asm.R(rXCur), asm.Imm(0))
+	b.Op(core.SADD, asm.R(rXCur), asm.R(rXCur), asm.Imm(int32(fixed.Bytes(in))))
+	for gi := 0; gi < 4; gi++ {
+		b.Comment("%s gate", gateNames[gi])
+		b.Op(core.MMV, asm.R(rT1), asm.R(rHid), asm.R(rWx[gi]), asm.R(rX), asm.R(rIn))
+		b.Op(core.MMV, asm.R(rT2), asm.R(rHid), asm.R(rWh[gi]), asm.R(rH), asm.R(rHid))
+		b.Op(core.VAV, asm.R(rT1), asm.R(rHid), asm.R(rT1), asm.R(rT2))
+		b.Op(core.VAV, asm.R(rT1), asm.R(rHid), asm.R(rT1), asm.R(rB[gi]))
+		if gi == 3 {
+			emitTanh(&b, rGate[gi], rT1, rHid, rTmp)
+		} else {
+			emitSigmoid(&b, rGate[gi], rT1, sigmoidRegs{size: rHid, tmp: rTmp})
+		}
+	}
+	b.Comment("cell update c = f .* c + i .* g")
+	b.Op(core.VMV, asm.R(rT1), asm.R(rHid), asm.R(rGate[1]), asm.R(rC))
+	b.Op(core.VMV, asm.R(rT2), asm.R(rHid), asm.R(rGate[0]), asm.R(rGate[3]))
+	b.Op(core.VAV, asm.R(rC), asm.R(rHid), asm.R(rT1), asm.R(rT2))
+	b.Comment("hidden h = o .* tanh(c)")
+	emitTanh(&b, rTh, rC, rHid, rTmp)
+	b.Op(core.VMV, asm.R(rH), asm.R(rHid), asm.R(rGate[2]), asm.R(rTh))
+	b.Comment("output y = sigmoid(Why h + by)")
+	b.Op(core.MMV, asm.R(rY), asm.R(rOut), asm.R(rWhy), asm.R(rH), asm.R(rHid))
+	b.Op(core.VAV, asm.R(rY), asm.R(rOut), asm.R(rY), asm.R(rBy))
+	emitSigmoid(&b, rY, rY, sigmoidRegs{size: rOut, tmp: rTmp})
+	b.Opc(core.VSTORE, "store y_t", asm.R(rY), asm.R(rOut), asm.R(rYCur), asm.Imm(0))
+	b.Op(core.SADD, asm.R(rYCur), asm.R(rYCur), asm.Imm(int32(fixed.Bytes(out))))
+	b.Op(core.SADD, asm.R(rSteps), asm.R(rSteps), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(top), asm.R(rSteps))
+
+	return finish("LSTM", &b, g)
+}

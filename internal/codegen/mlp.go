@@ -1,0 +1,93 @@
+package codegen
+
+import (
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/nn"
+)
+
+// MLPTolerance bounds the fixed-point error of a three-layer sigmoid
+// network against the float64 reference.
+const MLPTolerance = 0.06
+
+// GenMLP lowers the Table III MLP benchmark (64-150-150-14 anchorperson
+// detector) to Cambricon assembly: per layer one MLOAD/VLOAD pair, the MMV,
+// the bias VAV and the published three-instruction sigmoid — the Fig. 7 MLP
+// fragment repeated per layer.
+func GenMLP(seed uint64) (*Program, error) {
+	net := nn.NewMLP(nn.MLPBenchmarkSizes(), seed).QuantizeParams()
+	rng := nn.NewRNG(seed + 1)
+	x := nn.Quantize(rng.FillVec(net.Sizes[0], 0, 1))
+	want := net.Forward(x)
+
+	g := newGen()
+	var b asm.Builder
+
+	// Main-memory image.
+	inMain := g.data(x)
+	wMain := make([]int, net.Layers())
+	bMain := make([]int, net.Layers())
+	for l := 0; l < net.Layers(); l++ {
+		wMain[l] = g.data(net.W[l].Data)
+		bMain[l] = g.data(net.B[l])
+	}
+	outMain := g.out("output", len(want), want, MLPTolerance)
+
+	// Scratchpad layout: double-buffered activations plus bias and two
+	// temporaries sized for the widest layer.
+	maxW := 0
+	for _, s := range net.Sizes {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	actA := g.vspadA.takeElems(maxW)
+	actB := g.vspadA.takeElems(maxW)
+	biasV := g.vspadA.takeElems(maxW)
+	tmpV := g.vspadA.takeElems(maxW)
+	wSpad := make([]int, net.Layers())
+	for l := 0; l < net.Layers(); l++ {
+		wSpad[l] = g.mspadA.takeElems(net.Sizes[l] * net.Sizes[l+1])
+	}
+
+	// Register conventions (Fig. 7 style).
+	const (
+		rInSize  = 0 // input size
+		rOutSize = 1 // output size
+		rMatSize = 2 // matrix size
+		rX       = 3 // input activations (vspad)
+		rW       = 4 // weights (mspad)
+		rB       = 5 // bias (vspad)
+		rY       = 6 // output activations (vspad)
+		rTmp     = 7 // pre-activation temp (vspad)
+	)
+
+	b.Comment("MLP %v feedforward (Table III)", net.Sizes)
+	loadImm(&b, rInSize, int32(net.Sizes[0]))
+	loadImm(&b, rX, int32(actA))
+	b.Opc(core.VLOAD, "load input neurons", asm.R(rX), asm.R(rInSize), asm.Imm(int32(inMain)))
+
+	cur, next := actA, actB
+	for l := 0; l < net.Layers(); l++ {
+		in, out := net.Sizes[l], net.Sizes[l+1]
+		b.Comment("layer %d: %d -> %d", l+1, in, out)
+		loadImm(&b, rInSize, int32(in))
+		loadImm(&b, rOutSize, int32(out))
+		loadImm(&b, rMatSize, int32(in*out))
+		loadImm(&b, rW, int32(wSpad[l]))
+		b.Opc(core.MLOAD, "load weight matrix", asm.R(rW), asm.R(rMatSize), asm.Imm(int32(wMain[l])))
+		loadImm(&b, rB, int32(biasV))
+		b.Opc(core.VLOAD, "load bias vector", asm.R(rB), asm.R(rOutSize), asm.Imm(int32(bMain[l])))
+		loadImm(&b, rX, int32(cur))
+		loadImm(&b, rY, int32(next))
+		loadImm(&b, rTmp, int32(tmpV))
+		b.Opc(core.MMV, "Wx", asm.R(rY), asm.R(rOutSize), asm.R(rW), asm.R(rX), asm.R(rInSize))
+		b.Opc(core.VAV, "Wx + b", asm.R(rY), asm.R(rOutSize), asm.R(rY), asm.R(rB))
+		emitSigmoid(&b, rY, rY, sigmoidRegs{size: rOutSize, tmp: rTmp})
+		cur, next = next, cur
+	}
+	b.Opc(core.VSTORE, "store output neurons",
+		asm.R(rY), asm.R(rOutSize), asm.Imm(int32(outMain)))
+
+	return finish("MLP", &b, g)
+}

@@ -1,0 +1,62 @@
+package codegen
+
+import "fmt"
+
+// Generator builds one benchmark program from a seed.
+type Generator func(seed uint64) (*Program, error)
+
+// Generators maps Table III benchmark names to their generators, in the
+// paper's order (matching internal/workload.Names).
+func Generators() []struct {
+	Name string
+	Gen  Generator
+} {
+	return []struct {
+		Name string
+		Gen  Generator
+	}{
+		{"MLP", GenMLP},
+		{"CNN", GenCNN},
+		{"RNN", GenRNN},
+		{"LSTM", GenLSTM},
+		{"Autoencoder", func(s uint64) (*Program, error) { return GenAutoencoder(false, s) }},
+		{"Sparse Autoencoder", func(s uint64) (*Program, error) { return GenAutoencoder(true, s) }},
+		{"BM", GenBM},
+		{"RBM", GenRBM},
+		{"SOM", GenSOM},
+		{"HNN", GenHNN},
+	}
+}
+
+// All generates the ten Table III benchmarks with the given seed.
+func All(seed uint64) ([]*Program, error) {
+	gens := Generators()
+	out := make([]*Program, 0, len(gens))
+	for _, g := range gens {
+		p, err := g.Gen(seed)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: %s: %w", g.Name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ByName generates one named benchmark.
+func ByName(name string, seed uint64) (*Program, error) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g.Gen(seed)
+		}
+	}
+	if name == "Logistic" {
+		return GenLogistic(seed)
+	}
+	if name == "Logistic-Training" {
+		return GenLogisticTraining(seed)
+	}
+	if name == "RBM-CD" {
+		return GenRBMCD(seed)
+	}
+	return nil, fmt.Errorf("codegen: unknown benchmark %q", name)
+}

@@ -1,0 +1,131 @@
+package codegen
+
+import (
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+	"cambricon/internal/nn"
+	"cambricon/internal/workload"
+)
+
+// RNNTolerance bounds the fixed-point drift of the recurrent state over
+// workload.SeqLen timesteps.
+const RNNTolerance = 0.12
+
+// GenRNN lowers the Table III recurrent benchmark (26-93-61 Elman network
+// over a SeqLen-step sequence). The recurrent term h_{t-1} feeding back
+// into the same layer is what DaDianNao's feedforward layer instructions
+// cannot express (Section V-B1); on Cambricon it is simply a second MMV per
+// step.
+func GenRNN(seed uint64) (*Program, error) {
+	in, hid, out := nn.RNNBenchmark()
+	net := nn.NewRNN(in, hid, out, seed).QuantizeParams()
+	rng := nn.NewRNG(seed + 1)
+	xs := make([]nn.Vec, workload.SeqLen)
+	flat := make(nn.Vec, 0, workload.SeqLen*in)
+	for t := range xs {
+		xs[t] = nn.Quantize(rng.FillVec(in, 0, 1))
+		flat = append(flat, xs[t]...)
+	}
+	ys := net.Forward(xs)
+	wantAll := make([]float64, 0, workload.SeqLen*out)
+	for _, y := range ys {
+		wantAll = append(wantAll, y...)
+	}
+
+	g := newGen()
+	var b asm.Builder
+
+	xMain := g.data(flat)
+	wxhMain := g.data(net.Wxh.Data)
+	whhMain := g.data(net.Whh.Data)
+	whyMain := g.data(net.Why.Data)
+	bhMain := g.data(net.Bh)
+	byMain := g.data(net.By)
+	yMain := g.out("per-step outputs", workload.SeqLen*out, wantAll, RNNTolerance)
+
+	wxhM := g.mspadA.takeElems(hid * in)
+	whhM := g.mspadA.takeElems(hid * hid)
+	whyM := g.mspadA.takeElems(out * hid)
+	xV := g.vspadA.takeElems(in)
+	hV := g.vspadA.takeElems(hid)
+	t1V := g.vspadA.takeElems(hid)
+	t2V := g.vspadA.takeElems(hid)
+	bhV := g.vspadA.takeElems(hid)
+	byV := g.vspadA.takeElems(out)
+	yV := g.vspadA.takeElems(out)
+	tmpV := g.vspadA.takeElems(hid)
+
+	const (
+		rIn    = 0
+		rHid   = 1
+		rOut   = 2
+		rSz    = 3 // reusable size scratch
+		rX     = 4
+		rH     = 5
+		rT1    = 6
+		rT2    = 7
+		rBh    = 8
+		rBy    = 9
+		rY     = 10
+		rTmp   = 11
+		rWxh   = 12
+		rWhh   = 13
+		rWhy   = 14
+		rXCur  = 15 // main-memory input cursor
+		rYCur  = 16 // main-memory output cursor
+		rSteps = 17
+	)
+
+	b.Comment("RNN %d-%d-%d over %d timesteps (Table III)", in, hid, out, workload.SeqLen)
+	loadImm(&b, rIn, int32(in))
+	loadImm(&b, rHid, int32(hid))
+	loadImm(&b, rOut, int32(out))
+
+	loadImm(&b, rWxh, int32(wxhM))
+	loadImm(&b, rSz, int32(hid*in))
+	b.Opc(core.MLOAD, "load Wxh", asm.R(rWxh), asm.R(rSz), asm.Imm(int32(wxhMain)))
+	loadImm(&b, rWhh, int32(whhM))
+	loadImm(&b, rSz, int32(hid*hid))
+	b.Opc(core.MLOAD, "load Whh", asm.R(rWhh), asm.R(rSz), asm.Imm(int32(whhMain)))
+	loadImm(&b, rWhy, int32(whyM))
+	loadImm(&b, rSz, int32(out*hid))
+	b.Opc(core.MLOAD, "load Why", asm.R(rWhy), asm.R(rSz), asm.Imm(int32(whyMain)))
+
+	loadImm(&b, rBh, int32(bhV))
+	b.Opc(core.VLOAD, "load hidden bias", asm.R(rBh), asm.R(rHid), asm.Imm(int32(bhMain)))
+	loadImm(&b, rBy, int32(byV))
+	b.Opc(core.VLOAD, "load output bias", asm.R(rBy), asm.R(rOut), asm.Imm(int32(byMain)))
+
+	loadImm(&b, rX, int32(xV))
+	loadImm(&b, rH, int32(hV))
+	loadImm(&b, rT1, int32(t1V))
+	loadImm(&b, rT2, int32(t2V))
+	loadImm(&b, rY, int32(yV))
+	loadImm(&b, rTmp, int32(tmpV))
+	b.Comment("h_0 = 0")
+	b.Op(core.VSV, asm.R(rH), asm.R(rHid), asm.R(rH), asm.R(rH))
+
+	loadImm(&b, rXCur, int32(xMain))
+	loadImm(&b, rYCur, int32(yMain))
+	loadImm(&b, rSteps, workload.SeqLen)
+
+	top := b.NewLabel("step")
+	b.Label(top)
+	b.Opc(core.VLOAD, "load x_t", asm.R(rX), asm.R(rIn), asm.R(rXCur), asm.Imm(0))
+	b.Op(core.SADD, asm.R(rXCur), asm.R(rXCur), asm.Imm(int32(fixed.Bytes(in))))
+	b.Opc(core.MMV, "Wxh x_t", asm.R(rT1), asm.R(rHid), asm.R(rWxh), asm.R(rX), asm.R(rIn))
+	b.Opc(core.MMV, "Whh h_{t-1}", asm.R(rT2), asm.R(rHid), asm.R(rWhh), asm.R(rH), asm.R(rHid))
+	b.Opc(core.VAV, "sum recurrent terms", asm.R(rT1), asm.R(rHid), asm.R(rT1), asm.R(rT2))
+	b.Opc(core.VAV, "add bias", asm.R(rT1), asm.R(rHid), asm.R(rT1), asm.R(rBh))
+	emitSigmoid(&b, rH, rT1, sigmoidRegs{size: rHid, tmp: rTmp})
+	b.Opc(core.MMV, "Why h_t", asm.R(rY), asm.R(rOut), asm.R(rWhy), asm.R(rH), asm.R(rHid))
+	b.Opc(core.VAV, "add output bias", asm.R(rY), asm.R(rOut), asm.R(rY), asm.R(rBy))
+	emitSigmoid(&b, rY, rY, sigmoidRegs{size: rOut, tmp: rTmp})
+	b.Opc(core.VSTORE, "store y_t", asm.R(rY), asm.R(rOut), asm.R(rYCur), asm.Imm(0))
+	b.Op(core.SADD, asm.R(rYCur), asm.R(rYCur), asm.Imm(int32(fixed.Bytes(out))))
+	b.Op(core.SADD, asm.R(rSteps), asm.R(rSteps), asm.Imm(-1))
+	b.Op(core.CB, asm.Lbl(top), asm.R(rSteps))
+
+	return finish("RNN", &b, g)
+}

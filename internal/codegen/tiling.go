@@ -1,0 +1,121 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+	"cambricon/internal/nn"
+)
+
+// Section II-B: "the only notable restriction is that the vector/matrix
+// operands in the same instruction cannot exceed the capacity of scratchpad
+// memory. In case they do exceed, the compiler will decompose long
+// vectors/matrices into short pieces/blocks and generate multiple
+// instructions to process them."
+//
+// GenTiledElementwise is that compiler transformation for two-input
+// element-wise vector operations: operands of any length live in main
+// memory and stream through the 64 KB vector scratchpad in tiles —
+// a VLOAD/VLOAD/op/VSTORE loop plus a remainder tile. The BM generator
+// applies the matrix version of the same idea by hand (lateral-matrix
+// halves); this is the reusable vector form.
+func GenTiledElementwise(op core.Opcode, n, tile int, seed uint64) (*Program, error) {
+	switch op {
+	case core.VAV, core.VSV, core.VMV, core.VGTM:
+	default:
+		return nil, fmt.Errorf("codegen: GenTiledElementwise does not support %v", op)
+	}
+	if n <= 0 || tile <= 0 {
+		return nil, fmt.Errorf("codegen: invalid tiling %d/%d", n, tile)
+	}
+	if fixed.Bytes(3*tile) > core.VectorSpadBytes {
+		return nil, fmt.Errorf("codegen: tile of %d elements does not fit the vector scratchpad", tile)
+	}
+
+	rng := nn.NewRNG(seed)
+	a := nn.Quantize(rng.FillVec(n, -1, 1))
+	bv := nn.Quantize(rng.FillVec(n, -1, 1))
+	want := make([]float64, n)
+	tol := 0.0
+	for i := range want {
+		switch op {
+		case core.VAV:
+			want[i] = a[i] + bv[i]
+		case core.VSV:
+			want[i] = a[i] - bv[i]
+		case core.VMV:
+			want[i] = a[i] * bv[i]
+			tol = 1.0 / 512
+		case core.VGTM:
+			if a[i] > bv[i] {
+				want[i] = a[i]
+			} else {
+				want[i] = bv[i]
+			}
+		}
+	}
+
+	g := newGen()
+	var b asm.Builder
+
+	aMain := g.data(a)
+	bMain := g.data(bv)
+	outMain := g.out("tiled result", n, want, tol)
+
+	aV := g.vspadA.takeElems(tile)
+	bV := g.vspadA.takeElems(tile)
+	cV := g.vspadA.takeElems(tile)
+
+	full := n / tile
+	rem := n % tile
+	tileBytes := int32(fixed.Bytes(tile))
+
+	const (
+		rTile = 0 // current tile size
+		rA    = 1
+		rB    = 2
+		rC    = 3
+		rMa   = 4 // main-memory cursors
+		rMb   = 5
+		rMo   = 6
+		rCnt  = 7
+	)
+
+	b.Comment("tiled %v over %d elements (%d-element tiles: operands exceed the 64KB scratchpad)",
+		op, n, tile)
+	loadImm(&b, rA, int32(aV))
+	loadImm(&b, rB, int32(bV))
+	loadImm(&b, rC, int32(cV))
+	loadImm(&b, rMa, int32(aMain))
+	loadImm(&b, rMb, int32(bMain))
+	loadImm(&b, rMo, int32(outMain))
+
+	emitTile := func() {
+		b.Opc(core.VLOAD, "stream tile of a", asm.R(rA), asm.R(rTile), asm.R(rMa), asm.Imm(0))
+		b.Opc(core.VLOAD, "stream tile of b", asm.R(rB), asm.R(rTile), asm.R(rMb), asm.Imm(0))
+		b.Op(op, asm.R(rC), asm.R(rTile), asm.R(rA), asm.R(rB))
+		b.Opc(core.VSTORE, "stream tile out", asm.R(rC), asm.R(rTile), asm.R(rMo), asm.Imm(0))
+		b.Op(core.SADD, asm.R(rMa), asm.R(rMa), asm.Imm(tileBytes))
+		b.Op(core.SADD, asm.R(rMb), asm.R(rMb), asm.Imm(tileBytes))
+		b.Op(core.SADD, asm.R(rMo), asm.R(rMo), asm.Imm(tileBytes))
+	}
+
+	if full > 0 {
+		loadImm(&b, rTile, int32(tile))
+		loadImm(&b, rCnt, int32(full))
+		top := b.NewLabel("tile")
+		b.Label(top)
+		emitTile()
+		b.Op(core.SADD, asm.R(rCnt), asm.R(rCnt), asm.Imm(-1))
+		b.Op(core.CB, asm.Lbl(top), asm.R(rCnt))
+	}
+	if rem > 0 {
+		b.Comment("remainder tile of %d elements", rem)
+		loadImm(&b, rTile, int32(rem))
+		emitTile()
+	}
+
+	return finish(fmt.Sprintf("Tiled-%v", op), &b, g)
+}

@@ -1,0 +1,19 @@
+// Package core defines the Cambricon instruction set architecture, the
+// primary contribution of "Cambricon: An Instruction Set Architecture for
+// Neural Networks" (ISCA 2016).
+//
+// Cambricon is a load-store architecture with:
+//
+//   - 43 instructions, all 64 bits wide (Section V-B1 of the paper);
+//   - 64 32-bit general-purpose scalar registers used for control and
+//     addressing;
+//   - no vector register file: vector and matrix operands live in on-chip
+//     scratchpad memories (64 KB for vectors, 768 KB for matrices) addressed
+//     through GPRs, so operand sizes are variable per instruction;
+//   - four instruction types (Table I): control, data transfer,
+//     computational (matrix/vector/scalar) and logical (vector/scalar).
+//
+// This package is purely architectural: it defines opcodes, operand roles,
+// binary encodings (Figs. 1, 2, 4, 6) and validation. The assembler lives in
+// internal/asm and the prototype-accelerator simulator in internal/sim.
+package core

@@ -1,0 +1,161 @@
+package core
+
+import "fmt"
+
+// TailKind describes the final operand of an instruction format.
+type TailKind uint8
+
+const (
+	// TailNone: the instruction has only register operands.
+	TailNone TailKind = iota
+	// TailRegImm: the final operand may be either a GPR or a 32-bit
+	// immediate, selected by the instruction word's immediate flag
+	// (e.g. JUMP's "Reg0/Immed" field in Fig. 1).
+	TailRegImm
+	// TailImm: the final operand is always a 32-bit immediate
+	// (e.g. VLOAD's Src_offset in Fig. 2).
+	TailImm
+)
+
+func (k TailKind) String() string {
+	switch k {
+	case TailNone:
+		return "none"
+	case TailRegImm:
+		return "reg/imm"
+	case TailImm:
+		return "imm"
+	default:
+		return fmt.Sprintf("TailKind(%d)", uint8(k))
+	}
+}
+
+// Format describes the operand layout of an opcode: a fixed number of
+// register operands followed by an optional tail operand.
+type Format struct {
+	Regs int      // number of fixed register operands (0..5)
+	Tail TailKind // kind of the final operand, if any
+}
+
+// Operands returns the total operand count of the format.
+func (f Format) Operands() int {
+	if f.Tail == TailNone {
+		return f.Regs
+	}
+	return f.Regs + 1
+}
+
+// Binary layout of the 64-bit instruction word. All instructions share the
+// same length "for the memory alignment and for the design simplicity of the
+// load/store/decoding logic" (Section II-B).
+//
+//	bits [63:56] opcode (8 bits)
+//	bit  [55]    immediate flag (tail operand is an immediate)
+//	bits [54:49],[48:43],[42:37],[36:31],[30:25]  register fields r0..r4 (6 bits each)
+//	bits [31:0]  32-bit immediate (formats with <=3 register fields only)
+//
+// Register fields and the immediate never coexist past r2: every format with
+// an immediate has at most three fixed register operands plus one optional
+// tail register, exactly as in the published encodings (Figs. 1, 2, 4, 6).
+const (
+	opcodeShift  = 56
+	immFlagShift = 55
+	regFieldBits = 6
+	regFieldMask = (1 << regFieldBits) - 1
+	reg0Shift    = immFlagShift - regFieldBits // 49
+	immMask      = (1 << 32) - 1
+)
+
+// WordBytes is the size of one encoded instruction: all Cambricon
+// instructions are 64-bit.
+const WordBytes = 8
+
+// regShift returns the bit position of register field i.
+func regShift(i int) int { return reg0Shift - i*regFieldBits }
+
+// Encode packs inst into its 64-bit binary form. It returns an error if the
+// instruction fails Validate.
+func Encode(inst Instruction) (uint64, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	w := uint64(inst.Op) << opcodeShift
+	nregs := inst.regCount()
+	for i := 0; i < nregs; i++ {
+		w |= uint64(inst.R[i]&regFieldMask) << regShift(i)
+	}
+	if inst.hasImm() {
+		w |= 1 << immFlagShift
+		w |= uint64(uint32(inst.Imm))
+	}
+	return w, nil
+}
+
+// Decode unpacks a 64-bit instruction word. It returns an error for invalid
+// opcodes or malformed flag combinations.
+func Decode(w uint64) (Instruction, error) {
+	op := Opcode(w >> opcodeShift)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("core: invalid opcode %d in word %#016x", uint8(op), w)
+	}
+	f := op.Format()
+	immFlag := w>>immFlagShift&1 == 1
+	inst := Instruction{Op: op}
+	switch f.Tail {
+	case TailImm:
+		if !immFlag {
+			return Instruction{}, fmt.Errorf("core: %v requires immediate flag, word %#016x", op, w)
+		}
+		inst.TailImm = true
+	case TailRegImm:
+		inst.TailImm = immFlag
+	case TailNone:
+		if immFlag {
+			return Instruction{}, fmt.Errorf("core: %v has no immediate but flag set, word %#016x", op, w)
+		}
+	}
+	nregs := inst.regCount()
+	for i := 0; i < nregs; i++ {
+		inst.R[i] = uint8(w >> regShift(i) & regFieldMask)
+	}
+	if inst.hasImm() {
+		inst.Imm = int32(uint32(w & immMask))
+	}
+	return inst, nil
+}
+
+// EncodeProgram serializes a program to its binary image, 8 bytes per
+// instruction, little-endian words.
+func EncodeProgram(prog []Instruction) ([]byte, error) {
+	out := make([]byte, 0, len(prog)*WordBytes)
+	for i, inst := range prog {
+		w, err := Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("core: instruction %d: %w", i, err)
+		}
+		for b := 0; b < WordBytes; b++ {
+			out = append(out, byte(w>>(8*b)))
+		}
+	}
+	return out, nil
+}
+
+// DecodeProgram parses a binary image produced by EncodeProgram.
+func DecodeProgram(img []byte) ([]Instruction, error) {
+	if len(img)%WordBytes != 0 {
+		return nil, fmt.Errorf("core: program image length %d is not a multiple of %d", len(img), WordBytes)
+	}
+	prog := make([]Instruction, 0, len(img)/WordBytes)
+	for i := 0; i < len(img); i += WordBytes {
+		var w uint64
+		for b := 0; b < WordBytes; b++ {
+			w |= uint64(img[i+b]) << (8 * b)
+		}
+		inst, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: instruction %d: %w", i/WordBytes, err)
+		}
+		prog = append(prog, inst)
+	}
+	return prog, nil
+}

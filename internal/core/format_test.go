@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInstruction builds a random valid instruction for property tests.
+func randInstruction(r *rand.Rand) Instruction {
+	ops := Opcodes()
+	op := ops[r.Intn(len(ops))]
+	f := op.Format()
+	inst := Instruction{Op: op}
+	switch f.Tail {
+	case TailImm:
+		inst.TailImm = true
+	case TailRegImm:
+		inst.TailImm = r.Intn(2) == 0
+	}
+	if inst.hasImm() {
+		inst.Imm = int32(r.Uint32())
+	}
+	for i := 0; i < inst.regCount(); i++ {
+		inst.R[i] = uint8(r.Intn(NumGPRs))
+	}
+	return inst
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randInstruction(r)
+		w, err := Encode(inst)
+		if err != nil {
+			t.Logf("encode %v: %v", inst, err)
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#x: %v", w, err)
+			return false
+		}
+		return got == inst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePublishedLayouts(t *testing.T) {
+	// Fig. 2: VLOAD Dest_addr($3), V_size($0), Src_base(-), Src_offset(#100).
+	inst := NewRI(VLOAD, 100, 3, 0, 7)
+	w, err := Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Opcode(w >> opcodeShift); got != VLOAD {
+		t.Errorf("opcode field = %v", got)
+	}
+	if w>>immFlagShift&1 != 1 {
+		t.Error("immediate flag should be set for VLOAD")
+	}
+	if got := uint8(w >> regShift(0) & regFieldMask); got != 3 {
+		t.Errorf("r0 = %d, want 3", got)
+	}
+	if got := uint8(w >> regShift(1) & regFieldMask); got != 0 {
+		t.Errorf("r1 = %d, want 0", got)
+	}
+	if got := uint8(w >> regShift(2) & regFieldMask); got != 7 {
+		t.Errorf("r2 = %d, want 7", got)
+	}
+	if got := int32(uint32(w & immMask)); got != 100 {
+		t.Errorf("imm = %d, want 100", got)
+	}
+}
+
+func TestEncodeNegativeImmediate(t *testing.T) {
+	inst := NewRI(SADD, -1, 4, 4)
+	w, err := Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Imm != -1 {
+		t.Errorf("negative immediate round trip: got %d", got.Imm)
+	}
+}
+
+func TestFiveRegisterFormatFits(t *testing.T) {
+	// Fig. 4: MMV has five 6-bit register fields after the 8-bit opcode.
+	inst := NewR(MMV, 63, 62, 61, 60, 59)
+	w, err := Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != inst {
+		t.Errorf("MMV round trip: got %+v want %+v", got, inst)
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("all-zero word must not decode")
+	}
+	if _, err := Decode(uint64(200) << opcodeShift); err == nil {
+		t.Error("unknown opcode must not decode")
+	}
+}
+
+func TestDecodeRejectsBadImmFlag(t *testing.T) {
+	// VLOAD without the immediate flag is malformed.
+	w := uint64(VLOAD) << opcodeShift
+	if _, err := Decode(w); err == nil {
+		t.Error("VLOAD without imm flag must not decode")
+	}
+	// MMV with the immediate flag is malformed.
+	w = uint64(MMV)<<opcodeShift | 1<<immFlagShift
+	if _, err := Decode(w); err == nil {
+		t.Error("MMV with imm flag must not decode")
+	}
+}
+
+func TestEncodeRejectsInvalidInstruction(t *testing.T) {
+	bad := []Instruction{
+		{},                                // invalid opcode
+		NewR(VAV, 64, 0, 0, 0),            // register out of range
+		NewR(VLOAD, 1, 2, 3),              // missing required immediate
+		NewRI(MMV, 5, 1, 2, 3, 4),         // immediate on a reg-only format
+		{Op: SMOVE, R: [5]uint8{1, 2, 3}}, // extra register set
+		{Op: JUMP, Imm: 9, TailImm: false, R: [5]uint8{1}}, // imm set without flag
+	}
+	for _, inst := range bad {
+		if _, err := Encode(inst); err == nil {
+			t.Errorf("Encode(%+v) should fail", inst)
+		}
+	}
+}
+
+func TestProgramImageRoundTrip(t *testing.T) {
+	prog := []Instruction{
+		NewRI(VLOAD, 100, 3, 0, 63),
+		NewRI(MLOAD, 300, 4, 2, 63),
+		NewR(MMV, 7, 1, 4, 3, 0),
+		NewR(VAV, 8, 1, 7, 5),
+		NewR(VEXP, 9, 1, 8),
+		NewRI(VAS, 1<<8, 10, 1, 9),
+		NewR(VDV, 6, 1, 9, 10),
+		NewRI(VSTORE, 200, 6, 1, 63),
+	}
+	img, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != len(prog)*WordBytes {
+		t.Fatalf("image length %d", len(img))
+	}
+	got, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instructions", len(got))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Errorf("instruction %d: got %v want %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramRejectsTruncatedImage(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, 12)); err == nil {
+		t.Error("truncated image must not decode")
+	}
+}
+
+func TestEncodeProgramReportsOffendingInstruction(t *testing.T) {
+	prog := []Instruction{NewR(VAV, 1, 2, 3, 4), {}}
+	if _, err := EncodeProgram(prog); err == nil {
+		t.Error("invalid instruction in program must fail")
+	}
+}
+
+func TestTailKindStrings(t *testing.T) {
+	for _, k := range []TailKind{TailNone, TailRegImm, TailImm} {
+		if s := k.String(); s == "" || s[0] == 'T' {
+			t.Errorf("TailKind %d missing name: %q", k, s)
+		}
+	}
+	if s := TailKind(99).String(); s == "" {
+		t.Error("unknown kind should still render")
+	}
+}

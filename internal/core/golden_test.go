@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+// TestGoldenEncodings pins the binary format: any change to field layout or
+// opcode numbering breaks these vectors, which an installed base of encoded
+// programs would notice.
+func TestGoldenEncodings(t *testing.T) {
+	golden := []struct {
+		inst Instruction
+		want uint64
+	}{
+		// JUMP #5: opcode 1, imm flag, imm32=5.
+		{NewRI(JUMP, 5), 0x0180000000000005},
+		// JUMP $9: opcode 1, r0=9 at bits [54:49].
+		{NewR(JUMP, 9), 0x0112000000000000},
+		// CB $4, #-3: opcode 2, imm flag, r0=4, imm32=0xfffffffd.
+		{NewRI(CB, -3, 4), 0x02880000fffffffd},
+		// VLOAD $3, $0, $63, #100: opcode 3, imm flag, r0=3, r1=0, r2=63.
+		{NewRI(VLOAD, 100, 3, 0, 63), 0x038607e000000064},
+		// SMOVE $1, #0: opcode 11, imm flag, r0=1.
+		{NewRI(SMOVE, 0, 1), 0x0b82000000000000},
+		// MMV $7, $1, $4, $3, $0: opcode 12, five register fields.
+		{NewR(MMV, 7, 1, 4, 3, 0), 0x0c0e088180000000},
+		// VGTM $7, $0, $6, $7: opcode 40.
+		{NewR(VGTM, 7, 0, 6, 7), 0x280e00c380000000},
+		// SADD $6, $6, $0 (register tail).
+		{NewR(SADD, 6, 6, 0), 0x1d0c300000000000},
+		// RV $17, $1.
+		{NewR(RV, 17, 1), 0x1a22080000000000},
+	}
+	for _, g := range golden {
+		got, err := Encode(g.inst)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", g.inst, err)
+		}
+		if got != g.want {
+			t.Errorf("Encode(%v) = %#016x, want %#016x", g.inst, got, g.want)
+		}
+		back, err := Decode(g.want)
+		if err != nil {
+			t.Fatalf("Decode(%#016x): %v", g.want, err)
+		}
+		if back != g.inst {
+			t.Errorf("Decode(%#016x) = %+v, want %+v", g.want, back, g.inst)
+		}
+	}
+}
+
+// TestOpcodeNumbersAreStable pins the opcode assignment itself.
+func TestOpcodeNumbersAreStable(t *testing.T) {
+	want := map[Opcode]uint8{
+		JUMP: 1, CB: 2,
+		VLOAD: 3, VSTORE: 4, VMOVE: 5, MLOAD: 6, MSTORE: 7, MMOVE: 8,
+		SLOAD: 9, SSTORE: 10, SMOVE: 11,
+		MMV: 12, VMM: 13, MMS: 14, OP: 15, MAM: 16, MSM: 17,
+		VAV: 18, VSV: 19, VMV: 20, VDV: 21, VAS: 22, VEXP: 23, VLOG: 24,
+		VDOT: 25, RV: 26, VMAX: 27, VMIN: 28,
+		SADD: 29, SSUB: 30, SMUL: 31, SDIV: 32, SEXP: 33, SLOG: 34,
+		VGT: 35, VE: 36, VAND: 37, VOR: 38, VNOT: 39, VGTM: 40,
+		SGT: 41, SE: 42, SAND: 43,
+	}
+	if len(want) != NumInstructions {
+		t.Fatalf("golden table has %d opcodes, ISA has %d", len(want), NumInstructions)
+	}
+	for op, num := range want {
+		if uint8(op) != num {
+			t.Errorf("%v = %d, want %d", op, uint8(op), num)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumGPRs is the size of the scalar register file: "Cambricon contains 64
+// 32-bit General-Purpose Registers (GPRs) for scalars" (Section II-B).
+const NumGPRs = 64
+
+// Architectural scratchpad capacities (Section II-B): "Cambricon fixes the
+// memory capacity to be 64KB for vector instructions, 768KB for matrix
+// instructions."
+const (
+	VectorSpadBytes = 64 << 10
+	MatrixSpadBytes = 768 << 10
+)
+
+// Instruction is one decoded Cambricon instruction. R holds the register
+// operands in format order; when the format's tail operand is an immediate
+// (TailImm is true for TailRegImm formats, always for TailImm formats) the
+// value is in Imm instead of the final register field.
+type Instruction struct {
+	Op      Opcode
+	R       [5]uint8
+	Imm     int32
+	TailImm bool
+}
+
+// regCount returns how many register fields the instruction uses, including
+// a tail operand held in a register.
+func (inst Instruction) regCount() int {
+	f := inst.Op.Format()
+	n := f.Regs
+	if f.Tail == TailRegImm && !inst.TailImm {
+		n++
+	}
+	return n
+}
+
+// hasImm reports whether the instruction carries an immediate.
+func (inst Instruction) hasImm() bool {
+	f := inst.Op.Format()
+	return f.Tail == TailImm || (f.Tail == TailRegImm && inst.TailImm)
+}
+
+// Validate checks the instruction against its opcode's format: valid opcode,
+// register indices below NumGPRs (registers are also used to name scratchpad
+// addresses, so the same 6-bit bound applies), and tail/flag consistency.
+func (inst Instruction) Validate() error {
+	if !inst.Op.Valid() {
+		return fmt.Errorf("core: invalid opcode %d", uint8(inst.Op))
+	}
+	f := inst.Op.Format()
+	if f.Tail == TailImm && !inst.TailImm {
+		return fmt.Errorf("core: %v requires an immediate tail operand", inst.Op)
+	}
+	if f.Tail == TailNone && inst.TailImm {
+		return fmt.Errorf("core: %v takes no immediate", inst.Op)
+	}
+	n := inst.regCount()
+	for i := 0; i < n; i++ {
+		if inst.R[i] >= NumGPRs {
+			return fmt.Errorf("core: %v operand %d: register $%d out of range (0..%d)",
+				inst.Op, i, inst.R[i], NumGPRs-1)
+		}
+	}
+	for i := n; i < len(inst.R); i++ {
+		if inst.R[i] != 0 {
+			return fmt.Errorf("core: %v has %d register operands but R[%d]=%d is set",
+				inst.Op, n, i, inst.R[i])
+		}
+	}
+	if !inst.hasImm() && inst.Imm != 0 {
+		return fmt.Errorf("core: %v has no immediate operand but Imm=%d is set", inst.Op, inst.Imm)
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax, e.g.
+// "VLOAD $3, $0, #100". Control-flow offsets print as raw immediates; the
+// disassembler in internal/asm rebuilds labels.
+func (inst Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(inst.Op.String())
+	n := inst.regCount()
+	sep := " "
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%s$%d", sep, inst.R[i])
+		sep = ", "
+	}
+	if inst.hasImm() {
+		fmt.Fprintf(&b, "%s#%d", sep, inst.Imm)
+	}
+	return b.String()
+}
+
+// NewR builds a register-only instruction.
+func NewR(op Opcode, regs ...uint8) Instruction {
+	var inst Instruction
+	inst.Op = op
+	copy(inst.R[:], regs)
+	return inst
+}
+
+// NewRI builds an instruction whose tail operand is the immediate imm.
+func NewRI(op Opcode, imm int32, regs ...uint8) Instruction {
+	inst := NewR(op, regs...)
+	inst.Imm = imm
+	inst.TailImm = true
+	return inst
+}

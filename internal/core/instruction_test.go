@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		inst Instruction
+		want string
+	}{
+		{NewRI(VLOAD, 100, 3, 0, 63), "VLOAD $3, $0, $63, #100"},
+		{NewR(MMV, 7, 1, 4, 3, 0), "MMV $7, $1, $4, $3, $0"},
+		{NewRI(SADD, -1, 4, 4), "SADD $4, $4, #-1"},
+		{NewR(SADD, 6, 6, 0), "SADD $6, $6, $0"},
+		{NewRI(JUMP, -5), "JUMP #-5"},
+		{NewR(JUMP, 9), "JUMP $9"},
+		{NewRI(CB, 3, 4), "CB $4, #3"},
+		{NewR(RV, 17, 1), "RV $17, $1"},
+	}
+	for _, c := range cases {
+		if got := c.inst.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsCanonicalForms(t *testing.T) {
+	good := []Instruction{
+		NewRI(JUMP, 10),
+		NewR(JUMP, 5),
+		NewRI(CB, -2, 7),
+		NewR(CB, 7, 8),
+		NewRI(VLOAD, 0, 1, 2, 3),
+		NewR(VMOVE, 1, 2, 3),
+		NewRI(SMOVE, 42, 1),
+		NewR(SMOVE, 1, 2),
+		NewR(VGTM, 7, 0, 6, 7),
+		NewRI(VAS, 256, 10, 1, 9),
+		NewR(VAS, 10, 1, 9, 2),
+		NewR(VDOT, 3, 1, 8, 9),
+		NewR(VMAX, 3, 1, 8),
+	}
+	for _, inst := range good {
+		if err := inst.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", inst, err)
+		}
+	}
+}
+
+func TestDestReg(t *testing.T) {
+	cases := []struct {
+		inst Instruction
+		reg  uint8
+		ok   bool
+	}{
+		{NewR(SADD, 5, 6, 7), 5, true},
+		{NewR(VDOT, 3, 1, 8, 9), 3, true},
+		{NewR(VMAX, 12, 1, 8), 12, true},
+		{NewRI(SLOAD, 0, 9, 1), 9, true},
+		{NewR(SMOVE, 4, 2), 4, true},
+		{NewR(VAV, 1, 2, 3, 4), 0, false}, // writes scratchpad, not a GPR
+		{NewRI(VSTORE, 0, 1, 2, 3), 0, false},
+		{NewRI(JUMP, 5), 0, false},
+	}
+	for _, c := range cases {
+		reg, ok := c.inst.DestReg()
+		if reg != c.reg || ok != c.ok {
+			t.Errorf("DestReg(%v) = %d,%v; want %d,%v", c.inst, reg, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestReadRegs(t *testing.T) {
+	cases := []struct {
+		inst Instruction
+		want []uint8
+	}{
+		{NewR(SADD, 5, 6, 7), []uint8{6, 7}},
+		{NewRI(SADD, -1, 5, 6), []uint8{6}},
+		{NewR(MMV, 7, 1, 4, 3, 0), []uint8{7, 1, 4, 3, 0}},
+		{NewRI(VLOAD, 100, 3, 0, 63), []uint8{3, 0, 63}},
+		{NewRI(JUMP, 4), nil},
+		{NewR(JUMP, 4), []uint8{4}},
+		{NewR(VDOT, 3, 1, 8, 9), []uint8{1, 8, 9}},
+	}
+	for _, c := range cases {
+		got := c.inst.ReadRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("ReadRegs(%v) = %v, want %v", c.inst, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ReadRegs(%v) = %v, want %v", c.inst, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	roles := []Role{RoleGPRDst, RoleGPRSrc, RoleVDst, RoleVSrc, RoleMDst, RoleMSrc, RoleSize, RoleMemBase}
+	for _, r := range roles {
+		if s := r.String(); s == "" || s[0] == 'R' {
+			t.Errorf("role %d missing name: %q", r, s)
+		}
+	}
+}
+
+func TestArchitecturalConstants(t *testing.T) {
+	if NumGPRs != 64 {
+		t.Errorf("NumGPRs = %d, want 64", NumGPRs)
+	}
+	if VectorSpadBytes != 64<<10 {
+		t.Errorf("VectorSpadBytes = %d", VectorSpadBytes)
+	}
+	if MatrixSpadBytes != 768<<10 {
+		t.Errorf("MatrixSpadBytes = %d", MatrixSpadBytes)
+	}
+	if WordBytes != 8 {
+		t.Errorf("WordBytes = %d, want 8 (64-bit instructions)", WordBytes)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import "fmt"
+
+// Role describes how one operand of an instruction is interpreted. Every
+// operand is a GPR (or tail immediate); roles distinguish plain scalar
+// values from GPRs used for register-indirect addressing of the scratchpads
+// and main memory (Section II-B).
+type Role uint8
+
+const (
+	// RoleGPRDst: the operand names a GPR written by the instruction.
+	RoleGPRDst Role = iota
+	// RoleGPRSrc: the operand is a scalar value read from a GPR (or the
+	// tail immediate).
+	RoleGPRSrc
+	// RoleVDst: the GPR holds the vector-scratchpad byte address of an
+	// output vector.
+	RoleVDst
+	// RoleVSrc: the GPR holds the vector-scratchpad byte address of an
+	// input vector.
+	RoleVSrc
+	// RoleMDst: the GPR holds the matrix-scratchpad byte address of an
+	// output matrix.
+	RoleMDst
+	// RoleMSrc: the GPR holds the matrix-scratchpad byte address of an
+	// input matrix.
+	RoleMSrc
+	// RoleSize: the GPR holds an element count (vector length / matrix
+	// dimension).
+	RoleSize
+	// RoleMemBase: the GPR holds a main-memory base address to which the
+	// tail immediate offset is added.
+	RoleMemBase
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleGPRDst:
+		return "gpr-dst"
+	case RoleGPRSrc:
+		return "gpr-src"
+	case RoleVDst:
+		return "vspad-dst"
+	case RoleVSrc:
+		return "vspad-src"
+	case RoleMDst:
+		return "mspad-dst"
+	case RoleMSrc:
+		return "mspad-src"
+	case RoleSize:
+		return "size"
+	case RoleMemBase:
+		return "mem-base"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// roleTable lists the operand roles of every opcode in operand order,
+// including the tail operand (whose role applies when it is a register; a
+// tail immediate is always a scalar value or offset).
+var roleTable = [numOpcodes][]Role{
+	JUMP: {RoleGPRSrc},
+	CB:   {RoleGPRSrc, RoleGPRSrc},
+
+	VLOAD:  {RoleVDst, RoleSize, RoleMemBase, RoleGPRSrc},
+	VSTORE: {RoleVSrc, RoleSize, RoleMemBase, RoleGPRSrc},
+	VMOVE:  {RoleVDst, RoleSize, RoleVSrc},
+	MLOAD:  {RoleMDst, RoleSize, RoleMemBase, RoleGPRSrc},
+	MSTORE: {RoleMSrc, RoleSize, RoleMemBase, RoleGPRSrc},
+	MMOVE:  {RoleMDst, RoleSize, RoleMSrc},
+	SLOAD:  {RoleGPRDst, RoleMemBase, RoleGPRSrc},
+	SSTORE: {RoleGPRSrc, RoleMemBase, RoleGPRSrc},
+	SMOVE:  {RoleGPRDst, RoleGPRSrc},
+
+	MMV: {RoleVDst, RoleSize, RoleMSrc, RoleVSrc, RoleSize},
+	VMM: {RoleVDst, RoleSize, RoleMSrc, RoleVSrc, RoleSize},
+	MMS: {RoleMDst, RoleSize, RoleMSrc, RoleGPRSrc},
+	OP:  {RoleMDst, RoleVSrc, RoleSize, RoleVSrc, RoleSize},
+	MAM: {RoleMDst, RoleSize, RoleMSrc, RoleMSrc},
+	MSM: {RoleMDst, RoleSize, RoleMSrc, RoleMSrc},
+
+	VAV:  {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VSV:  {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VMV:  {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VDV:  {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VAS:  {RoleVDst, RoleSize, RoleVSrc, RoleGPRSrc},
+	VEXP: {RoleVDst, RoleSize, RoleVSrc},
+	VLOG: {RoleVDst, RoleSize, RoleVSrc},
+	VDOT: {RoleGPRDst, RoleSize, RoleVSrc, RoleVSrc},
+	RV:   {RoleVDst, RoleSize},
+	VMAX: {RoleGPRDst, RoleSize, RoleVSrc},
+	VMIN: {RoleGPRDst, RoleSize, RoleVSrc},
+
+	SADD: {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+	SSUB: {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+	SMUL: {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+	SDIV: {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+	SEXP: {RoleGPRDst, RoleGPRSrc},
+	SLOG: {RoleGPRDst, RoleGPRSrc},
+
+	VGT:  {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VE:   {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VAND: {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VOR:  {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+	VNOT: {RoleVDst, RoleSize, RoleVSrc},
+	VGTM: {RoleVDst, RoleSize, RoleVSrc, RoleVSrc},
+
+	SGT:  {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+	SE:   {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+	SAND: {RoleGPRDst, RoleGPRSrc, RoleGPRSrc},
+}
+
+// Roles returns the operand roles of op in operand order (fixed registers
+// first, tail operand last).
+func (op Opcode) Roles() []Role {
+	if !op.Valid() {
+		panic(fmt.Sprintf("core: Roles of invalid opcode %d", uint8(op)))
+	}
+	return roleTable[op]
+}
+
+// ReadRegs appends to dst the GPR indices read by inst: every register
+// operand except pure destinations (address and size operands are reads —
+// the GPR value supplies the address/size even when the scratchpad region it
+// names is written).
+func (inst Instruction) ReadRegs(dst []uint8) []uint8 {
+	roles := inst.Op.Roles()
+	n := inst.regCount()
+	for i := 0; i < n; i++ {
+		if roles[i] != RoleGPRDst {
+			dst = append(dst, inst.R[i])
+		}
+	}
+	return dst
+}
+
+// DestReg returns the GPR written by inst and true, or 0 and false when the
+// instruction writes no register.
+func (inst Instruction) DestReg() (uint8, bool) {
+	roles := inst.Op.Roles()
+	n := inst.regCount()
+	for i := 0; i < n; i++ {
+		if roles[i] == RoleGPRDst {
+			return inst.R[i], true
+		}
+	}
+	return 0, false
+}

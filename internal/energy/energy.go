@@ -1,0 +1,140 @@
+// Package energy models the area and power of the Cambricon-ACC prototype
+// and the activity-based energy integration behind the paper's Fig. 13 and
+// Table IV.
+//
+// We cannot run the Synopsys synthesis/power flow, so the published Table
+// IV layout numbers act as the model's calibration points: the chip's three
+// regions (core & vector part, matrix part, channel part) have the
+// published peak powers, and a run's energy integrates each region's power
+// scaled by its measured activity (an idle fraction covers clock tree and
+// leakage, which Table IV shows dominate — the clock network alone draws
+// 43.89% of total power).
+package energy
+
+import (
+	"cambricon/internal/baseline/dadiannao"
+	"cambricon/internal/sim"
+)
+
+// Component is one Table IV layout row.
+type Component struct {
+	Name    string
+	AreaUm2 float64
+	PowerMW float64
+}
+
+// Layout returns the Table IV rows of the Cambricon-ACC implementation
+// (TSMC 65 nm, 1 GHz): first the region partition (core & vector, matrix,
+// channel), then the cell-type partition (combinational, memory, registers,
+// clock network, filler).
+func Layout() []Component {
+	return []Component{
+		{"Whole Chip", 56241000, 1695.60},
+		{"Core & Vector", 5062500, 139.04},
+		{"Matrix", 35259840, 1004.81},
+		{"Channel", 15918660, 551.75},
+		{"Combinational", 18081482, 476.97},
+		{"Memory", 8461445, 174.14},
+		{"Registers", 5612851, 300.29},
+		{"Clock network", 877360, 744.20},
+		{"Filler Cell", 23207862, 0},
+	}
+}
+
+// Published headline numbers (Section V-B5).
+const (
+	// TotalAreaUm2 is the Cambricon-ACC die area (56.24 mm^2).
+	TotalAreaUm2 = 56241000.0
+	// PeakPowerMW is the 100%-toggle-rate power (1.695 W).
+	PeakPowerMW = 1695.60
+	// DaDianNaoAreaUm2 is the re-implemented baseline's area
+	// (55.34 mm^2); Cambricon-ACC is about 1.6% larger.
+	DaDianNaoAreaUm2 = 55340000.0
+)
+
+// Region peak powers (mW), the Table IV region partition.
+const (
+	coreVectorPeakMW = 139.04
+	matrixPeakMW     = 1004.81
+	channelPeakMW    = 551.75
+)
+
+// IdleFraction is the share of each region's peak power drawn regardless of
+// activity (clock tree + leakage). Table IV's clock network alone is 43.89%
+// of total power, so the floor is high.
+const IdleFraction = 0.45
+
+// regionPower scales a region's peak power by utilization over the idle
+// floor.
+func regionPower(peakMW, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return peakMW * (IdleFraction + (1-IdleFraction)*util)
+}
+
+// CambriconPowerMW returns the average power of a Cambricon-ACC run from
+// its simulator statistics.
+func CambriconPowerMW(st *sim.Stats) float64 {
+	if st.Cycles == 0 {
+		return IdleFraction * PeakPowerMW
+	}
+	cycles := float64(st.Cycles)
+	uMatrix := float64(st.MatrixBusyCycles) / cycles
+	// The core & vector region covers the instruction pipeline, scalar
+	// unit and vector unit: its activity follows both the vector unit
+	// and the instruction stream (2-wide issue).
+	uCoreVec := float64(st.VectorBusyCycles)/cycles +
+		float64(st.Instructions)/(2*cycles)
+	// The channel part toggles with data movement between the blocks:
+	// approximate its utilization by the busier of the two compute
+	// regions (the h-tree moves operands whenever the matrix part runs).
+	uChannel := uMatrix
+	if uCoreVec > uChannel {
+		uChannel = uCoreVec
+	}
+	return regionPower(coreVectorPeakMW, uCoreVec) +
+		regionPower(matrixPeakMW, uMatrix) +
+		regionPower(channelPeakMW, uChannel)
+}
+
+// CambriconEnergyJoules integrates a run's energy at the given clock.
+func CambriconEnergyJoules(st *sim.Stats, clockHz float64) float64 {
+	return CambriconPowerMW(st) / 1e3 * st.Seconds(clockHz)
+}
+
+// DaDianNao's power model: the same regional structure minus the costs the
+// VLIW design avoids — the instruction pipeline, issue/memory queues and
+// the vector transcendental (CORDIC) operators — plus a low-precision
+// lookup table. The paper measures the net effect as DaDianNao consuming
+// 0.916x Cambricon-ACC's energy on the shared benchmarks (Section V-B4).
+const (
+	// ddnCoreSavingsMW: removed decode/issue/queue logic and CORDIC
+	// operators, net of the added lookup table.
+	ddnCoreSavingsMW = 55.0
+)
+
+// DaDianNaoPowerMW returns the baseline's average power for a run.
+func DaDianNaoPowerMW(act *dadiannao.Activity) float64 {
+	if act.Cycles == 0 {
+		return IdleFraction * (PeakPowerMW - ddnCoreSavingsMW)
+	}
+	cycles := float64(act.Cycles)
+	uMatrix := float64(act.MACOps) / 1056 / cycles
+	uCoreVec := float64(act.VectorElems+act.LookupElems) / 32 / cycles
+	uChannel := uMatrix
+	if uCoreVec > uChannel {
+		uChannel = uCoreVec
+	}
+	return regionPower(coreVectorPeakMW-ddnCoreSavingsMW, uCoreVec) +
+		regionPower(matrixPeakMW, uMatrix) +
+		regionPower(channelPeakMW, uChannel)
+}
+
+// DaDianNaoEnergyJoules integrates the baseline's energy.
+func DaDianNaoEnergyJoules(act *dadiannao.Activity, clockHz float64) float64 {
+	return DaDianNaoPowerMW(act) / 1e3 * float64(act.Cycles) / clockHz
+}

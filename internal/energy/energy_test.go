@@ -1,0 +1,121 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"cambricon/internal/baseline/dadiannao"
+	"cambricon/internal/sim"
+)
+
+func TestLayoutMatchesPublishedTableIV(t *testing.T) {
+	rows := Layout()
+	byName := map[string]Component{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	chip := byName["Whole Chip"]
+	if chip.AreaUm2 != 56241000 || chip.PowerMW != 1695.60 {
+		t.Errorf("whole chip row wrong: %+v", chip)
+	}
+	// The region partition must sum to the chip totals (Table IV).
+	areaSum := byName["Core & Vector"].AreaUm2 + byName["Matrix"].AreaUm2 +
+		byName["Channel"].AreaUm2
+	powerSum := byName["Core & Vector"].PowerMW + byName["Matrix"].PowerMW +
+		byName["Channel"].PowerMW
+	if math.Abs(powerSum-chip.PowerMW) > 0.01 {
+		t.Errorf("region powers sum to %.2f, chip is %.2f", powerSum, chip.PowerMW)
+	}
+	// The paper's region areas sum to 56,241,000 um^2 exactly.
+	if math.Abs(areaSum-chip.AreaUm2) > 0.001*chip.AreaUm2 {
+		t.Errorf("region areas sum to %.0f, chip is %.0f", areaSum, chip.AreaUm2)
+	}
+	// Published percentages: matrix 62.69% area, clock 43.89% power.
+	if p := byName["Matrix"].AreaUm2 / chip.AreaUm2; math.Abs(p-0.6269) > 0.001 {
+		t.Errorf("matrix area share %.4f, want 0.6269", p)
+	}
+	if p := byName["Clock network"].PowerMW / chip.PowerMW; math.Abs(p-0.4389) > 0.001 {
+		t.Errorf("clock power share %.4f, want 0.4389", p)
+	}
+}
+
+func TestAreaOverheadVersusDaDianNao(t *testing.T) {
+	// Section V-B5: Cambricon-ACC is about 1.6% larger than the
+	// re-implemented DaDianNao.
+	overhead := TotalAreaUm2/DaDianNaoAreaUm2 - 1
+	if math.Abs(overhead-0.016) > 0.002 {
+		t.Errorf("area overhead %.4f, want ~0.016", overhead)
+	}
+}
+
+func TestPowerBoundedByPeak(t *testing.T) {
+	busy := &sim.Stats{Cycles: 1000, MatrixBusyCycles: 1000,
+		VectorBusyCycles: 1000, Instructions: 2000}
+	p := CambriconPowerMW(busy)
+	if p > PeakPowerMW+0.01 {
+		t.Errorf("power %v exceeds peak %v", p, PeakPowerMW)
+	}
+	if p < 0.9*PeakPowerMW {
+		t.Errorf("fully busy machine should be near peak, got %v", p)
+	}
+	idle := &sim.Stats{Cycles: 1000}
+	if pi := CambriconPowerMW(idle); pi >= p || pi < IdleFraction*PeakPowerMW-1 {
+		t.Errorf("idle power %v out of range", pi)
+	}
+}
+
+func TestEnergyScalesWithTime(t *testing.T) {
+	st := &sim.Stats{Cycles: 1_000_000, MatrixBusyCycles: 500_000}
+	e1 := CambriconEnergyJoules(st, 1e9)
+	st2 := *st
+	st2.Cycles *= 2
+	st2.MatrixBusyCycles *= 2
+	e2 := CambriconEnergyJoules(&st2, 1e9)
+	if math.Abs(e2-2*e1) > 1e-12 {
+		t.Errorf("double-length run should double energy: %v vs %v", e1, e2)
+	}
+}
+
+func TestDaDianNaoDrawsLessPowerAtEqualActivity(t *testing.T) {
+	// Same utilization: the VLIW machine's simpler control must draw
+	// slightly less power (the source of the 0.916x energy ratio).
+	st := &sim.Stats{Cycles: 1000, MatrixBusyCycles: 800, VectorBusyCycles: 200,
+		Instructions: 500}
+	act := &dadiannao.Activity{Cycles: 1000, MACOps: 800 * 1056,
+		VectorElems: 200 * 32}
+	pc := CambriconPowerMW(st)
+	pd := DaDianNaoPowerMW(act)
+	if pd >= pc {
+		t.Errorf("DaDianNao power %v should be below Cambricon %v", pd, pc)
+	}
+	if pd < 0.8*pc {
+		t.Errorf("DaDianNao power %v implausibly low vs %v", pd, pc)
+	}
+}
+
+func TestDaDianNaoEnergyIntegration(t *testing.T) {
+	act := &dadiannao.Activity{Cycles: 2_000_000, MACOps: 1056 * 1_000_000}
+	e := DaDianNaoEnergyJoules(act, 1e9)
+	want := DaDianNaoPowerMW(act) / 1e3 * 2e-3
+	if math.Abs(e-want) > 1e-15 {
+		t.Errorf("energy %v, want %v", e, want)
+	}
+}
+
+func TestZeroCycleRunsAreIdle(t *testing.T) {
+	if p := CambriconPowerMW(&sim.Stats{}); p != IdleFraction*PeakPowerMW {
+		t.Errorf("zero-cycle power %v", p)
+	}
+	if p := DaDianNaoPowerMW(&dadiannao.Activity{}); p <= 0 {
+		t.Errorf("zero-cycle DaDianNao power %v", p)
+	}
+}
+
+func TestUtilizationClamps(t *testing.T) {
+	// Overcounted activity must not push power past peak.
+	st := &sim.Stats{Cycles: 10, MatrixBusyCycles: 1000, VectorBusyCycles: 1000,
+		Instructions: 1000}
+	if p := CambriconPowerMW(st); p > PeakPowerMW+0.01 {
+		t.Errorf("power %v exceeds peak", p)
+	}
+}

@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"fmt"
+
+	"cambricon/internal/fixed"
+)
+
+// Main is the off-chip main memory. The prototype accesses it only through
+// load/store instructions (Cambricon is a load-store architecture,
+// Section II-B). Addresses are byte addresses; scalar accesses are 32-bit,
+// vector/matrix accesses move 16-bit fixed-point element blocks via DMA.
+type Main struct {
+	data []byte
+}
+
+// NewMain allocates a main memory of size bytes.
+func NewMain(size int) *Main {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: invalid main memory size %d", size))
+	}
+	return &Main{data: make([]byte, size)}
+}
+
+// Size returns the capacity in bytes.
+func (m *Main) Size() int { return len(m.data) }
+
+func (m *Main) check(addr, n int) error {
+	if n < 0 {
+		return fmt.Errorf("mem: main: negative access size %d", n)
+	}
+	if addr < 0 || addr+n > len(m.data) {
+		return fmt.Errorf("mem: main: access [%d, %d) outside capacity %d", addr, addr+n, len(m.data))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes at addr.
+func (m *Main) ReadBytes(addr, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:addr+n])
+	return out, nil
+}
+
+// ReadBytesInto copies len(dst) bytes at addr into dst without allocating.
+func (m *Main) ReadBytesInto(addr int, dst []byte) error {
+	if err := m.check(addr, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, m.data[addr:addr+len(dst)])
+	return nil
+}
+
+// WriteBytes stores b at addr.
+func (m *Main) WriteBytes(addr int, b []byte) error {
+	if err := m.check(addr, len(b)); err != nil {
+		return err
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// ReadWord reads a 32-bit little-endian word (scalar load).
+func (m *Main) ReadWord(addr int) (uint32, error) {
+	if err := m.check(addr, 4); err != nil {
+		return 0, err
+	}
+	b := m.data[addr:]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteWord stores a 32-bit little-endian word (scalar store).
+func (m *Main) WriteWord(addr int, v uint32) error {
+	if err := m.check(addr, 4); err != nil {
+		return err
+	}
+	m.data[addr] = byte(v)
+	m.data[addr+1] = byte(v >> 8)
+	m.data[addr+2] = byte(v >> 16)
+	m.data[addr+3] = byte(v >> 24)
+	return nil
+}
+
+// ReadNums reads count fixed-point elements at byte address addr.
+func (m *Main) ReadNums(addr, count int) ([]fixed.Num, error) {
+	n := fixed.Bytes(count)
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	return fixed.FromBytes(m.data[addr:addr+n], count), nil
+}
+
+// WriteNums stores fixed-point elements at byte address addr.
+func (m *Main) WriteNums(addr int, ns []fixed.Num) error {
+	n := fixed.Bytes(len(ns))
+	if err := m.check(addr, n); err != nil {
+		return err
+	}
+	fixed.ToBytes(ns, m.data[addr:addr+n])
+	return nil
+}
+
+// DMA models one scratchpad DMA engine: a fixed startup latency plus a
+// bandwidth-limited streaming phase. The prototype's vector/matrix units
+// each integrate three operand DMAs and the scratchpads an IO DMA
+// (Section IV); all share this timing shape.
+type DMA struct {
+	// StartupCycles is the fixed request latency before data streams.
+	StartupCycles int
+	// BytesPerCycle is the streaming bandwidth.
+	BytesPerCycle int
+}
+
+// TransferCycles returns the cycle cost of moving n bytes.
+func (d DMA) TransferCycles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	bpc := d.BytesPerCycle
+	if bpc <= 0 {
+		bpc = 1
+	}
+	return d.StartupCycles + (n+bpc-1)/bpc
+}

@@ -1,0 +1,175 @@
+// Package mem models the memory system of the Cambricon-ACC prototype
+// (Section IV): the vector and matrix on-chip scratchpad memories with
+// low-order-bit banking and the Fig. 9 crossbar, main memory, and the DMA
+// engines that move data between them.
+package mem
+
+import (
+	"fmt"
+
+	"cambricon/internal/fixed"
+)
+
+// Scratchpad is an on-chip software-managed memory. Following Fig. 9, each
+// scratchpad is decomposed into Banks banks interleaved on the low-order
+// bits of the *bank-line* address, connected to its ports through a crossbar
+// that serializes simultaneous accesses to the same bank.
+//
+// A Scratchpad is purely functional storage plus a conflict model: timing
+// integration lives in internal/sim.
+type Scratchpad struct {
+	name      string
+	data      []byte
+	banks     int
+	lineBytes int
+	perBank   []int // reusable conflict counters (Scratchpad is not concurrency-safe)
+}
+
+// NewScratchpad builds a scratchpad of size bytes with the given bank count
+// and bank line width in bytes (Table II: bank width 512 bits = 64 bytes).
+func NewScratchpad(name string, size, banks, lineBytes int) *Scratchpad {
+	if size <= 0 || banks <= 0 || lineBytes <= 0 {
+		panic(fmt.Sprintf("mem: invalid scratchpad geometry %d/%d/%d", size, banks, lineBytes))
+	}
+	if banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("mem: bank count %d must be a power of two", banks))
+	}
+	return &Scratchpad{name: name, data: make([]byte, size), banks: banks,
+		lineBytes: lineBytes, perBank: make([]int, banks)}
+}
+
+// Name returns the scratchpad's diagnostic name.
+func (s *Scratchpad) Name() string { return s.name }
+
+// Size returns the capacity in bytes.
+func (s *Scratchpad) Size() int { return len(s.data) }
+
+// Banks returns the number of banks.
+func (s *Scratchpad) Banks() int { return s.banks }
+
+// check validates an access region. Scratchpad addressing errors are program
+// bugs surfaced as errors so the simulator can report the faulting
+// instruction.
+func (s *Scratchpad) check(addr, n int) error {
+	if n < 0 {
+		return fmt.Errorf("mem: %s: negative access size %d", s.name, n)
+	}
+	if addr < 0 || addr+n > len(s.data) {
+		return fmt.Errorf("mem: %s: access [%d, %d) outside capacity %d", s.name, addr, addr+n, len(s.data))
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (s *Scratchpad) ReadBytes(addr, n int) ([]byte, error) {
+	if err := s.check(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, s.data[addr:addr+n])
+	return out, nil
+}
+
+// ReadBytesInto copies len(dst) bytes starting at addr into dst without
+// allocating.
+func (s *Scratchpad) ReadBytesInto(addr int, dst []byte) error {
+	if err := s.check(addr, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, s.data[addr:addr+len(dst)])
+	return nil
+}
+
+// WriteBytes stores b at addr.
+func (s *Scratchpad) WriteBytes(addr int, b []byte) error {
+	if err := s.check(addr, len(b)); err != nil {
+		return err
+	}
+	copy(s.data[addr:], b)
+	return nil
+}
+
+// ReadNums reads count 16-bit fixed-point elements starting at byte address
+// addr.
+func (s *Scratchpad) ReadNums(addr, count int) ([]fixed.Num, error) {
+	n := fixed.Bytes(count)
+	if err := s.check(addr, n); err != nil {
+		return nil, err
+	}
+	return fixed.FromBytes(s.data[addr:addr+n], count), nil
+}
+
+// ReadNumsInto reads len(dst) elements into dst without allocating.
+func (s *Scratchpad) ReadNumsInto(addr int, dst []fixed.Num) error {
+	n := fixed.Bytes(len(dst))
+	if err := s.check(addr, n); err != nil {
+		return err
+	}
+	fixed.FromBytesInto(s.data[addr:addr+n], dst)
+	return nil
+}
+
+// WriteNums stores fixed-point elements at byte address addr.
+func (s *Scratchpad) WriteNums(addr int, ns []fixed.Num) error {
+	n := fixed.Bytes(len(ns))
+	if err := s.check(addr, n); err != nil {
+		return err
+	}
+	fixed.ToBytes(ns, s.data[addr:addr+n])
+	return nil
+}
+
+// AccessCycles returns the number of scratchpad cycles needed to service the
+// given concurrent port accesses, each described by its byte region. With no
+// bank conflicts every port proceeds in parallel and the cost is the maximum
+// line count of any single access; conflicting line accesses to the same
+// bank serialize through the crossbar.
+func (s *Scratchpad) AccessCycles(regions []Region) int {
+	perBank := s.perBank
+	for i := range perBank {
+		perBank[i] = 0
+	}
+	longest := 0
+	for _, r := range regions {
+		if r.N <= 0 {
+			continue
+		}
+		first := r.Addr / s.lineBytes
+		last := (r.Addr + r.N - 1) / s.lineBytes
+		lines := last - first + 1
+		if lines > longest {
+			longest = lines
+		}
+		for line := first; line <= last; line++ {
+			perBank[line&(s.banks-1)]++
+		}
+	}
+	// Each bank has a single port: total cycles is the busiest bank, but
+	// never less than the longest single streaming access (lines within one
+	// access to the same bank already serialize and are counted above).
+	busiest := 0
+	for _, n := range perBank {
+		if n > busiest {
+			busiest = n
+		}
+	}
+	if busiest < longest {
+		busiest = longest
+	}
+	return busiest
+}
+
+// Region is a byte-addressed memory extent.
+type Region struct {
+	Addr int
+	N    int
+}
+
+// Overlaps reports whether two regions intersect. Zero-length regions never
+// overlap anything.
+func (r Region) Overlaps(o Region) bool {
+	if r.N <= 0 || o.N <= 0 {
+		return false
+	}
+	return r.Addr < o.Addr+o.N && o.Addr < r.Addr+r.N
+}

@@ -1,0 +1,93 @@
+package nn
+
+// Autoencoder is the Table III benchmark "a neural network pretrained by
+// auto-encoder" (input(320) - H1(200) - H2(100) - H3(50) - output(10),
+// MNIST [49]). The benchmark exercises both the stacked feedforward pass
+// and one greedy layer-wise pretraining step (encode, decode with tied
+// weights, and a reconstruction-gradient weight update) — the training
+// component is what puts autoencoders beyond DaDianNao's four layer types
+// (Section V-B1).
+type Autoencoder struct {
+	MLP *MLP
+	// Sparse enables the sparsity penalty of the Sparse Autoencoder
+	// variant: the pretraining step adds a KL-divergence term pushing
+	// mean activations toward Rho.
+	Sparse bool
+	// Rho is the sparsity target; Beta its weight.
+	Rho, Beta float64
+}
+
+// AutoencoderSizes is the Table III topology.
+func AutoencoderSizes() []int { return []int{320, 200, 100, 50, 10} }
+
+// NewAutoencoder builds the benchmark network.
+func NewAutoencoder(sizes []int, sparse bool, seed uint64) *Autoencoder {
+	return &Autoencoder{
+		MLP:    NewMLP(sizes, seed),
+		Sparse: sparse,
+		Rho:    0.05,
+		Beta:   0.1,
+	}
+}
+
+// QuantizeParams rounds all parameters to fixed-point precision.
+func (a *Autoencoder) QuantizeParams() *Autoencoder {
+	a.MLP.QuantizeParams()
+	return a
+}
+
+// Forward runs the stacked feedforward pass.
+func (a *Autoencoder) Forward(x Vec) Vec { return a.MLP.Forward(x) }
+
+// Encode applies layer l's encoder: h = sigmoid(W x + b).
+func (a *Autoencoder) Encode(l int, x Vec) Vec { return a.MLP.ForwardLayer(l, x) }
+
+// Decode reconstructs layer l's input with tied weights: xr = sigmoid(W^T h
+// + c), with a zero reconstruction bias. The W^T contraction is a VMM on
+// the accelerator.
+func (a *Autoencoder) Decode(l int, h Vec) Vec {
+	return SigmoidVec(a.MLP.W[l].VecMul(h))
+}
+
+// PretrainStep runs one greedy pretraining update on layer l for input x
+// and returns the reconstruction it was computed from. The update is the
+// gradient of the squared reconstruction error through the tied decoder,
+// with an optional sparsity term:
+//
+//	h   = sigmoid(W x + b)
+//	xr  = sigmoid(W^T h)
+//	e   = xr - x
+//	dXr = e .* xr .* (1 - xr)
+//	dH  = (W dXr) .* h .* (1 - h) [+ beta * (h - rho)]
+//	W  -= eta * (dH x^T + h dXr^T) ; b -= eta * dH
+//
+// The sparsity term uses the simplified surrogate beta*(h - rho) rather
+// than the exact KL derivative: 1/h blows past the Q8.8 range for small h,
+// so both the reference and the generated fixed-point code use the common
+// bounded surrogate (see DESIGN.md).
+func (a *Autoencoder) PretrainStep(l int, x Vec, eta float64) (recon Vec) {
+	h := a.Encode(l, x)
+	xr := a.Decode(l, h)
+	dXr := make(Vec, len(xr))
+	for i := range xr {
+		dXr[i] = (xr[i] - x[i]) * xr[i] * (1 - xr[i])
+	}
+	back := a.MLP.W[l].MulVec(dXr)
+	dH := make(Vec, len(h))
+	for i := range h {
+		dH[i] = back[i] * h[i] * (1 - h[i])
+		if a.Sparse {
+			dH[i] += a.Beta * (h[i] - a.Rho)
+		}
+	}
+	w := a.MLP.W[l]
+	for i := 0; i < w.Rows; i++ {
+		for j := 0; j < w.Cols; j++ {
+			w.Data[i*w.Cols+j] -= eta * (dH[i]*x[j] + h[i]*dXr[j])
+		}
+	}
+	for i := range a.MLP.B[l] {
+		a.MLP.B[l][i] -= eta * dH[i]
+	}
+	return xr
+}

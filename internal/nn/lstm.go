@@ -1,0 +1,88 @@
+package nn
+
+// LSTM is the Table III long short-term memory benchmark (input(26) - H(93)
+// - output(61), TIMIT [15]): the standard gated cell
+//
+//	i_t = sigmoid(Wi x + Ui h + bi)    input gate
+//	f_t = sigmoid(Wf x + Uf h + bf)    forget gate
+//	o_t = sigmoid(Wo x + Uo h + bo)    output gate
+//	g_t = tanh(Wg x + Ug h + bg)       candidate
+//	c_t = f_t .* c + i_t .* g_t
+//	h_t = o_t .* tanh(c_t)
+//	y_t = sigmoid(Why h_t + by)
+//
+// tanh is computed from sigmoid as tanh(a) = 2*sigmoid(2a) - 1, the same
+// decomposition the generated Cambricon code uses (VEXP/VAS/VDV plus scalar
+// constants); see internal/codegen.
+type LSTM struct {
+	In, Hidden, Out int
+	// Gate parameters in order: input, forget, output, candidate.
+	Wx, Wh [4]Mat
+	B      [4]Vec
+	Why    Mat
+	By     Vec
+}
+
+// NewLSTM builds an LSTM with deterministic weights.
+func NewLSTM(in, hidden, out int, seed uint64) *LSTM {
+	r := NewRNG(seed)
+	si, sh := WeightScale(in), WeightScale(hidden)
+	l := &LSTM{In: in, Hidden: hidden, Out: out}
+	for g := 0; g < 4; g++ {
+		l.Wx[g] = r.FillMat(hidden, in, -si, si)
+		l.Wh[g] = r.FillMat(hidden, hidden, -sh, sh)
+		l.B[g] = r.FillVec(hidden, -sh, sh)
+	}
+	l.Why = r.FillMat(out, hidden, -sh, sh)
+	l.By = r.FillVec(out, -sh, sh)
+	return l
+}
+
+// QuantizeParams rounds all parameters to fixed-point precision.
+func (l *LSTM) QuantizeParams() *LSTM {
+	for g := 0; g < 4; g++ {
+		l.Wx[g], l.Wh[g] = QuantizeMat(l.Wx[g]), QuantizeMat(l.Wh[g])
+		l.B[g] = Quantize(l.B[g])
+	}
+	l.Why = QuantizeMat(l.Why)
+	l.By = Quantize(l.By)
+	return l
+}
+
+// tanhFromSigmoid mirrors the accelerator's tanh lowering.
+func tanhFromSigmoid(a float64) float64 { return 2*Sigmoid(2*a) - 1 }
+
+// Step advances one timestep.
+func (l *LSTM) Step(x, hPrev, cPrev Vec) (h, c, y Vec) {
+	var gates [4]Vec
+	for g := 0; g < 4; g++ {
+		pre := Add(Add(l.Wx[g].MulVec(x), l.Wh[g].MulVec(hPrev)), l.B[g])
+		if g == 3 {
+			gates[g] = make(Vec, len(pre))
+			for i, v := range pre {
+				gates[g][i] = tanhFromSigmoid(v)
+			}
+		} else {
+			gates[g] = SigmoidVec(pre)
+		}
+	}
+	in, forget, out, cand := gates[0], gates[1], gates[2], gates[3]
+	c = Add(Hadamard(forget, cPrev), Hadamard(in, cand))
+	h = make(Vec, l.Hidden)
+	for i := range h {
+		h[i] = out[i] * tanhFromSigmoid(c[i])
+	}
+	y = SigmoidVec(Add(l.Why.MulVec(h), l.By))
+	return h, c, y
+}
+
+// Forward runs a sequence and returns per-step outputs.
+func (l *LSTM) Forward(xs []Vec) []Vec {
+	h := make(Vec, l.Hidden)
+	c := make(Vec, l.Hidden)
+	outs := make([]Vec, len(xs))
+	for t, x := range xs {
+		h, c, outs[t] = l.Step(x, h, c)
+	}
+	return outs
+}

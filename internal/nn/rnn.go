@@ -1,0 +1,54 @@
+package nn
+
+// RNN is the Table III recurrent benchmark (input(26) - H(93) - output(61),
+// framewise phoneme classification [15]): a simple Elman network
+//
+//	h_t = sigmoid(Wxh x_t + Whh h_{t-1} + bh)
+//	y_t = sigmoid(Why h_t + by)
+type RNN struct {
+	In, Hidden, Out int
+	Wxh, Whh, Why   Mat
+	Bh, By          Vec
+}
+
+// RNNBenchmark is the Table III topology.
+func RNNBenchmark() (in, hidden, out int) { return 26, 93, 61 }
+
+// NewRNN builds an RNN with deterministic weights.
+func NewRNN(in, hidden, out int, seed uint64) *RNN {
+	r := NewRNG(seed)
+	si, sh := WeightScale(in), WeightScale(hidden)
+	return &RNN{
+		In: in, Hidden: hidden, Out: out,
+		Wxh: r.FillMat(hidden, in, -si, si),
+		Whh: r.FillMat(hidden, hidden, -sh, sh),
+		Why: r.FillMat(out, hidden, -sh, sh),
+		Bh:  r.FillVec(hidden, -sh, sh),
+		By:  r.FillVec(out, -sh, sh),
+	}
+}
+
+// QuantizeParams rounds all parameters to fixed-point precision.
+func (n *RNN) QuantizeParams() *RNN {
+	n.Wxh, n.Whh, n.Why = QuantizeMat(n.Wxh), QuantizeMat(n.Whh), QuantizeMat(n.Why)
+	n.Bh, n.By = Quantize(n.Bh), Quantize(n.By)
+	return n
+}
+
+// Step advances one timestep, returning the new hidden state and output.
+func (n *RNN) Step(x, hPrev Vec) (h, y Vec) {
+	pre := Add(Add(n.Wxh.MulVec(x), n.Whh.MulVec(hPrev)), n.Bh)
+	h = SigmoidVec(pre)
+	y = SigmoidVec(Add(n.Why.MulVec(h), n.By))
+	return h, y
+}
+
+// Forward runs a sequence and returns the per-step outputs.
+func (n *RNN) Forward(xs []Vec) []Vec {
+	h := make(Vec, n.Hidden)
+	outs := make([]Vec, len(xs))
+	for t, x := range xs {
+		h, outs[t] = n.Step(x, h)
+	}
+	return outs
+}

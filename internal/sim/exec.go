@@ -1,0 +1,718 @@
+package sim
+
+import (
+	"fmt"
+
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+	"cambricon/internal/mem"
+)
+
+// space identifies which memory an access touches; the memory queue only
+// serializes overlapping accesses within the same space.
+type space uint8
+
+const (
+	spaceMain space = iota
+	spaceVec
+	spaceMat
+)
+
+// access is one memory region touched by an instruction.
+type access struct {
+	sp    space
+	reg   mem.Region
+	write bool
+}
+
+// fuKind routes an instruction to its execution resource (Fig. 8).
+type fuKind uint8
+
+const (
+	fuScalar    fuKind = iota // scalar functional unit
+	fuScalarMem               // scalar load/store via AGU + L1 cache
+	fuVector                  // vector functional unit (and its DMAs)
+	fuMatrix                  // matrix functional unit (and its DMAs)
+)
+
+// effect is what one executed instruction reports to the timing model. The
+// access set is backed by a fixed array indexed by nAccess (no instruction
+// touches more than four regions), keeping the execution loop
+// allocation-free and the struct copyable by value.
+type effect struct {
+	fu           fuKind
+	execCycles   int64
+	accessBuf    [4]access
+	nAccess      int
+	branchTaken  bool
+	branchOffset int
+}
+
+func (e *effect) touch(sp space, addr, n int, write bool) {
+	e.accessBuf[e.nAccess] = access{sp: sp, reg: mem.Region{Addr: addr, N: n}, write: write}
+	e.nAccess++
+}
+
+// acc views the access set.
+func (e *effect) acc() []access { return e.accessBuf[:e.nAccess] }
+
+// overlapsConflicting reports whether two instructions' access sets contain
+// a pair in the same space, overlapping, with at least one write — the
+// paper's memory-dependence rule (footnote 2).
+func overlapsConflicting(a, b []access) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.sp == y.sp && (x.write || y.write) && x.reg.Overlaps(y.reg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func ceilDiv(a, b int) int64 {
+	if b <= 0 {
+		b = 1
+	}
+	return int64((a + b - 1) / b)
+}
+
+// vecCycles models a vector-unit operation of n elements with the given
+// per-beat cost over the supplied scratchpad access regions, charging
+// crossbar serialization beyond the longest ideal stream to the
+// bank-conflict counter.
+func (m *Machine) vecCycles(n int, beatCost int, regions []access) int64 {
+	beats := ceilDiv(n, m.cfg.VectorLanes) * int64(beatCost)
+	var regionBuf [4]mem.Region
+	spadRegions := regionBuf[:0]
+	ideal := 0
+	for _, a := range regions {
+		if a.sp != spaceVec || a.reg.N <= 0 {
+			continue
+		}
+		spadRegions = append(spadRegions, a.reg)
+		lines := (a.reg.N + m.cfg.BankBytes - 1) / m.cfg.BankBytes
+		if lines > ideal {
+			ideal = lines
+		}
+	}
+	conflict := int64(m.vspad.AccessCycles(spadRegions))
+	if extra := conflict - int64(ideal); extra > 0 {
+		m.stats.BankConflictCycles += extra
+	}
+	if conflict > beats {
+		return conflict
+	}
+	return beats
+}
+
+// matCycles models a matrix-vector-shaped operation streaming rows across
+// the 32 blocks and columns across each block's 32 MACs, plus the h-tree
+// overhead.
+func (m *Machine) matCycles(rows, cols int) int64 {
+	beats := ceilDiv(rows, m.cfg.MatrixBlocks) * ceilDiv(cols, m.cfg.MACsPerBlock)
+	return int64(m.cfg.HTreeOverhead) + beats
+}
+
+// matElemCycles models an element-wise matrix operation: all MACs of all
+// blocks work in parallel over the flat element stream.
+func (m *Machine) matElemCycles(n int) int64 {
+	beats := ceilDiv(n, m.cfg.MatrixBlocks*m.cfg.MACsPerBlock)
+	return int64(m.cfg.HTreeOverhead) + beats
+}
+
+// exec functionally executes inst against the architectural state and
+// returns its timing effect.
+func (m *Machine) exec(inst core.Instruction) (effect, error) {
+	var e effect
+	switch inst.Op {
+	case core.JUMP:
+		e.fu = fuScalar
+		e.execCycles = 1
+		e.branchTaken = true
+		e.branchOffset = int(m.tailInt(inst, 0))
+	case core.CB:
+		e.fu = fuScalar
+		e.execCycles = 1
+		m.stats.ScalarOps++
+		if m.regInt(inst.R[0]) > 0 {
+			e.branchTaken = true
+			e.branchOffset = int(m.tailInt(inst, 1))
+		}
+
+	case core.VLOAD, core.MLOAD:
+		return m.execLoadStore(inst, true)
+	case core.VSTORE, core.MSTORE:
+		return m.execLoadStore(inst, false)
+	case core.VMOVE, core.MMOVE:
+		return m.execMove(inst)
+	case core.SLOAD:
+		e.fu = fuScalarMem
+		e.execCycles = 2 // L1 hit
+		addr := m.regAddr(inst.R[1]) + int(inst.Imm)
+		v, err := m.main.ReadWord(addr)
+		if err != nil {
+			return e, err
+		}
+		m.gpr[inst.R[0]] = v
+		e.touch(spaceMain, addr, 4, false)
+	case core.SSTORE:
+		e.fu = fuScalarMem
+		e.execCycles = 2
+		addr := m.regAddr(inst.R[1]) + int(inst.Imm)
+		if err := m.main.WriteWord(addr, m.gpr[inst.R[0]]); err != nil {
+			return e, err
+		}
+		e.touch(spaceMain, addr, 4, true)
+	case core.SMOVE:
+		e.fu = fuScalar
+		e.execCycles = 1
+		m.stats.ScalarOps++
+		m.gpr[inst.R[0]] = uint32(m.tailInt(inst, 1))
+
+	case core.MMV, core.VMM:
+		return m.execMatVec(inst)
+	case core.MMS:
+		return m.execMMS(inst)
+	case core.OP:
+		return m.execOuter(inst)
+	case core.MAM, core.MSM:
+		return m.execMatElem(inst)
+
+	case core.VAV, core.VSV, core.VMV, core.VDV,
+		core.VGT, core.VE, core.VAND, core.VOR, core.VGTM:
+		return m.execVecBinary(inst)
+	case core.VAS:
+		return m.execVAS(inst)
+	case core.VEXP, core.VLOG, core.VNOT:
+		return m.execVecUnary(inst)
+	case core.VDOT:
+		return m.execVDOT(inst)
+	case core.RV:
+		return m.execRV(inst)
+	case core.VMAX, core.VMIN:
+		return m.execVReduce(inst)
+
+	case core.SADD, core.SSUB, core.SMUL, core.SDIV,
+		core.SGT, core.SE, core.SAND:
+		e.fu = fuScalar
+		e.execCycles = 1
+		m.stats.ScalarOps++
+		a := m.regInt(inst.R[1])
+		b := m.tailInt(inst, 2)
+		var r int32
+		switch inst.Op {
+		case core.SADD:
+			r = a + b
+		case core.SSUB:
+			r = a - b
+		case core.SMUL:
+			r = a * b
+		case core.SDIV:
+			e.execCycles = int64(m.cfg.DivBeatCycles)
+			if b == 0 {
+				return e, fmt.Errorf("scalar division by zero")
+			}
+			r = a / b
+		case core.SGT:
+			if a > b {
+				r = 1
+			}
+		case core.SE:
+			if a == b {
+				r = 1
+			}
+		case core.SAND:
+			if a != 0 && b != 0 {
+				r = 1
+			}
+		}
+		m.gpr[inst.R[0]] = uint32(r)
+	case core.SEXP, core.SLOG:
+		e.fu = fuScalar
+		e.execCycles = int64(m.cfg.CordicBeatCycles)
+		m.stats.ScalarOps++
+		m.stats.TranscendentalElems++
+		v := fixed.Num(m.tailInt(inst, 1))
+		var r fixed.Num
+		if inst.Op == core.SEXP {
+			r = fixed.Exp(v)
+		} else {
+			r = fixed.Log(v)
+		}
+		m.gpr[inst.R[0]] = uint32(int32(r))
+
+	default:
+		return e, fmt.Errorf("unimplemented opcode %v", inst.Op)
+	}
+	return e, nil
+}
+
+// execLoadStore handles VLOAD/VSTORE/MLOAD/MSTORE: a DMA transfer between
+// main memory and a scratchpad.
+func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error) {
+	var e effect
+	sp, pad := spaceVec, m.vspad
+	e.fu = fuVector
+	if inst.Op == core.MLOAD || inst.Op == core.MSTORE {
+		sp, pad = spaceMat, m.mspad
+		e.fu = fuMatrix
+	}
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	spadAddr := m.regAddr(inst.R[0])
+	mainAddr := m.regAddr(inst.R[2]) + int(inst.Imm)
+	bytes := fixed.Bytes(n)
+	data := scratchBytes(&m.bufBytes, bytes)
+	if load {
+		if err := m.main.ReadBytesInto(mainAddr, data); err != nil {
+			return e, err
+		}
+		if err := pad.WriteBytes(spadAddr, data); err != nil {
+			return e, err
+		}
+		e.touch(spaceMain, mainAddr, bytes, false)
+		e.touch(sp, spadAddr, bytes, true)
+	} else {
+		if err := pad.ReadBytesInto(spadAddr, data); err != nil {
+			return e, err
+		}
+		if err := m.main.WriteBytes(mainAddr, data); err != nil {
+			return e, err
+		}
+		e.touch(sp, spadAddr, bytes, false)
+		e.touch(spaceMain, mainAddr, bytes, true)
+	}
+	dma := mem.DMA{StartupCycles: m.cfg.DMAStartupCycles, BytesPerCycle: m.cfg.DMABytesPerCycle}
+	e.execCycles = int64(dma.TransferCycles(bytes))
+	m.stats.DMABytes += int64(bytes)
+	m.stats.SpadBytes += int64(bytes)
+	return e, nil
+}
+
+// execMove handles VMOVE/MMOVE: an on-chip copy within one scratchpad.
+func (m *Machine) execMove(inst core.Instruction) (effect, error) {
+	var e effect
+	sp, pad := spaceVec, m.vspad
+	e.fu = fuVector
+	if inst.Op == core.MMOVE {
+		sp, pad = spaceMat, m.mspad
+		e.fu = fuMatrix
+	}
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst, src := m.regAddr(inst.R[0]), m.regAddr(inst.R[2])
+	bytes := fixed.Bytes(n)
+	data := scratchBytes(&m.bufBytes, bytes)
+	if err := pad.ReadBytesInto(src, data); err != nil {
+		return e, err
+	}
+	if err := pad.WriteBytes(dst, data); err != nil {
+		return e, err
+	}
+	e.touch(sp, src, bytes, false)
+	e.touch(sp, dst, bytes, true)
+	if sp == spaceVec {
+		e.execCycles = m.vecCycles(n, 1, e.acc())
+	} else {
+		e.execCycles = m.matElemCycles(n)
+	}
+	m.stats.SpadBytes += 2 * int64(bytes)
+	return e, nil
+}
+
+// execMatVec handles MMV (Vout = M x Vin) and VMM (Vout = Vin x M). Both
+// read the matrix row-major from the matrix scratchpad; VMM contracts over
+// rows instead of columns, which is what makes the transpose-free backward
+// pass possible (Section III-A).
+func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuMatrix
+	outN, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	inN, err := m.regSize(inst.R[4])
+	if err != nil {
+		return e, err
+	}
+	matAddr := m.regAddr(inst.R[2])
+	vinAddr := m.regAddr(inst.R[3])
+	voutAddr := m.regAddr(inst.R[0])
+
+	vin := scratch(&m.bufA, inN)
+	if err := m.vspad.ReadNumsInto(vinAddr, vin); err != nil {
+		return e, err
+	}
+	var rows, cols int
+	if inst.Op == core.MMV {
+		rows, cols = outN, inN
+	} else {
+		rows, cols = inN, outN
+	}
+	mat := scratch(&m.bufMat, rows*cols)
+	if err := m.mspad.ReadNumsInto(matAddr, mat); err != nil {
+		return e, err
+	}
+	out := scratch(&m.bufOut, outN)
+	if inst.Op == core.MMV {
+		for i := 0; i < outN; i++ {
+			out[i] = fixed.Dot(mat[i*cols:(i+1)*cols], vin)
+		}
+	} else {
+		for j := 0; j < outN; j++ {
+			var sum fixed.Acc
+			for i := 0; i < inN; i++ {
+				sum += fixed.MulAcc(vin[i], mat[i*cols+j])
+			}
+			out[j] = fixed.AccSat(sum)
+		}
+	}
+	if err := m.vspad.WriteNums(voutAddr, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceMat, matAddr, fixed.Bytes(rows*cols), false)
+	e.touch(spaceVec, vinAddr, fixed.Bytes(inN), false)
+	e.touch(spaceVec, voutAddr, fixed.Bytes(outN), true)
+	e.execCycles = m.matCycles(rows, cols)
+	m.stats.MACOps += int64(rows) * int64(cols)
+	m.stats.SpadBytes += int64(fixed.Bytes(rows*cols + inN + outN))
+	return e, nil
+}
+
+// execMMS handles matrix-mult-scalar.
+func (m *Machine) execMMS(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuMatrix
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst, src := m.regAddr(inst.R[0]), m.regAddr(inst.R[2])
+	s := fixed.Num(m.tailInt(inst, 3))
+	in := scratch(&m.bufA, n)
+	if err := m.mspad.ReadNumsInto(src, in); err != nil {
+		return e, err
+	}
+	out := scratch(&m.bufOut, n)
+	for i, v := range in {
+		out[i] = fixed.Mul(v, s)
+	}
+	if err := m.mspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceMat, src, fixed.Bytes(n), false)
+	e.touch(spaceMat, dst, fixed.Bytes(n), true)
+	e.execCycles = m.matElemCycles(n)
+	m.stats.MACOps += int64(n)
+	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
+	return e, nil
+}
+
+// execOuter handles OP: Mout[i][j] = Vin0[i] * Vin1[j].
+func (m *Machine) execOuter(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuMatrix
+	rows, err := m.regSize(inst.R[2])
+	if err != nil {
+		return e, err
+	}
+	cols, err := m.regSize(inst.R[4])
+	if err != nil {
+		return e, err
+	}
+	dst := m.regAddr(inst.R[0])
+	v0 := scratch(&m.bufA, rows)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[1]), v0); err != nil {
+		return e, err
+	}
+	v1 := scratch(&m.bufB, cols)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[3]), v1); err != nil {
+		return e, err
+	}
+	out := scratch(&m.bufMat, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out[i*cols+j] = fixed.Mul(v0[i], v1[j])
+		}
+	}
+	if err := m.mspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceVec, m.regAddr(inst.R[1]), fixed.Bytes(rows), false)
+	e.touch(spaceVec, m.regAddr(inst.R[3]), fixed.Bytes(cols), false)
+	e.touch(spaceMat, dst, fixed.Bytes(rows*cols), true)
+	e.execCycles = m.matCycles(rows, cols)
+	m.stats.MACOps += int64(rows) * int64(cols)
+	m.stats.SpadBytes += int64(fixed.Bytes(rows*cols + rows + cols))
+	return e, nil
+}
+
+// execMatElem handles MAM/MSM: element-wise matrix add/subtract.
+func (m *Machine) execMatElem(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuMatrix
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst := m.regAddr(inst.R[0])
+	a := scratch(&m.bufA, n)
+	if err := m.mspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+		return e, err
+	}
+	b := scratch(&m.bufB, n)
+	if err := m.mspad.ReadNumsInto(m.regAddr(inst.R[3]), b); err != nil {
+		return e, err
+	}
+	out := scratch(&m.bufOut, n)
+	for i := range out {
+		if inst.Op == core.MAM {
+			out[i] = fixed.Add(a[i], b[i])
+		} else {
+			out[i] = fixed.Sub(a[i], b[i])
+		}
+	}
+	if err := m.mspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceMat, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
+	e.touch(spaceMat, m.regAddr(inst.R[3]), fixed.Bytes(n), false)
+	e.touch(spaceMat, dst, fixed.Bytes(n), true)
+	e.execCycles = m.matElemCycles(n)
+	m.stats.MACOps += int64(n)
+	m.stats.SpadBytes += int64(3 * fixed.Bytes(n))
+	return e, nil
+}
+
+// execVecBinary handles all element-wise two-vector operations.
+func (m *Machine) execVecBinary(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuVector
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst := m.regAddr(inst.R[0])
+	a := scratch(&m.bufA, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+		return e, err
+	}
+	b := scratch(&m.bufB, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[3]), b); err != nil {
+		return e, err
+	}
+	out := scratch(&m.bufOut, n)
+	beatCost := 1
+	for i := range out {
+		switch inst.Op {
+		case core.VAV:
+			out[i] = fixed.Add(a[i], b[i])
+		case core.VSV:
+			out[i] = fixed.Sub(a[i], b[i])
+		case core.VMV:
+			out[i] = fixed.Mul(a[i], b[i])
+		case core.VDV:
+			out[i] = fixed.Div(a[i], b[i])
+		case core.VGT:
+			out[i] = boolNum(a[i] > b[i])
+		case core.VE:
+			out[i] = boolNum(a[i] == b[i])
+		case core.VAND:
+			out[i] = boolNum(a[i] != 0 && b[i] != 0)
+		case core.VOR:
+			out[i] = boolNum(a[i] != 0 || b[i] != 0)
+		case core.VGTM:
+			if a[i] > b[i] {
+				out[i] = a[i]
+			} else {
+				out[i] = b[i]
+			}
+		}
+	}
+	if inst.Op == core.VDV {
+		beatCost = m.cfg.DivBeatCycles
+	}
+	if err := m.vspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
+	e.touch(spaceVec, m.regAddr(inst.R[3]), fixed.Bytes(n), false)
+	e.touch(spaceVec, dst, fixed.Bytes(n), true)
+	e.execCycles = m.vecCycles(n, beatCost, e.acc())
+	m.stats.VectorElems += int64(n)
+	m.stats.SpadBytes += int64(3 * fixed.Bytes(n))
+	return e, nil
+}
+
+// execVAS handles vector-add-scalar.
+func (m *Machine) execVAS(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuVector
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst := m.regAddr(inst.R[0])
+	a := scratch(&m.bufA, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+		return e, err
+	}
+	s := fixed.Num(m.tailInt(inst, 3))
+	out := scratch(&m.bufOut, n)
+	for i := range out {
+		out[i] = fixed.Add(a[i], s)
+	}
+	if err := m.vspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
+	e.touch(spaceVec, dst, fixed.Bytes(n), true)
+	e.execCycles = m.vecCycles(n, 1, e.acc())
+	m.stats.VectorElems += int64(n)
+	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
+	return e, nil
+}
+
+// execVecUnary handles VEXP/VLOG/VNOT.
+func (m *Machine) execVecUnary(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuVector
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst := m.regAddr(inst.R[0])
+	a := scratch(&m.bufA, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+		return e, err
+	}
+	out := scratch(&m.bufOut, n)
+	beatCost := 1
+	switch inst.Op {
+	case core.VEXP:
+		beatCost = m.cfg.CordicBeatCycles
+		for i := range out {
+			out[i] = fixed.Exp(a[i])
+		}
+		m.stats.TranscendentalElems += int64(n)
+	case core.VLOG:
+		beatCost = m.cfg.CordicBeatCycles
+		for i := range out {
+			out[i] = fixed.Log(a[i])
+		}
+		m.stats.TranscendentalElems += int64(n)
+	case core.VNOT:
+		for i := range out {
+			out[i] = boolNum(a[i] == 0)
+		}
+	}
+	if err := m.vspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
+	e.touch(spaceVec, dst, fixed.Bytes(n), true)
+	e.execCycles = m.vecCycles(n, beatCost, e.acc())
+	m.stats.VectorElems += int64(n)
+	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
+	return e, nil
+}
+
+// execVDOT handles the dot product, writing its scalar result to a GPR.
+func (m *Machine) execVDOT(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuVector
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	a := scratch(&m.bufA, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+		return e, err
+	}
+	b := scratch(&m.bufB, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[3]), b); err != nil {
+		return e, err
+	}
+	m.gpr[inst.R[0]] = uint32(int32(fixed.Dot(a, b)))
+	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
+	e.touch(spaceVec, m.regAddr(inst.R[3]), fixed.Bytes(n), false)
+	e.execCycles = m.vecCycles(n, 1, e.acc()) + reduceCycles(m.cfg.VectorLanes)
+	m.stats.VectorElems += int64(n)
+	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
+	return e, nil
+}
+
+// execRV handles the random-vector instruction: uniform fixed-point values
+// over [0, 1) from the machine's deterministic PRNG.
+func (m *Machine) execRV(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuVector
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	dst := m.regAddr(inst.R[0])
+	out := scratch(&m.bufOut, n)
+	for i := range out {
+		out[i] = m.nextRand()
+	}
+	if err := m.vspad.WriteNums(dst, out); err != nil {
+		return e, err
+	}
+	e.touch(spaceVec, dst, fixed.Bytes(n), true)
+	e.execCycles = m.vecCycles(n, 1, e.acc())
+	m.stats.VectorElems += int64(n)
+	m.stats.SpadBytes += int64(fixed.Bytes(n))
+	return e, nil
+}
+
+// execVReduce handles VMAX/VMIN, writing the extreme element to a GPR.
+func (m *Machine) execVReduce(inst core.Instruction) (effect, error) {
+	var e effect
+	e.fu = fuVector
+	n, err := m.regSize(inst.R[1])
+	if err != nil {
+		return e, err
+	}
+	if n == 0 {
+		return e, fmt.Errorf("%v of an empty vector", inst.Op)
+	}
+	a := scratch(&m.bufA, n)
+	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+		return e, err
+	}
+	best := a[0]
+	for _, v := range a[1:] {
+		if (inst.Op == core.VMAX && v > best) || (inst.Op == core.VMIN && v < best) {
+			best = v
+		}
+	}
+	m.gpr[inst.R[0]] = uint32(int32(best))
+	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
+	e.execCycles = m.vecCycles(n, 1, e.acc()) + reduceCycles(m.cfg.VectorLanes)
+	m.stats.VectorElems += int64(n)
+	m.stats.SpadBytes += int64(fixed.Bytes(n))
+	return e, nil
+}
+
+// reduceCycles is the cost of the lane-reduction tree.
+func reduceCycles(lanes int) int64 {
+	c := int64(0)
+	for lanes > 1 {
+		lanes = (lanes + 1) / 2
+		c++
+	}
+	return c
+}
+
+func boolNum(b bool) fixed.Num {
+	if b {
+		return fixed.One
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+)
+
+// tourSrc exercises every one of the 43 Cambricon instructions at least
+// once in a single program.
+const tourSrc = `
+	// sizes and scratchpad regions
+	SMOVE  $1, #8         // vector length
+	SMOVE  $2, #64        // matrix elements (8x8)
+	SMOVE  $10, #0        // vspad a
+	SMOVE  $11, #64       // vspad b
+	SMOVE  $12, #128      // vspad c
+	SMOVE  $20, #0        // mspad A
+	SMOVE  $21, #1024     // mspad B
+	SMOVE  $22, #2048     // mspad C
+
+	// vector sources
+	RV     $10, $1
+	RV     $11, $1
+	VSTORE $10, $1, #1000
+	VLOAD  $12, $1, #1000
+	VMOVE  $12, $1, $10
+
+	// vector computational
+	VAV    $12, $1, $10, $11
+	VSV    $12, $1, $10, $11
+	VMV    $12, $1, $10, $11
+	VDV    $12, $1, $10, $11
+	VAS    $12, $1, $10, #256
+	VEXP   $12, $1, $10
+	VLOG   $12, $1, $12   // log(exp(a)) with a >= 0: argument >= 1
+	VDOT   $3, $1, $10, $11
+	VMAX   $4, $1, $10
+	VMIN   $5, $1, $10
+
+	// vector logical
+	VGT    $12, $1, $10, $11
+	VE     $12, $1, $10, $10
+	VAND   $12, $1, $12, $12
+	VOR    $12, $1, $12, $12
+	VNOT   $12, $1, $12
+	VGTM   $12, $1, $10, $11
+
+	// matrix
+	OP     $20, $10, $1, $11, $1
+	MMS    $21, $2, $20, #128
+	MAM    $22, $2, $20, $21
+	MSM    $22, $2, $22, $21
+	MMV    $12, $1, $20, $10, $1
+	VMM    $12, $1, $20, $10, $1
+	MSTORE $20, $2, #2000
+	MLOAD  $21, $2, #2000
+	MMOVE  $22, $2, $20
+
+	// scalar computational and logical
+	SADD   $6, $1, #1
+	SSUB   $6, $6, $1
+	SMUL   $6, $6, #3
+	SDIV   $6, $6, #3
+	SEXP   $7, #256
+	SLOG   $7, $7
+	SGT    $8, $6, $1
+	SE     $8, $6, $6
+	SAND   $8, $8, $8
+	SSTORE $8, #3000
+	SLOAD  $9, #3000
+
+	// control
+	SMOVE  $30, #2
+loop:	SADD   $30, $30, #-1
+	CB     #loop, $30
+	JUMP   #end
+	SMOVE  $31, #999      // must be skipped
+end:	SMOVE  $32, #1
+`
+
+func TestISATourCoversAll43Instructions(t *testing.T) {
+	p := asm.MustAssemble(tourSrc)
+	m := MustNew(DefaultConfig())
+	m.LoadProgram(p.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range core.Opcodes() {
+		if stats.ByOpcode[op] == 0 {
+			t.Errorf("opcode %v never executed by the tour", op)
+		}
+	}
+	if got := len(stats.TopOpcodes(0)); got != core.NumInstructions {
+		t.Errorf("histogram covers %d opcodes, want %d", got, core.NumInstructions)
+	}
+	// Spot-check architectural effects across the tour.
+	if m.GPR(31) != 0 {
+		t.Error("JUMP failed to skip the poison instruction")
+	}
+	if m.GPR(32) != 1 {
+		t.Error("fall-through to end label failed")
+	}
+	if got := int32(m.GPR(9)); got != 1 {
+		t.Errorf("SSTORE/SLOAD round trip = %d, want 1", got)
+	}
+	// SEXP(1.0) then SLOG back: ~1.0 within two quantization steps.
+	if got := fixed.Num(int32(m.GPR(7))).Float(); got < 1-3.0/256 || got > 1+3.0/256 {
+		t.Errorf("SLOG(SEXP(1)) = %v", got)
+	}
+	// VMAX >= VMIN over the same vector.
+	if int16(m.GPR(4)) < int16(m.GPR(5)) {
+		t.Error("VMAX below VMIN")
+	}
+	if stats.BranchesTaken != 2 { // one CB repeat + one JUMP
+		t.Errorf("taken branches = %d, want 2", stats.BranchesTaken)
+	}
+}
+
+func TestISATourDynamicMixConsistent(t *testing.T) {
+	p := asm.MustAssemble(tourSrc)
+	m := MustNew(DefaultConfig())
+	m.LoadProgram(p.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byTypeFromOps [core.NumTypes]int64
+	for _, op := range core.Opcodes() {
+		byTypeFromOps[op.Type()] += stats.ByOpcode[op]
+	}
+	for i, typ := range core.Types() {
+		if byTypeFromOps[typ] != stats.ByType[typ] {
+			t.Errorf("type %d: opcode histogram sums to %d, ByType says %d",
+				i, byTypeFromOps[typ], stats.ByType[typ])
+		}
+	}
+	var total int64
+	for _, n := range stats.ByType {
+		total += n
+	}
+	if total != stats.Instructions {
+		t.Errorf("type counts sum to %d, instructions %d", total, stats.Instructions)
+	}
+}
+
+func TestEdgeSemantics(t *testing.T) {
+	// Division by a zero element clamps instead of faulting (vector ops
+	// must not kill a whole pipeline for one lane, unlike scalar SDIV).
+	src := `
+	SMOVE  $1, #4
+	SMOVE  $10, #0
+	SMOVE  $11, #64
+	SMOVE  $12, #128
+	VSV    $11, $1, $11, $11    // b = 0
+	VAS    $10, $1, $11, #512   // a = 2.0
+	VDV    $12, $1, $10, $11    // 2/0 -> clamp to Max
+	VSTORE $12, $1, #1000
+	VLOG   $12, $1, $11         // log(0) -> clamp to Min
+	VSTORE $12, $1, #1100
+	VAS    $10, $1, $11, #2560  // a = 10
+	VEXP   $12, $1, $10         // exp(10) saturates
+	VSTORE $12, $1, #1200
+`
+	m := MustNew(DefaultConfig())
+	p := asm.MustAssemble(src)
+	m.LoadProgram(p.Instructions)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	div, _ := m.ReadMainNums(1000, 4)
+	logv, _ := m.ReadMainNums(1100, 4)
+	expv, _ := m.ReadMainNums(1200, 4)
+	for i := 0; i < 4; i++ {
+		if div[i] != fixed.Max {
+			t.Errorf("2/0 lane %d = %v, want Max", i, div[i])
+		}
+		if logv[i] != fixed.Min {
+			t.Errorf("log(0) lane %d = %v, want Min", i, logv[i])
+		}
+		if expv[i] != fixed.Max {
+			t.Errorf("exp(10) lane %d = %v, want Max", i, expv[i])
+		}
+	}
+}
+
+func TestJumpRegisterVariant(t *testing.T) {
+	// JUMP through a register offset.
+	src := `
+	SMOVE $1, #2
+	JUMP  $1
+	SMOVE $2, #999
+	SMOVE $3, #1
+`
+	m := MustNew(DefaultConfig())
+	p := asm.MustAssemble(src)
+	m.LoadProgram(p.Instructions)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPR(2) != 0 || m.GPR(3) != 1 {
+		t.Errorf("register-offset JUMP: $2=%d $3=%d", m.GPR(2), m.GPR(3))
+	}
+}
+
+func TestCBRegisterOffsetVariant(t *testing.T) {
+	// CB with the offset in a register rather than an immediate label.
+	src := `
+	SMOVE $1, #1
+	SMOVE $2, #2
+	CB    $1, $2
+	SMOVE $3, #999
+	SMOVE $4, #1
+`
+	// Operand order here is predictor-first since both are registers.
+	m := MustNew(DefaultConfig())
+	p := asm.MustAssemble(src)
+	m.LoadProgram(p.Instructions)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPR(3) != 0 || m.GPR(4) != 1 {
+		t.Errorf("register-offset CB: $3=%d $4=%d", m.GPR(3), m.GPR(4))
+	}
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"cambricon/internal/core"
+	"cambricon/internal/fixed"
+	"cambricon/internal/mem"
+)
+
+// Machine is one Cambricon-ACC instance: architectural state (GPRs, PC,
+// scratchpads, main memory) plus the pipeline timing model.
+//
+// A Machine is not safe for concurrent use; run independent machines in
+// parallel instead (they share no state).
+type Machine struct {
+	cfg   Config
+	gpr   [core.NumGPRs]uint32
+	pc    int
+	vspad *mem.Scratchpad
+	mspad *mem.Scratchpad
+	main  *mem.Main
+	rng   uint64
+	prog  []core.Instruction
+	stats Stats
+	pipe  pipeline
+	trace io.Writer
+
+	// Reusable operand buffers for the execution hot path (one exec call
+	// uses at most one of each).
+	bufA, bufB, bufOut, bufMat []fixed.Num
+	bufBytes                   []byte
+}
+
+// New builds a machine with the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg}
+	m.vspad = mem.NewScratchpad("vector-spad", cfg.VectorSpadBytes, cfg.SpadBanks, cfg.BankBytes)
+	m.mspad = mem.NewScratchpad("matrix-spad", cfg.MatrixSpadBytes, cfg.SpadBanks, cfg.BankBytes)
+	m.main = mem.NewMain(cfg.MainMemBytes)
+	m.Reset()
+	return m, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Reset clears registers, PC, statistics and pipeline state. Memory
+// contents are preserved so a program can be re-run over a loaded image;
+// use New for a fully fresh machine.
+func (m *Machine) Reset() {
+	m.gpr = [core.NumGPRs]uint32{}
+	m.pc = 0
+	m.rng = m.cfg.Seed
+	if m.rng == 0 {
+		m.rng = 1
+	}
+	m.stats = Stats{}
+	m.pipe.init(&m.cfg, &m.stats)
+}
+
+// LoadProgram installs the program to run.
+func (m *Machine) LoadProgram(prog []core.Instruction) {
+	m.prog = prog
+	m.pc = 0
+}
+
+// SetGPR initializes a register (argument passing before Run).
+func (m *Machine) SetGPR(r uint8, v uint32) {
+	m.gpr[r] = v
+}
+
+// GPR reads a register (result retrieval after Run).
+func (m *Machine) GPR(r uint8) uint32 { return m.gpr[r] }
+
+// WriteMainNums places fixed-point data in main memory (workload images).
+func (m *Machine) WriteMainNums(addr int, ns []fixed.Num) error {
+	return m.main.WriteNums(addr, ns)
+}
+
+// ReadMainNums reads fixed-point data from main memory (results).
+func (m *Machine) ReadMainNums(addr, count int) ([]fixed.Num, error) {
+	return m.main.ReadNums(addr, count)
+}
+
+// WriteMainWord stores a 32-bit scalar in main memory.
+func (m *Machine) WriteMainWord(addr int, v uint32) error {
+	return m.main.WriteWord(addr, v)
+}
+
+// ReadMainWord reads a 32-bit scalar from main memory.
+func (m *Machine) ReadMainWord(addr int) (uint32, error) {
+	return m.main.ReadWord(addr)
+}
+
+// ReadVectorSpad reads elements directly from the vector scratchpad
+// (debugging and tests).
+func (m *Machine) ReadVectorSpad(addr, count int) ([]fixed.Num, error) {
+	return m.vspad.ReadNums(addr, count)
+}
+
+// ReadMatrixSpad reads elements directly from the matrix scratchpad.
+func (m *Machine) ReadMatrixSpad(addr, count int) ([]fixed.Num, error) {
+	return m.mspad.ReadNums(addr, count)
+}
+
+// Stats returns the statistics of the last Run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// SetTrace directs a per-instruction execution trace to w (nil disables
+// tracing). Each committed instruction emits one line with its dynamic
+// index, commit cycle, program counter and disassembly; taken branches are
+// annotated. This is the software analogue of the paper's VCD-based
+// inspection flow.
+func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
+
+// RuntimeError reports a fault during execution, tied to the program
+// counter and instruction that caused it.
+type RuntimeError struct {
+	PC   int
+	Inst core.Instruction
+	Err  error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("sim: pc=%d %v: %v", e.PC, e.Inst, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// Run executes the loaded program from PC 0 until it falls off the end of
+// the instruction stream, returning run statistics. A program that exceeds
+// MaxDynamicInstructions fails (runaway-loop guard).
+func (m *Machine) Run() (Stats, error) {
+	m.pc = 0
+	for m.pc >= 0 && m.pc < len(m.prog) {
+		if m.stats.Instructions >= m.cfg.MaxDynamicInstructions {
+			return m.stats, &RuntimeError{PC: m.pc, Inst: m.prog[m.pc],
+				Err: fmt.Errorf("dynamic instruction limit %d exceeded", m.cfg.MaxDynamicInstructions)}
+		}
+		inst := m.prog[m.pc]
+		eff, err := m.exec(inst)
+		if err != nil {
+			return m.stats, &RuntimeError{PC: m.pc, Inst: inst, Err: err}
+		}
+		m.stats.Instructions++
+		m.stats.ByType[inst.Op.Type()]++
+		m.stats.ByOpcode[inst.Op]++
+		commit := m.pipe.advance(inst, &eff)
+		if m.trace != nil {
+			note := ""
+			if eff.branchTaken {
+				note = fmt.Sprintf("  ; taken -> %d", m.pc+eff.branchOffset)
+			}
+			fmt.Fprintf(m.trace, "%8d  cyc=%-8d pc=%-6d %s%s\n",
+				m.stats.Instructions-1, commit, m.pc, inst, note)
+		}
+		if eff.branchTaken {
+			m.stats.BranchesTaken++
+			m.pc += eff.branchOffset
+		} else {
+			m.pc++
+		}
+	}
+	if m.pc != len(m.prog) && len(m.prog) > 0 {
+		return m.stats, fmt.Errorf("sim: control flow left the program (pc=%d, len=%d)", m.pc, len(m.prog))
+	}
+	m.stats.Cycles = m.pipe.lastCommit
+	return m.stats, nil
+}
+
+// regInt reads a GPR as a signed 32-bit integer.
+func (m *Machine) regInt(r uint8) int32 { return int32(m.gpr[r]) }
+
+// regAddr reads a GPR as a byte address.
+func (m *Machine) regAddr(r uint8) int { return int(int32(m.gpr[r])) }
+
+// regSize reads a GPR as an element count, rejecting negatives.
+func (m *Machine) regSize(r uint8) (int, error) {
+	v := int(int32(m.gpr[r]))
+	if v < 0 {
+		return 0, fmt.Errorf("negative size %d in $%d", v, r)
+	}
+	return v, nil
+}
+
+// tailInt resolves a TailRegImm operand (register index idx when the tail
+// is a register) as a signed scalar.
+func (m *Machine) tailInt(inst core.Instruction, idx int) int32 {
+	if inst.TailImm {
+		return inst.Imm
+	}
+	return m.regInt(inst.R[idx])
+}
+
+// scratch returns buf resized to n elements, growing its backing array only
+// when needed.
+func scratch(buf *[]fixed.Num, n int) []fixed.Num {
+	if cap(*buf) < n {
+		*buf = make([]fixed.Num, n)
+	}
+	return (*buf)[:n]
+}
+
+// scratchBytes is scratch for byte buffers.
+func scratchBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	return (*buf)[:n]
+}
+
+// nextRand steps the xorshift64* PRNG and returns a fixed-point value
+// uniform over [0, 1).
+func (m *Machine) nextRand() fixed.Num {
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	v := (x * 0x2545f4914f6cdd1d) >> 56 // 8 random bits
+	return fixed.Num(v)                 // 0..255 = [0,1) in Q8.8
+}

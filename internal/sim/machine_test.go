@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/core"
+)
+
+func TestTraceOutput(t *testing.T) {
+	p := asm.MustAssemble(`
+	SMOVE $1, #2
+top:	SADD  $1, $1, #-1
+	CB    #top, $1
+`)
+	m := MustNew(DefaultConfig())
+	var buf strings.Builder
+	m.SetTrace(&buf)
+	m.LoadProgram(p.Instructions)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SMOVE $1, #2") {
+		t.Errorf("trace missing first instruction:\n%s", out)
+	}
+	if !strings.Contains(out, "; taken -> 1") {
+		t.Errorf("trace missing branch annotation:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 6 { // SMOVE + 2x(SADD+CB) ... SADD,CB,SADD,CB = 5 total
+		t.Logf("trace:\n%s", out)
+	}
+	// Disabling tracing stops output.
+	m.SetTrace(nil)
+	m.Reset()
+	m.LoadProgram(p.Instructions)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeHistogram(t *testing.T) {
+	p := asm.MustAssemble(`
+	SMOVE $1, #5
+top:	SADD  $1, $1, #-1
+	CB    #top, $1
+`)
+	m := MustNew(DefaultConfig())
+	m.LoadProgram(p.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ByOpcode[core.SADD] != 5 {
+		t.Errorf("SADD count = %d, want 5", stats.ByOpcode[core.SADD])
+	}
+	if stats.ByOpcode[core.CB] != 5 {
+		t.Errorf("CB count = %d, want 5", stats.ByOpcode[core.CB])
+	}
+	top := stats.TopOpcodes(2)
+	if len(top) != 2 {
+		t.Fatalf("TopOpcodes returned %d entries", len(top))
+	}
+	if top[0].Count < top[1].Count {
+		t.Error("TopOpcodes not sorted")
+	}
+	all := stats.TopOpcodes(0)
+	if len(all) != 3 {
+		t.Errorf("expected 3 distinct opcodes, got %d", len(all))
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cambricon/internal/asm"
+)
+
+// mixedFUProgram alternates independent vector and matrix operations, the
+// pattern that exposes memory-queue capacity: with a deep queue the two
+// functional units overlap, with a single-entry queue each memory
+// instruction must retire before the next can issue.
+func mixedFUProgram() string {
+	var b strings.Builder
+	b.WriteString(`
+	SMOVE $1, #256
+	SMOVE $2, #1024
+	SMOVE $10, #0
+	SMOVE $11, #2048
+	SMOVE $20, #0
+	SMOVE $21, #8192
+`)
+	for i := 0; i < 16; i++ {
+		b.WriteString("\tRV    $10, $1\n")
+		b.WriteString("\tMMS   $21, $2, $20, #128\n")
+	}
+	return b.String()
+}
+
+func runWith(t *testing.T, cfg Config, src string) Stats {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(cfg)
+	m.LoadProgram(p.Instructions)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestMemQueueCapacityLimitsOverlap(t *testing.T) {
+	deep := DefaultConfig()
+	shallow := DefaultConfig()
+	shallow.MemQueueDepth = 1
+	src := mixedFUProgram()
+	sd := runWith(t, deep, src)
+	ss := runWith(t, shallow, src)
+	if ss.Cycles <= sd.Cycles {
+		t.Errorf("single-entry memory queue (%d cycles) should be slower than 32-entry (%d)",
+			ss.Cycles, sd.Cycles)
+	}
+	if ss.MemQueueFullStallCycles == 0 {
+		t.Error("shallow queue should report memory-queue-full stalls")
+	}
+	if sd.MemQueueFullStallCycles != 0 {
+		t.Errorf("deep queue should not fill on 32 in-flight ops, got %d stall cycles",
+			sd.MemQueueFullStallCycles)
+	}
+}
+
+func TestROBCapacityLimitsRunahead(t *testing.T) {
+	// One long matrix op followed by many independent scalars: scalars
+	// execute quickly but cannot commit past the matrix op; a tiny ROB
+	// throttles issue.
+	var b strings.Builder
+	b.WriteString(`
+	SMOVE $1, #256
+	SMOVE $10, #0
+	SMOVE $20, #0
+	SMOVE $21, #8192
+	RV    $10, $1
+	MMV   $21, $1, $20, $10, $1
+`)
+	for i := 0; i < 64; i++ {
+		b.WriteString("\tSADD $30, $30, #1\n")
+	}
+	src := b.String()
+	wide := DefaultConfig()
+	tiny := DefaultConfig()
+	tiny.ROBDepth = 2
+	sw := runWith(t, wide, src)
+	st := runWith(t, tiny, src)
+	if st.Cycles <= sw.Cycles {
+		t.Errorf("2-entry ROB (%d cycles) should be slower than 64-entry (%d)",
+			st.Cycles, sw.Cycles)
+	}
+	if st.ROBFullStallCycles == 0 {
+		t.Error("tiny ROB should report full stalls")
+	}
+}
+
+func TestIssueQueueDepthBoundsFetch(t *testing.T) {
+	// The issue queue bounds fetch-ahead; with a single-entry queue the
+	// front end cannot hide the decode stage behind issue stalls.
+	src := mixedFUProgram()
+	deep := DefaultConfig()
+	shallow := DefaultConfig()
+	shallow.IssueQueueDepth = 1
+	sd := runWith(t, deep, src)
+	ss := runWith(t, shallow, src)
+	if ss.Cycles < sd.Cycles {
+		t.Errorf("1-entry issue queue (%d) should not beat 24-entry (%d)", ss.Cycles, sd.Cycles)
+	}
+}
+
+func TestBranchPenaltyConfigurable(t *testing.T) {
+	loop := `
+	SMOVE $1, #64
+t:	SADD  $1, $1, #-1
+	CB    #t, $1
+`
+	fast := DefaultConfig()
+	fast.BranchPenaltyCycles = 0
+	slow := DefaultConfig()
+	slow.BranchPenaltyCycles = 16
+	sf := runWith(t, fast, loop)
+	ss := runWith(t, slow, loop)
+	if ss.Cycles <= sf.Cycles {
+		t.Errorf("16-cycle redirect (%d) should cost more than 0-cycle (%d)", ss.Cycles, sf.Cycles)
+	}
+}
+
+func TestCordicCostConfigurable(t *testing.T) {
+	src := `
+	SMOVE $1, #4096
+	SMOVE $10, #0
+	SMOVE $11, #8192
+	RV    $10, $1
+	VEXP  $11, $1, $10
+`
+	cheap := DefaultConfig()
+	cheap.CordicBeatCycles = 1
+	costly := DefaultConfig()
+	costly.CordicBeatCycles = 8
+	sc := runWith(t, cheap, src)
+	se := runWith(t, costly, src)
+	if se.Cycles <= sc.Cycles {
+		t.Errorf("8-cycle CORDIC beats (%d) should cost more than 1-cycle (%d)", se.Cycles, sc.Cycles)
+	}
+}
+
+func TestConfigValidationFillsDefaults(t *testing.T) {
+	var cfg Config
+	cfg.VectorSpadBytes = 1024
+	cfg.MatrixSpadBytes = 1024
+	cfg.BankBytes = 64
+	cfg.SpadBanks = 1
+	cfg.MainMemBytes = 4096
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Config()
+	if got.IssueWidth < 1 || got.ROBDepth < 1 || got.ClockHz <= 0 ||
+		got.MaxDynamicInstructions <= 0 {
+		t.Errorf("validate left zero fields: %+v", got)
+	}
+	// The degenerate machine still runs a trivial program.
+	p := asm.MustAssemble("\tSMOVE $1, #1\n")
+	m.LoadProgram(p.Instructions)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

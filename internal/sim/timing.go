@@ -1,0 +1,253 @@
+package sim
+
+import "cambricon/internal/core"
+
+// pipeline is a timestamp-propagation model of the Fig. 8 seven-stage
+// pipeline. Instructions pass through it in program order (the machine
+// executes functionally in order); each advance call computes when the
+// instruction would fetch, issue, execute and commit given the structural
+// resources of Table II, and accumulates stall statistics.
+type pipeline struct {
+	cfg   *Config
+	stats *Stats
+
+	count int64 // dynamic instruction index
+
+	// Fetch bandwidth and branch redirect.
+	fetchCycle int64
+	fetchSlot  int
+	redirect   int64
+
+	// Issue queue: time each of the last IssueQueueDepth instructions
+	// left the queue (ring indexed by dynamic index).
+	iqIssued []int64
+	// In-order issue with IssueWidth bandwidth.
+	issueCycle    int64
+	issueSlot     int
+	lastIssueTime int64
+
+	// Reorder buffer: commit time ring.
+	robCommit []int64
+	// In-order commit with IssueWidth bandwidth.
+	commitCycle int64
+	commitSlot  int
+	lastCommit  int64
+
+	// Memory queue ring (memory-touching instructions only).
+	memCount int64
+	mq       []mqEntry
+	mqRetire []int64
+
+	// Functional-unit availability. The scalar unit and L1 port are
+	// pipelined (one new op per cycle); the vector and matrix units are
+	// occupied for an operation's whole duration, which is what creates
+	// the inter-instruction bubbles discussed in Section V-B3.
+	scalarNext int64
+	l1Next     int64
+	vectorFree int64
+	matrixFree int64
+
+	regReady [core.NumGPRs]int64
+}
+
+// mqEntry is one in-flight memory-queue entry.
+type mqEntry struct {
+	done     int64
+	accesses []access
+}
+
+func (p *pipeline) init(cfg *Config, stats *Stats) {
+	p.cfg = cfg
+	p.stats = stats
+	p.count = 0
+	p.fetchCycle, p.fetchSlot, p.redirect = 0, 0, 0
+	p.iqIssued = make([]int64, cfg.IssueQueueDepth)
+	p.issueCycle, p.issueSlot, p.lastIssueTime = 0, 0, 0
+	p.robCommit = make([]int64, cfg.ROBDepth)
+	p.commitCycle, p.commitSlot, p.lastCommit = 0, 0, 0
+	p.memCount = 0
+	p.mq = make([]mqEntry, cfg.MemQueueDepth)
+	p.mqRetire = make([]int64, cfg.MemQueueDepth)
+	p.scalarNext, p.l1Next, p.vectorFree, p.matrixFree = 0, 0, 0, 0
+	p.regReady = [core.NumGPRs]int64{}
+}
+
+// advance threads one executed instruction through the timing model and
+// returns the instruction's commit cycle.
+func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
+	i := p.count
+	p.count++
+	width := p.cfg.IssueWidth
+
+	// Fetch: bounded by the redirect of an earlier taken branch, fetch
+	// bandwidth, and issue-queue space (the instruction IssueQueueDepth
+	// back must have left the queue).
+	f := p.redirect
+	if f < p.fetchCycle {
+		f = p.fetchCycle
+	}
+	if i >= int64(len(p.iqIssued)) {
+		if t := p.iqIssued[i%int64(len(p.iqIssued))]; t > f {
+			f = t
+		}
+	}
+	// Fetch bandwidth: at most IssueWidth fetches per cycle.
+	if f > p.fetchCycle {
+		p.fetchCycle = f
+		p.fetchSlot = 0
+	} else {
+		f = p.fetchCycle
+	}
+	p.fetchSlot++
+	if p.fetchSlot >= width {
+		p.fetchCycle++
+		p.fetchSlot = 0
+	}
+
+	// Decode.
+	s := f + 1
+
+	// Issue: in order, after source registers are read from the scalar
+	// register file, with ROB and memory-queue space available.
+	if s < p.lastIssueTime {
+		s = p.lastIssueTime
+	}
+	var srcBuf [6]uint8
+	rr := s
+	for _, r := range inst.ReadRegs(srcBuf[:0]) {
+		if p.regReady[r] > rr {
+			rr = p.regReady[r]
+		}
+	}
+	p.stats.RegStallCycles += rr - s
+	s = rr
+	if i >= int64(len(p.robCommit)) {
+		if t := p.robCommit[i%int64(len(p.robCommit))]; t > s {
+			p.stats.ROBFullStallCycles += t - s
+			s = t
+		}
+	}
+	isMem := e.fu == fuVector || e.fu == fuMatrix || e.fu == fuScalarMem
+	if isMem && p.memCount >= int64(len(p.mqRetire)) {
+		if t := p.mqRetire[p.memCount%int64(len(p.mqRetire))]; t > s {
+			p.stats.MemQueueFullStallCycles += t - s
+			s = t
+		}
+	}
+	// Issue bandwidth: at most IssueWidth issues per cycle.
+	if s > p.issueCycle {
+		p.issueCycle = s
+		p.issueSlot = 0
+	} else {
+		s = p.issueCycle
+	}
+	p.issueSlot++
+	if p.issueSlot >= width {
+		p.issueCycle++
+		p.issueSlot = 0
+	}
+	p.lastIssueTime = s
+	p.iqIssued[i%int64(len(p.iqIssued))] = s
+
+	// Execute.
+	var done int64
+	switch e.fu {
+	case fuScalar:
+		start := s + 1 // register-read stage
+		if p.scalarNext > start {
+			p.stats.FUBusyStallCycles += p.scalarNext - start
+			start = p.scalarNext
+		}
+		done = start + e.execCycles
+		p.scalarNext = start + 1
+	default:
+		// Memory-touching instructions pass the AGU and wait in the
+		// memory queue for earlier overlapping accesses.
+		entry := s + 2 // register read + AGU
+		dep := entry
+		lo := p.memCount - int64(len(p.mq))
+		if lo < 0 {
+			lo = 0
+		}
+		for k := lo; k < p.memCount; k++ {
+			ent := &p.mq[k%int64(len(p.mq))]
+			if ent.done > dep && overlapsConflicting(ent.accesses, e.acc()) {
+				dep = ent.done
+			}
+		}
+		p.stats.MemDepStallCycles += dep - entry
+		start := dep
+		switch e.fu {
+		case fuVector:
+			if p.vectorFree > start {
+				p.stats.FUBusyStallCycles += p.vectorFree - start
+				start = p.vectorFree
+			}
+			done = start + e.execCycles
+			p.vectorFree = done
+			p.stats.VectorBusyCycles += e.execCycles
+		case fuMatrix:
+			if p.matrixFree > start {
+				p.stats.FUBusyStallCycles += p.matrixFree - start
+				start = p.matrixFree
+			}
+			done = start + e.execCycles
+			p.matrixFree = done
+			p.stats.MatrixBusyCycles += e.execCycles
+		case fuScalarMem:
+			if p.l1Next > start {
+				p.stats.FUBusyStallCycles += p.l1Next - start
+				start = p.l1Next
+			}
+			done = start + e.execCycles
+			p.l1Next = start + 1
+		}
+		// Record the memory-queue entry; retirement is in order.
+		idx := p.memCount % int64(len(p.mq))
+		ent := &p.mq[idx]
+		ent.done = done
+		ent.accesses = append(ent.accesses[:0], e.acc()...)
+		retire := done
+		if p.memCount > 0 {
+			if prev := p.mqRetire[(p.memCount-1)%int64(len(p.mqRetire))]; prev > retire {
+				retire = prev
+			}
+		}
+		p.mqRetire[idx] = retire
+		p.memCount++
+	}
+
+	// Write back.
+	if dst, ok := inst.DestReg(); ok {
+		p.regReady[dst] = done + 1
+	}
+
+	// Commit: in order, IssueWidth per cycle.
+	c := done + 1
+	if c < p.lastCommit {
+		c = p.lastCommit
+	}
+	// Commit bandwidth: at most IssueWidth commits per cycle.
+	if c > p.commitCycle {
+		p.commitCycle = c
+		p.commitSlot = 0
+	} else {
+		c = p.commitCycle
+	}
+	p.commitSlot++
+	if p.commitSlot >= width {
+		p.commitCycle++
+		p.commitSlot = 0
+	}
+	p.lastCommit = c
+	p.robCommit[i%int64(len(p.robCommit))] = c
+
+	// Branch redirect.
+	if e.branchTaken {
+		r := done + int64(p.cfg.BranchPenaltyCycles)
+		if r > p.redirect {
+			p.redirect = r
+		}
+	}
+	return c
+}

@@ -1,0 +1,205 @@
+// Package workload describes the ten Table III benchmark networks in an
+// architecture-neutral layer IR. The Cambricon code generators
+// (internal/codegen), the DaDianNao expressibility checker
+// (internal/baseline/dadiannao) and the general-purpose-architecture models
+// (internal/baseline/genarch) all consume this single description, so every
+// comparison in the evaluation runs over exactly the same work.
+package workload
+
+import "fmt"
+
+// OpKind classifies one layer-level operation.
+type OpKind uint8
+
+const (
+	// OpFC is a dense y = f(Wx + b) layer.
+	OpFC OpKind = iota
+	// OpFCLateral is a dense layer whose pre-activation also includes a
+	// lateral (same-layer) recurrent term L*h, as in a Boltzmann machine.
+	OpFCLateral
+	// OpConv is a valid 2-D convolution.
+	OpConv
+	// OpPool is non-overlapping max pooling.
+	OpPool
+	// OpElemwise is an element-wise vector operation pass (activation
+	// chains, gate combinations).
+	OpElemwise
+	// OpSample draws a random vector and thresholds it against
+	// probabilities (Gibbs sampling / dropout).
+	OpSample
+	// OpOuterUpdate is an outer-product weight update W += eta*a b^T.
+	OpOuterUpdate
+	// OpBackFC is the backward contraction delta = W^T d (vector times
+	// matrix).
+	OpBackFC
+	// OpDistance computes squared distances of an input against a set of
+	// prototype vectors (SOM BMU search).
+	OpDistance
+	// OpArgExtreme scans a vector for its maximum/minimum (BMU pick,
+	// winner take all).
+	OpArgExtreme
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpFC:
+		return "fc"
+	case OpFCLateral:
+		return "fc-lateral"
+	case OpConv:
+		return "conv"
+	case OpPool:
+		return "pool"
+	case OpElemwise:
+		return "elemwise"
+	case OpSample:
+		return "sample"
+	case OpOuterUpdate:
+		return "outer-update"
+	case OpBackFC:
+		return "back-fc"
+	case OpDistance:
+		return "distance"
+	case OpArgExtreme:
+		return "arg-extreme"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Activation names the non-linearity applied after an op.
+type Activation uint8
+
+const (
+	ActNone Activation = iota
+	ActSigmoid
+	ActTanh
+	ActSign // bipolar threshold (Hopfield)
+)
+
+// Op is one layer-level operation with its dimensions.
+type Op struct {
+	Kind OpKind
+	Act  Activation
+
+	// In and Out are vector dimensions for FC-like, elementwise, sample,
+	// distance and reduction ops. For OpDistance, In is the input
+	// dimension and Out the number of prototypes.
+	In, Out int
+
+	// Convolution / pooling geometry ([y][x][c] layout).
+	InC, InH, InW int
+	OutC, K       int
+
+	// Repeat is the trip count of this op inside the benchmark (e.g.
+	// timesteps of an RNN, Gibbs iterations). Zero means 1.
+	Repeat int
+
+	// SharedParams marks ops that reuse another op's weights (tied
+	// weights: an RBM's reverse direction), contributing no parameter
+	// footprint of their own.
+	SharedParams bool
+}
+
+// Times returns the effective repeat count.
+func (o Op) Times() int {
+	if o.Repeat <= 0 {
+		return 1
+	}
+	return o.Repeat
+}
+
+// OutH and OutW give convolution/pooling output geometry.
+func (o Op) OutH() int {
+	if o.Kind == OpPool {
+		return o.InH / o.K
+	}
+	return o.InH - o.K + 1
+}
+
+func (o Op) OutW() int {
+	if o.Kind == OpPool {
+		return o.InW / o.K
+	}
+	return o.InW - o.K + 1
+}
+
+// MACs returns the multiply-accumulate count of one repetition.
+func (o Op) MACs() int64 {
+	switch o.Kind {
+	case OpFC:
+		return int64(o.In) * int64(o.Out)
+	case OpFCLateral:
+		return int64(o.In)*int64(o.Out) + int64(o.Out)*int64(o.Out)
+	case OpConv:
+		return int64(o.OutH()) * int64(o.OutW()) * int64(o.OutC) * int64(o.K*o.K*o.InC)
+	case OpOuterUpdate, OpBackFC:
+		return int64(o.In) * int64(o.Out)
+	case OpDistance:
+		return int64(o.In) * int64(o.Out) // one multiply per element per prototype
+	default:
+		return 0
+	}
+}
+
+// VectorElems returns the element-wise (non-MAC) operation count of one
+// repetition: activations, comparisons, pooling merges, sampling.
+func (o Op) VectorElems() int64 {
+	switch o.Kind {
+	case OpFC, OpFCLateral, OpBackFC:
+		if o.Act == ActNone {
+			return int64(o.Out)
+		}
+		return 4 * int64(o.Out) // exp, +1, div (sigmoid chain)
+	case OpConv:
+		return 4 * int64(o.OutH()) * int64(o.OutW()) * int64(o.OutC)
+	case OpPool:
+		return int64(o.InH) * int64(o.InW) * int64(o.InC) // one compare per input element
+	case OpElemwise:
+		return int64(o.Out)
+	case OpSample:
+		return 2 * int64(o.Out) // draw + compare
+	case OpDistance:
+		return 2 * int64(o.In) * int64(o.Out) // subtract + square handled as MACs? keep sub+acc
+	case OpArgExtreme:
+		return int64(o.In)
+	case OpOuterUpdate:
+		return 2 * int64(o.In) * int64(o.Out) // scale + accumulate
+	default:
+		return 0
+	}
+}
+
+// TranscendentalElems counts exp/log element evaluations of one repetition.
+func (o Op) TranscendentalElems() int64 {
+	switch o.Act {
+	case ActSigmoid, ActTanh:
+		switch o.Kind {
+		case OpConv:
+			return int64(o.OutH()) * int64(o.OutW()) * int64(o.OutC)
+		default:
+			return int64(o.Out)
+		}
+	}
+	return 0
+}
+
+// ParamBytes returns the parameter footprint (16-bit elements) of one
+// repetition's weights.
+func (o Op) ParamBytes() int64 {
+	if o.SharedParams {
+		return 0
+	}
+	switch o.Kind {
+	case OpFC, OpBackFC, OpOuterUpdate:
+		return 2 * (int64(o.In)*int64(o.Out) + int64(o.Out))
+	case OpFCLateral:
+		return 2 * (int64(o.In)*int64(o.Out) + int64(o.Out)*int64(o.Out) + int64(o.Out))
+	case OpConv:
+		return 2 * (int64(o.OutC)*int64(o.K*o.K*o.InC) + int64(o.OutC))
+	case OpDistance:
+		return 2 * int64(o.In) * int64(o.Out)
+	default:
+		return 0
+	}
+}
