@@ -1,0 +1,36 @@
+# Build/verify entry points for the Cambricon reproduction. `make ci` is
+# the gate every PR must pass: vet, build, the full test suite under the
+# race detector (covering the parallel benchmark harness), and a short run
+# of the hot-kernel microbenchmarks (docs/PERF.md).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-json repro
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-benchtime kernel microbenchmarks: enough iterations to catch an
+# allocation or order-of-magnitude regression without taking minutes.
+bench:
+	$(GO) test -run '^$$' -bench 'Kernel|AccessCycles|NumsView|ReadNumsInto' -benchmem -benchtime 50x ./internal/sim ./internal/mem
+	$(GO) test -run '^$$' -bench 'SuiteSerial|SuiteParallel' -benchmem -benchtime 2x ./internal/bench
+
+# Regenerate the machine-readable perf record tracked in BENCH_sim.json.
+bench-json:
+	$(GO) run ./cmd/camrepro -bench-json BENCH_sim.json
+
+# Regenerate every paper table/figure using all cores.
+repro:
+	$(GO) run ./cmd/camrepro

@@ -8,15 +8,19 @@
 //	camrepro -exp fig12        # one experiment
 //	camrepro -md               # markdown output (EXPERIMENTS.md body)
 //	camrepro -seed 7           # benchmark generation seed
+//	camrepro -j 8              # benchmark simulation worker count (0 = all cores)
+//	camrepro -bench-json BENCH_sim.json  # emit the machine-readable perf record
 //	camrepro -listing x86:MLP  # dump a baseline pseudo-assembly listing
 //	camrepro -source BM        # dump a generated Cambricon program
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cambricon/internal/baseline/genarch"
 	"cambricon/internal/bench"
@@ -28,6 +32,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (tab1..tab4, fig10..fig13, flex, logreg, ablate); empty = all")
 	seed := flag.Uint64("seed", 7, "benchmark generation seed")
 	md := flag.Bool("md", false, "render markdown instead of plain text")
+	workers := flag.Int("j", 0, "benchmark simulation workers (0 = GOMAXPROCS, 1 = serial)")
+	benchJSON := flag.String("bench-json", "", "run the suite and write the perf record to this file (e.g. BENCH_sim.json)")
 	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
 	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
 	flag.Parse()
@@ -47,6 +53,25 @@ func main() {
 	}
 
 	suite := bench.NewSuite(*seed)
+
+	if *benchJSON != "" {
+		if err := emitBenchJSON(suite, *workers, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Pre-warm the suite caches across all cores: every experiment below
+	// then reads simulation results without re-running anything. -j 1
+	// reproduces the historical strictly-serial behaviour.
+	if *workers != 1 {
+		if _, err := suite.RunAll(context.Background(), *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+	}
+
 	var experiments []bench.Experiment
 	if *exp == "" {
 		experiments = bench.Experiments()
@@ -75,6 +100,26 @@ func main() {
 			fmt.Println(tbl.Render())
 		}
 	}
+}
+
+// emitBenchJSON runs the full benchmark suite through the parallel harness
+// and writes the machine-readable perf record (see bench.Report).
+func emitBenchJSON(suite *bench.Suite, workers int, path string) error {
+	start := time.Now()
+	results, err := suite.RunAll(context.Background(), workers)
+	if err != nil {
+		return err
+	}
+	rep := bench.BuildReport(suite, results, workers, time.Since(start))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpListing prints one baseline architecture's pseudo-assembly for a

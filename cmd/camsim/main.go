@@ -10,9 +10,15 @@
 // verified against its float reference):
 //
 //	camsim -benchmark MLP [-seed 7] [-v]
+//
+// Or run all ten benchmarks across a worker pool (per-benchmark summaries
+// print in table order regardless of scheduling):
+//
+//	camsim -benchmark all [-j 8]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +27,7 @@ import (
 	"strings"
 
 	"cambricon/internal/asm"
+	"cambricon/internal/bench"
 	"cambricon/internal/codegen"
 	"cambricon/internal/fixed"
 	"cambricon/internal/sim"
@@ -33,7 +40,8 @@ func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func main() {
 	var gprs, pokes, dumps multiFlag
-	benchmark := flag.String("benchmark", "", "run a built-in benchmark (MLP, CNN, ..., Logistic)")
+	benchmark := flag.String("benchmark", "", "run a built-in benchmark (MLP, CNN, ..., Logistic), or \"all\"")
+	workers := flag.Int("j", 0, "workers for -benchmark all (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print the generated assembly before running")
 	trace := flag.Bool("trace", false, "print a per-instruction execution trace")
@@ -59,6 +67,10 @@ func main() {
 	if *benchmark != "" {
 		if len(gprs)+len(pokes)+len(dumps) > 0 {
 			fmt.Fprintln(os.Stderr, "camsim: -gpr/-poke/-dump are ignored with -benchmark (the benchmark carries its own image)")
+		}
+		if *benchmark == "all" {
+			runAll(*seed, *workers, *jsonOut)
+			return
 		}
 		p, err := codegen.ByName(*benchmark, *seed)
 		if err != nil {
@@ -142,6 +154,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("[%d:%d] %v\n", addr, count, fixed.Floats(ns))
+	}
+}
+
+// runAll executes every Table III benchmark through the shared suite's
+// parallel harness (bench.Suite.RunAll) and prints one summary line per
+// benchmark in deterministic table order.
+func runAll(seed uint64, workers int, jsonOut bool) {
+	s := bench.NewSuite(seed)
+	results, err := s.RunAll(context.Background(), workers)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		out := make(map[string]*sim.Stats, len(results))
+		for i := range results {
+			out[results[i].Name] = &results[i].Stats
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, r := range results {
+		fmt.Printf("%-18s verified  cycles=%-8d instructions=%-7d time=%.2f us\n",
+			r.Name, r.Stats.Cycles, r.Stats.Instructions, r.Stats.Seconds(s.Config.ClockHz)*1e6)
 	}
 }
 

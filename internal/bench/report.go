@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable performance record emitted by
+// `camrepro -bench-json` (conventionally written to BENCH_sim.json). It
+// captures both simulated results (cycle counts, which must stay
+// bit-identical across refactors) and host-side throughput (which each
+// perf PR should move), so the repo's performance trajectory is diffable
+// from commit to commit.
+type Report struct {
+	// Schema versions the file format.
+	Schema string `json:"schema"`
+	// Generated is the RFC 3339 emission time.
+	Generated string `json:"generated"`
+	// GoVersion, GOMAXPROCS and Workers describe the measurement host.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	// Seed is the benchmark generation seed.
+	Seed uint64 `json:"seed"`
+	// TotalHostNS is the wall-clock time of the whole RunAll fan-out; with
+	// workers > 1 it is less than the sum of per-benchmark times.
+	TotalHostNS int64 `json:"total_host_ns"`
+	// Benchmarks holds one entry per Table III benchmark, in table order.
+	Benchmarks []ReportEntry `json:"benchmarks"`
+}
+
+// ReportEntry is one benchmark's record in a Report.
+type ReportEntry struct {
+	Name string `json:"name"`
+	// Simulated results: these are properties of the model, not the host.
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	MACOps       int64   `json:"mac_ops"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	// DaDianNao baseline, when expressible.
+	DDNCycles int64 `json:"dadiannao_cycles,omitempty"`
+	// Host-side throughput of this run.
+	HostNS         int64   `json:"host_ns"`
+	SimCyclesPerNS float64 `json:"sim_cycles_per_host_ns"`
+}
+
+// ReportSchema identifies the current Report format.
+const ReportSchema = "cambricon-bench-sim/v1"
+
+// BuildReport assembles a Report from a RunAll result set.
+func BuildReport(s *Suite, results []Result, workers int, total time.Duration) *Report {
+	rep := &Report{
+		Schema:      ReportSchema,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Seed:        s.Seed,
+		TotalHostNS: total.Nanoseconds(),
+	}
+	for _, r := range results {
+		e := ReportEntry{
+			Name:         r.Name,
+			Cycles:       r.Stats.Cycles,
+			Instructions: r.Stats.Instructions,
+			MACOps:       r.Stats.MACOps,
+			SimSeconds:   r.Stats.Seconds(s.Config.ClockHz),
+			HostNS:       r.HostNS,
+		}
+		if r.DDNOK {
+			e.DDNCycles = r.DDNCycles
+		}
+		if r.HostNS > 0 {
+			e.SimCyclesPerNS = float64(r.Stats.Cycles) / float64(r.HostNS)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return rep
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"cambricon/internal/baseline/dadiannao"
 	"cambricon/internal/codegen"
@@ -11,31 +12,46 @@ import (
 
 // Suite shares generated programs and simulation runs across experiments:
 // Figs. 10-13 all measure the same ten benchmark executions.
+//
+// A Suite is safe for concurrent use: program generation runs once, and
+// each benchmark's simulation is deduplicated per name (singleflight), so
+// RunAll can fan the ten benchmarks out across a worker pool while the
+// experiments keep reading through the same cache. Seed and Config must
+// not be mutated once the first run has started.
 type Suite struct {
 	// Seed drives weight/input generation and the RV stream.
 	Seed uint64
 	// Config is the accelerator configuration (Table II defaults).
 	Config sim.Config
 
-	progs []*codegen.Program
-	stats map[string]sim.Stats
+	progsOnce sync.Once
+	progs     []*codegen.Program
+	progsErr  error
+
+	mu    sync.Mutex
+	stats map[string]*statsEntry
+}
+
+// statsEntry is the singleflight cell for one benchmark's simulation: the
+// first caller runs it under the once, every later (or concurrent) caller
+// blocks on the same once and reads the shared result.
+type statsEntry struct {
+	once sync.Once
+	st   sim.Stats
+	err  error
 }
 
 // NewSuite builds a suite over the Table II machine.
 func NewSuite(seed uint64) *Suite {
-	return &Suite{Seed: seed, Config: sim.DefaultConfig(), stats: map[string]sim.Stats{}}
+	return &Suite{Seed: seed, Config: sim.DefaultConfig(), stats: map[string]*statsEntry{}}
 }
 
 // Programs generates (once) the ten Table III benchmark programs.
 func (s *Suite) Programs() ([]*codegen.Program, error) {
-	if s.progs == nil {
-		progs, err := codegen.All(s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		s.progs = progs
-	}
-	return s.progs, nil
+	s.progsOnce.Do(func() {
+		s.progs, s.progsErr = codegen.All(s.Seed)
+	})
+	return s.progs, s.progsErr
 }
 
 // Program returns one named benchmark program.
@@ -53,11 +69,27 @@ func (s *Suite) Program(name string) (*codegen.Program, error) {
 }
 
 // Stats runs (once) the named benchmark on the Cambricon-ACC simulator,
-// verifying its outputs against the reference model.
+// verifying its outputs against the reference model. Concurrent calls for
+// the same benchmark share a single simulation.
 func (s *Suite) Stats(name string) (sim.Stats, error) {
-	if st, ok := s.stats[name]; ok {
-		return st, nil
+	s.mu.Lock()
+	if s.stats == nil {
+		s.stats = map[string]*statsEntry{}
 	}
+	entry, ok := s.stats[name]
+	if !ok {
+		entry = &statsEntry{}
+		s.stats[name] = entry
+	}
+	s.mu.Unlock()
+	entry.once.Do(func() {
+		entry.st, entry.err = s.runBenchmark(name)
+	})
+	return entry.st, entry.err
+}
+
+// runBenchmark simulates one benchmark on a fresh machine.
+func (s *Suite) runBenchmark(name string) (sim.Stats, error) {
 	p, err := s.Program(name)
 	if err != nil {
 		return sim.Stats{}, err
@@ -68,12 +100,7 @@ func (s *Suite) Stats(name string) (sim.Stats, error) {
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	st, err := p.Execute(m)
-	if err != nil {
-		return sim.Stats{}, err
-	}
-	s.stats[name] = st
-	return st, nil
+	return p.Execute(m)
 }
 
 // Seconds returns the simulated wall-clock time of one benchmark.

@@ -1,0 +1,31 @@
+package fixed
+
+import "unsafe"
+
+// hostLittleEndian reports whether the host stores multi-byte integers
+// little-endian, i.e. whether the in-memory layout of a Num matches the
+// little-endian scratchpad/main-memory storage format.
+var hostLittleEndian = func() bool {
+	v := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&v)) == 0x02
+}()
+
+// ViewBytes reinterprets src as count Nums without copying or decoding.
+// The returned slice aliases src: it is valid only while src is, and it
+// observes (and, if written, performs) any mutation of the underlying
+// bytes. ok is false when the host layout does not permit aliasing — a
+// big-endian host or a misaligned base pointer — in which case the caller
+// must fall back to FromBytesInto.
+func ViewBytes(src []byte, count int) (ns []Num, ok bool) {
+	if count == 0 {
+		return nil, true
+	}
+	if count < 0 || len(src) < 2*count || !hostLittleEndian {
+		return nil, false
+	}
+	p := unsafe.Pointer(&src[0])
+	if uintptr(p)%unsafe.Alignof(Num(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*Num)(p), count), true
+}

@@ -109,6 +109,36 @@ func (s *Scratchpad) ReadNumsInto(addr int, dst []fixed.Num) error {
 	return nil
 }
 
+// NumsView returns count elements starting at byte address addr as a
+// zero-copy view of the scratchpad storage whenever the host memory layout
+// matches the storage format (little-endian, element-aligned base); it
+// falls back to decoding into *spill (grown as needed, never shrunk)
+// otherwise, so the call is allocation-free once spill has warmed up.
+//
+// The returned slice must be treated as read-only and aliases the
+// scratchpad: a subsequent WriteBytes/WriteNums over the same region is
+// visible through the view, so callers must finish all reads through a
+// view before writing to the scratchpad (the simulator's execute functions
+// read every operand before storing their result, which is what makes the
+// view safe even when an instruction's output overlaps its inputs). A
+// Scratchpad is not safe for concurrent use, so there are no concurrent
+// writers to guard against by construction.
+func (s *Scratchpad) NumsView(addr, count int, spill *[]fixed.Num) ([]fixed.Num, error) {
+	n := fixed.Bytes(count)
+	if err := s.check(addr, n); err != nil {
+		return nil, err
+	}
+	if ns, ok := fixed.ViewBytes(s.data[addr:addr+n], count); ok {
+		return ns, nil
+	}
+	if cap(*spill) < count {
+		*spill = make([]fixed.Num, count)
+	}
+	dst := (*spill)[:count]
+	fixed.FromBytesInto(s.data[addr:addr+n], dst)
+	return dst, nil
+}
+
 // WriteNums stores fixed-point elements at byte address addr.
 func (s *Scratchpad) WriteNums(addr int, ns []fixed.Num) error {
 	n := fixed.Bytes(len(ns))

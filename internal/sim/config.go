@@ -20,7 +20,11 @@
 //     DMA-based main-memory transfers.
 package sim
 
-import "cambricon/internal/core"
+import (
+	"fmt"
+
+	"cambricon/internal/core"
+)
 
 // Config carries the microarchitectural parameters of the accelerator.
 // DefaultConfig returns the published Table II prototype.
@@ -121,7 +125,11 @@ func DefaultConfig() Config {
 	}
 }
 
-// validate fills defaults and rejects nonsensical geometry.
+// validate fills defaults and rejects nonsensical geometry. Every divisor
+// the timing model uses on its hot paths (VectorLanes, MatrixBlocks,
+// MACsPerBlock, BankBytes, DMABytesPerCycle, beat-cost multipliers) is
+// guaranteed positive here, once, so the per-instruction cycle math never
+// needs to re-check or clamp.
 func (c *Config) validate() error {
 	if c.IssueWidth <= 0 {
 		c.IssueWidth = 1
@@ -155,6 +163,36 @@ func (c *Config) validate() error {
 	}
 	if c.DivBeatCycles <= 0 {
 		c.DivBeatCycles = 1
+	}
+	if c.VectorSpadBytes <= 0 {
+		c.VectorSpadBytes = core.VectorSpadBytes
+	}
+	if c.MatrixSpadBytes <= 0 {
+		c.MatrixSpadBytes = core.MatrixSpadBytes
+	}
+	if c.BankBytes <= 0 {
+		c.BankBytes = 64
+	}
+	if c.SpadBanks <= 0 {
+		c.SpadBanks = 4
+	}
+	if c.SpadBanks&(c.SpadBanks-1) != 0 {
+		return fmt.Errorf("sim: SpadBanks %d must be a power of two", c.SpadBanks)
+	}
+	if c.MainMemBytes <= 0 {
+		c.MainMemBytes = 16 << 20
+	}
+	if c.DMABytesPerCycle <= 0 {
+		c.DMABytesPerCycle = 1
+	}
+	if c.DMAStartupCycles < 0 {
+		c.DMAStartupCycles = 0
+	}
+	if c.HTreeOverhead < 0 {
+		c.HTreeOverhead = 0
+	}
+	if c.BranchPenaltyCycles < 0 {
+		c.BranchPenaltyCycles = 0
 	}
 	return nil
 }

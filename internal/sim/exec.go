@@ -70,10 +70,11 @@ func overlapsConflicting(a, b []access) bool {
 	return false
 }
 
+// ceilDiv rounds a/b up. b is always positive here by construction:
+// Config.validate rejects or defaults every divisor the timing model uses
+// (VectorLanes, MatrixBlocks, MACsPerBlock, BankBytes), so no silent
+// clamping is needed on this hot path.
 func ceilDiv(a, b int) int64 {
-	if b <= 0 {
-		b = 1
-	}
 	return int64((a + b - 1) / b)
 }
 
@@ -344,8 +345,8 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 	vinAddr := m.regAddr(inst.R[3])
 	voutAddr := m.regAddr(inst.R[0])
 
-	vin := scratch(&m.bufA, inN)
-	if err := m.vspad.ReadNumsInto(vinAddr, vin); err != nil {
+	vin, err := m.vspad.NumsView(vinAddr, inN, &m.bufA)
+	if err != nil {
 		return e, err
 	}
 	var rows, cols int
@@ -354,8 +355,8 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 	} else {
 		rows, cols = inN, outN
 	}
-	mat := scratch(&m.bufMat, rows*cols)
-	if err := m.mspad.ReadNumsInto(matAddr, mat); err != nil {
+	mat, err := m.mspad.NumsView(matAddr, rows*cols, &m.bufMat)
+	if err != nil {
 		return e, err
 	}
 	out := scratch(&m.bufOut, outN)
@@ -364,11 +365,23 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 			out[i] = fixed.Dot(mat[i*cols:(i+1)*cols], vin)
 		}
 	} else {
-		for j := 0; j < outN; j++ {
-			var sum fixed.Acc
-			for i := 0; i < inN; i++ {
-				sum += fixed.MulAcc(vin[i], mat[i*cols+j])
+		// Contract over rows with a row-major accumulator sweep: each matrix
+		// element is visited in storage order exactly once, instead of the
+		// column-major strided walk (mat[i*cols+j] inner over i) that missed
+		// cache on every step. Accumulation order per output stays i=0..inN-1,
+		// and integer addition is associative, so results are bit-identical.
+		acc := scratchAcc(&m.bufAcc, outN)
+		for j := range acc {
+			acc[j] = 0
+		}
+		for i := 0; i < inN; i++ {
+			v := vin[i]
+			row := mat[i*cols : (i+1)*cols]
+			for j, mv := range row {
+				acc[j] += fixed.MulAcc(v, mv)
 			}
+		}
+		for j, sum := range acc {
 			out[j] = fixed.AccSat(sum)
 		}
 	}
@@ -394,8 +407,8 @@ func (m *Machine) execMMS(inst core.Instruction) (effect, error) {
 	}
 	dst, src := m.regAddr(inst.R[0]), m.regAddr(inst.R[2])
 	s := fixed.Num(m.tailInt(inst, 3))
-	in := scratch(&m.bufA, n)
-	if err := m.mspad.ReadNumsInto(src, in); err != nil {
+	in, err := m.mspad.NumsView(src, n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
 	out := scratch(&m.bufOut, n)
@@ -426,12 +439,12 @@ func (m *Machine) execOuter(inst core.Instruction) (effect, error) {
 		return e, err
 	}
 	dst := m.regAddr(inst.R[0])
-	v0 := scratch(&m.bufA, rows)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[1]), v0); err != nil {
+	v0, err := m.vspad.NumsView(m.regAddr(inst.R[1]), rows, &m.bufA)
+	if err != nil {
 		return e, err
 	}
-	v1 := scratch(&m.bufB, cols)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[3]), v1); err != nil {
+	v1, err := m.vspad.NumsView(m.regAddr(inst.R[3]), cols, &m.bufB)
+	if err != nil {
 		return e, err
 	}
 	out := scratch(&m.bufMat, rows*cols)
@@ -461,12 +474,12 @@ func (m *Machine) execMatElem(inst core.Instruction) (effect, error) {
 		return e, err
 	}
 	dst := m.regAddr(inst.R[0])
-	a := scratch(&m.bufA, n)
-	if err := m.mspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+	a, err := m.mspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
-	b := scratch(&m.bufB, n)
-	if err := m.mspad.ReadNumsInto(m.regAddr(inst.R[3]), b); err != nil {
+	b, err := m.mspad.NumsView(m.regAddr(inst.R[3]), n, &m.bufB)
+	if err != nil {
 		return e, err
 	}
 	out := scratch(&m.bufOut, n)
@@ -498,12 +511,12 @@ func (m *Machine) execVecBinary(inst core.Instruction) (effect, error) {
 		return e, err
 	}
 	dst := m.regAddr(inst.R[0])
-	a := scratch(&m.bufA, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
-	b := scratch(&m.bufB, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[3]), b); err != nil {
+	b, err := m.vspad.NumsView(m.regAddr(inst.R[3]), n, &m.bufB)
+	if err != nil {
 		return e, err
 	}
 	out := scratch(&m.bufOut, n)
@@ -558,8 +571,8 @@ func (m *Machine) execVAS(inst core.Instruction) (effect, error) {
 		return e, err
 	}
 	dst := m.regAddr(inst.R[0])
-	a := scratch(&m.bufA, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
 	s := fixed.Num(m.tailInt(inst, 3))
@@ -587,8 +600,8 @@ func (m *Machine) execVecUnary(inst core.Instruction) (effect, error) {
 		return e, err
 	}
 	dst := m.regAddr(inst.R[0])
-	a := scratch(&m.bufA, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
 	out := scratch(&m.bufOut, n)
@@ -630,12 +643,12 @@ func (m *Machine) execVDOT(inst core.Instruction) (effect, error) {
 	if err != nil {
 		return e, err
 	}
-	a := scratch(&m.bufA, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
-	b := scratch(&m.bufB, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[3]), b); err != nil {
+	b, err := m.vspad.NumsView(m.regAddr(inst.R[3]), n, &m.bufB)
+	if err != nil {
 		return e, err
 	}
 	m.gpr[inst.R[0]] = uint32(int32(fixed.Dot(a, b)))
@@ -682,8 +695,8 @@ func (m *Machine) execVReduce(inst core.Instruction) (effect, error) {
 	if n == 0 {
 		return e, fmt.Errorf("%v of an empty vector", inst.Op)
 	}
-	a := scratch(&m.bufA, n)
-	if err := m.vspad.ReadNumsInto(m.regAddr(inst.R[2]), a); err != nil {
+	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	if err != nil {
 		return e, err
 	}
 	best := a[0]

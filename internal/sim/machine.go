@@ -28,8 +28,12 @@ type Machine struct {
 	trace io.Writer
 
 	// Reusable operand buffers for the execution hot path (one exec call
-	// uses at most one of each).
+	// uses at most one of each). bufA/bufB/bufMat are spill targets for
+	// zero-copy scratchpad views (mem.Scratchpad.NumsView) and are only
+	// populated when the host layout forbids aliasing; bufOut and bufAcc
+	// hold results before they are stored.
 	bufA, bufB, bufOut, bufMat []fixed.Num
+	bufAcc                     []fixed.Acc
 	bufBytes                   []byte
 }
 
@@ -219,6 +223,14 @@ func scratch(buf *[]fixed.Num, n int) []fixed.Num {
 func scratchBytes(buf *[]byte, n int) []byte {
 	if cap(*buf) < n {
 		*buf = make([]byte, n)
+	}
+	return (*buf)[:n]
+}
+
+// scratchAcc is scratch for accumulator buffers.
+func scratchAcc(buf *[]fixed.Acc, n int) []fixed.Acc {
+	if cap(*buf) < n {
+		*buf = make([]fixed.Acc, n)
 	}
 	return (*buf)[:n]
 }

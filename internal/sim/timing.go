@@ -50,10 +50,30 @@ type pipeline struct {
 	regReady [core.NumGPRs]int64
 }
 
-// mqEntry is one in-flight memory-queue entry.
+// mqEntry is one in-flight memory-queue entry. The access set is a fixed
+// array (no instruction touches more than four regions, see effect), so
+// recording an entry and scanning the queue for dependences never
+// allocates.
 type mqEntry struct {
-	done     int64
-	accesses []access
+	done   int64
+	accBuf [4]access
+	nAcc   int
+}
+
+// acc views the entry's access set.
+func (q *mqEntry) acc() []access { return q.accBuf[:q.nAcc] }
+
+// resizeInt64 returns buf cleared and resized to n, reusing its backing
+// array when possible so Machine.Reset allocates nothing in steady state.
+func resizeInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 func (p *pipeline) init(cfg *Config, stats *Stats) {
@@ -61,13 +81,20 @@ func (p *pipeline) init(cfg *Config, stats *Stats) {
 	p.stats = stats
 	p.count = 0
 	p.fetchCycle, p.fetchSlot, p.redirect = 0, 0, 0
-	p.iqIssued = make([]int64, cfg.IssueQueueDepth)
+	p.iqIssued = resizeInt64(p.iqIssued, cfg.IssueQueueDepth)
 	p.issueCycle, p.issueSlot, p.lastIssueTime = 0, 0, 0
-	p.robCommit = make([]int64, cfg.ROBDepth)
+	p.robCommit = resizeInt64(p.robCommit, cfg.ROBDepth)
 	p.commitCycle, p.commitSlot, p.lastCommit = 0, 0, 0
 	p.memCount = 0
-	p.mq = make([]mqEntry, cfg.MemQueueDepth)
-	p.mqRetire = make([]int64, cfg.MemQueueDepth)
+	if cap(p.mq) < cfg.MemQueueDepth {
+		p.mq = make([]mqEntry, cfg.MemQueueDepth)
+	} else {
+		p.mq = p.mq[:cfg.MemQueueDepth]
+		for i := range p.mq {
+			p.mq[i] = mqEntry{}
+		}
+	}
+	p.mqRetire = resizeInt64(p.mqRetire, cfg.MemQueueDepth)
 	p.scalarNext, p.l1Next, p.vectorFree, p.matrixFree = 0, 0, 0, 0
 	p.regReady = [core.NumGPRs]int64{}
 }
@@ -171,7 +198,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 		}
 		for k := lo; k < p.memCount; k++ {
 			ent := &p.mq[k%int64(len(p.mq))]
-			if ent.done > dep && overlapsConflicting(ent.accesses, e.acc()) {
+			if ent.done > dep && overlapsConflicting(ent.acc(), e.acc()) {
 				dep = ent.done
 			}
 		}
@@ -206,7 +233,8 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 		idx := p.memCount % int64(len(p.mq))
 		ent := &p.mq[idx]
 		ent.done = done
-		ent.accesses = append(ent.accesses[:0], e.acc()...)
+		ent.accBuf = e.accessBuf
+		ent.nAcc = e.nAccess
 		retire := done
 		if p.memCount > 0 {
 			if prev := p.mqRetire[(p.memCount-1)%int64(len(p.mqRetire))]; prev > retire {
