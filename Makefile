@@ -1,13 +1,20 @@
 # Build/verify entry points for the Cambricon reproduction. `make ci` is
-# the gate every PR must pass: vet, build, the full test suite under the
-# race detector (covering the parallel benchmark harness), and a short run
-# of the hot-kernel microbenchmarks (docs/PERF.md).
+# the gate every PR must pass: formatting, vet, build, the full test suite
+# under the race detector (covering the parallel benchmark harness), a
+# short run of the hot-kernel microbenchmarks (docs/PERF.md), and a traced
+# smoke run of the observability layer (docs/OBSERVABILITY.md).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json repro
+.PHONY: ci fmt vet build test race bench bench-json repro smoke
 
-ci: vet build race bench
+ci: fmt vet build race bench smoke
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +33,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Kernel|AccessCycles|NumsView|ReadNumsInto' -benchmem -benchtime 50x ./internal/sim ./internal/mem
 	$(GO) test -run '^$$' -bench 'SuiteSerial|SuiteParallel' -benchmem -benchtime 2x ./internal/bench
+
+# Traced smoke run: one benchmark with the Chrome timeline and the
+# stall-attribution profile attached, proving the observability layer
+# end to end (the trace file is checked non-empty, then discarded).
+smoke:
+	$(GO) run ./cmd/camsim -benchmark MLP -trace /tmp/cambricon-smoke-trace.json -profile >/dev/null
+	@test -s /tmp/cambricon-smoke-trace.json || { echo "smoke: empty trace file"; exit 1; }
+	@rm -f /tmp/cambricon-smoke-trace.json
 
 # Regenerate the machine-readable perf record tracked in BENCH_sim.json.
 bench-json:

@@ -42,6 +42,11 @@ type (
 	Program = asm.Program
 )
 
+// Version identifies the simulator release; the camsim and camrepro
+// -version flags report it so trace and report files can be tied back
+// to the build that produced them.
+const Version = "0.2.0"
+
 // NumInstructions is the instruction-set size (43, Section V-B1).
 const NumInstructions = core.NumInstructions
 

@@ -10,21 +10,25 @@
 //	camrepro -seed 7           # benchmark generation seed
 //	camrepro -j 8              # benchmark simulation worker count (0 = all cores)
 //	camrepro -bench-json BENCH_sim.json  # emit the machine-readable perf record
+//	camrepro -profile-json PROFILES.json # per-benchmark stall-attribution profiles
 //	camrepro -listing x86:MLP  # dump a baseline pseudo-assembly listing
 //	camrepro -source BM        # dump a generated Cambricon program
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"cambricon"
 	"cambricon/internal/baseline/genarch"
 	"cambricon/internal/bench"
 	"cambricon/internal/codegen"
+	"cambricon/internal/trace"
 	"cambricon/internal/workload"
 )
 
@@ -34,9 +38,20 @@ func main() {
 	md := flag.Bool("md", false, "render markdown instead of plain text")
 	workers := flag.Int("j", 0, "benchmark simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	benchJSON := flag.String("bench-json", "", "run the suite and write the perf record to this file (e.g. BENCH_sim.json)")
+	profileJSON := flag.String("profile-json", "", "write per-benchmark stall-attribution profiles as JSON to this file")
 	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
 	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
+	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("camrepro %s (cambricon-bench-sim)\n", cambricon.Version)
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "camrepro: unexpected arguments %q (all inputs are flags)\n", flag.Args())
+		os.Exit(2)
+	}
 
 	if *listing != "" {
 		dumpListing(*listing)
@@ -56,6 +71,14 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(suite, *workers, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *profileJSON != "" {
+		if err := emitProfileJSON(suite, *profileJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "camrepro:", err)
 			os.Exit(1)
 		}
@@ -116,6 +139,35 @@ func emitBenchJSON(suite *bench.Suite, workers int, path string) error {
 		return err
 	}
 	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// emitProfileJSON re-runs every Table III benchmark with a
+// stall-attribution profile attached (bench.Suite.Profile) and writes
+// the collected reports as one JSON document.
+func emitProfileJSON(suite *bench.Suite, path string) error {
+	doc := struct {
+		Schema   string          `json:"schema"`
+		Seed     uint64          `json:"seed"`
+		Profiles []*trace.Report `json:"profiles"`
+	}{Schema: "cambricon-profile/v1", Seed: suite.Seed}
+	for _, name := range workload.Names() {
+		rep, err := suite.Profile(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		doc.Profiles = append(doc.Profiles, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		f.Close()
 		return err
 	}

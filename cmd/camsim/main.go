@@ -15,6 +15,13 @@
 // print in table order regardless of scheduling):
 //
 //	camsim -benchmark all [-j 8]
+//
+// Observability (single runs only; see docs/OBSERVABILITY.md):
+//
+//	camsim -benchmark MLP -trace mlp.json    # Chrome Trace Event timeline
+//	camsim -benchmark MLP -profile           # stall-attribution profile
+//	camsim -benchmark MLP -profile-json p.json
+//	camsim -itrace prog.cam                  # textual per-instruction trace
 package main
 
 import (
@@ -26,11 +33,13 @@ import (
 	"strconv"
 	"strings"
 
+	"cambricon"
 	"cambricon/internal/asm"
 	"cambricon/internal/bench"
 	"cambricon/internal/codegen"
 	"cambricon/internal/fixed"
 	"cambricon/internal/sim"
+	"cambricon/internal/trace"
 )
 
 type multiFlag []string
@@ -44,9 +53,14 @@ func main() {
 	workers := flag.Int("j", 0, "workers for -benchmark all (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 7, "benchmark generation seed")
 	verbose := flag.Bool("v", false, "print the generated assembly before running")
-	trace := flag.Bool("trace", false, "print a per-instruction execution trace")
+	itrace := flag.Bool("itrace", false, "print a textual per-instruction execution trace")
+	traceOut := flag.String("trace", "", "write a Chrome Trace Event / Perfetto timeline to this file (open at ui.perfetto.dev)")
+	profileFlag := flag.Bool("profile", false, "print the stall-attribution profile after the run")
+	profileJSON := flag.String("profile-json", "", "write the stall-attribution profile as JSON to this file")
+	topN := flag.Int("top", 10, "opcode rows in the profile (0 = all)")
 	hist := flag.Bool("hist", false, "print the dynamic opcode histogram")
 	jsonOut := flag.Bool("json", false, "print run statistics as JSON")
+	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Var(&gprs, "gpr", "initialize a register, e.g. -gpr 1=64 (repeatable)")
 	flag.Var(&pokes, "poke", "write fixed-point values to main memory, e.g. -poke 100=1.5,2.25 (repeatable)")
 	flag.Var(&dumps, "dump", "print a main-memory region after the run, e.g. -dump 200:8 (repeatable)")
@@ -56,22 +70,36 @@ func main() {
 	}
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("camsim %s (cambricon-bench-sim)\n", cambricon.Version)
+		return
+	}
+
 	m, err := sim.New(sim.DefaultConfig())
 	if err != nil {
 		fatal(err)
 	}
-	if *trace {
+	if *itrace {
 		m.SetTrace(os.Stdout)
 	}
 
 	if *benchmark != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "camsim: unexpected arguments %q with -benchmark\n", flag.Args())
+			os.Exit(2)
+		}
 		if len(gprs)+len(pokes)+len(dumps) > 0 {
 			fmt.Fprintln(os.Stderr, "camsim: -gpr/-poke/-dump are ignored with -benchmark (the benchmark carries its own image)")
 		}
 		if *benchmark == "all" {
+			if *traceOut != "" || *profileFlag || *profileJSON != "" {
+				fmt.Fprintln(os.Stderr, "camsim: -trace/-profile/-profile-json need a single run; use -benchmark NAME (or camrepro -profile-json for the whole suite)")
+				os.Exit(2)
+			}
 			runAll(*seed, *workers, *jsonOut)
 			return
 		}
+		obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, *benchmark)
 		p, err := codegen.ByName(*benchmark, *seed)
 		if err != nil {
 			fatal(err)
@@ -80,6 +108,7 @@ func main() {
 			fmt.Print(p.Source)
 		}
 		stats, err := p.Execute(m)
+		obs.finish(err, *topN)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,7 +161,9 @@ func main() {
 		}
 	}
 	m.LoadProgram(prog.Instructions)
+	obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, flag.Arg(0))
 	stats, err := m.Run()
+	obs.finish(err, *topN)
 	if err != nil {
 		fatal(err)
 	}
@@ -154,6 +185,78 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("[%d:%d] %v\n", addr, count, fixed.Floats(ns))
+	}
+}
+
+// observer bundles the run's trace sinks: a Chrome timeline writer, a
+// stall-attribution profile, or both, teed onto the machine.
+type observer struct {
+	chrome      *trace.Chrome
+	chromeFile  *os.File
+	chromePath  string
+	profile     *trace.Profile
+	profileText bool
+	profilePath string
+}
+
+// newObserver opens the requested sinks, attaches them to m, and exits
+// with a diagnostic if an output file cannot be created.
+func newObserver(m *sim.Machine, tracePath string, profileText bool, profilePath, label string) *observer {
+	o := &observer{chromePath: tracePath, profileText: profileText, profilePath: profilePath}
+	var sinks []trace.Tracer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(fmt.Errorf("-trace: %w", err))
+		}
+		o.chromeFile = f
+		o.chrome = trace.NewChrome(f)
+		sinks = append(sinks, o.chrome)
+	}
+	if profileText || profilePath != "" {
+		o.profile = trace.NewProfile()
+		o.profile.Label = label
+		sinks = append(sinks, o.profile)
+	}
+	if t := trace.Tee(sinks...); t != nil {
+		m.SetTracer(t)
+	}
+	return o
+}
+
+// finish flushes the sinks after the run. The Chrome file is completed
+// even when the run failed (the partial timeline is the most useful
+// debugging artifact); profile output is suppressed on failure.
+func (o *observer) finish(runErr error, topN int) {
+	if o.chrome != nil {
+		if err := o.chrome.Close(); err != nil {
+			fatal(fmt.Errorf("-trace %s: %w", o.chromePath, err))
+		}
+		if err := o.chromeFile.Close(); err != nil {
+			fatal(fmt.Errorf("-trace %s: %w", o.chromePath, err))
+		}
+	}
+	if o.profile == nil || runErr != nil {
+		return
+	}
+	rep := o.profile.Report(topN)
+	if o.profileText {
+		fmt.Print(rep.Render())
+	}
+	if o.profilePath != "" {
+		f, err := os.Create(o.profilePath)
+		if err != nil {
+			fatal(fmt.Errorf("-profile-json: %w", err))
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("-profile-json %s: %w", o.profilePath, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("-profile-json %s: %w", o.profilePath, err))
+		}
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"cambricon/internal/trace"
 )
 
 // Report is the machine-readable performance record emitted by
@@ -39,6 +41,15 @@ type ReportEntry struct {
 	Instructions int64   `json:"instructions"`
 	MACOps       int64   `json:"mac_ops"`
 	SimSeconds   float64 `json:"sim_seconds"`
+	// Stalls is the attributed CPI stack (disjoint causes summing to
+	// Cycles); VectorUtil/MatrixUtil are functional-unit busy fractions
+	// and BankConflictCycles the crossbar serialization overhead. These
+	// make regressions in *why* cycles are spent diffable, not just the
+	// totals.
+	Stalls             trace.Breakdown `json:"stall_breakdown"`
+	VectorUtil         float64         `json:"vector_util"`
+	MatrixUtil         float64         `json:"matrix_util"`
+	BankConflictCycles int64           `json:"bank_conflict_cycles"`
 	// DaDianNao baseline, when expressible.
 	DDNCycles int64 `json:"dadiannao_cycles,omitempty"`
 	// Host-side throughput of this run.
@@ -69,6 +80,9 @@ func BuildReport(s *Suite, results []Result, workers int, total time.Duration) *
 			SimSeconds:   r.Stats.Seconds(s.Config.ClockHz),
 			HostNS:       r.HostNS,
 		}
+		e.Stalls = r.Stats.StallBreakdown()
+		e.VectorUtil, e.MatrixUtil = r.Stats.Utilization()
+		e.BankConflictCycles = r.Stats.BankConflictCycles
 		if r.DDNOK {
 			e.DDNCycles = r.DDNCycles
 		}

@@ -7,6 +7,7 @@ import (
 	"cambricon/internal/baseline/dadiannao"
 	"cambricon/internal/codegen"
 	"cambricon/internal/sim"
+	"cambricon/internal/trace"
 	"cambricon/internal/workload"
 )
 
@@ -101,6 +102,32 @@ func (s *Suite) runBenchmark(name string) (sim.Stats, error) {
 		return sim.Stats{}, err
 	}
 	return p.Execute(m)
+}
+
+// Profile re-runs one benchmark with a stall-attribution profile
+// attached and returns the materialized report (all opcode rows). It
+// deliberately bypasses the Stats singleflight cache: the traced run
+// gets its own machine, built exactly like runBenchmark's, and the
+// tracer contract guarantees its cycle counts match the cached
+// untraced run bit for bit.
+func (s *Suite) Profile(name string) (*trace.Report, error) {
+	p, err := s.Program(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config
+	cfg.Seed = s.Seed ^ 0xcafe
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof := trace.NewProfile()
+	prof.Label = name
+	m.SetTracer(prof)
+	if _, err := p.Execute(m); err != nil {
+		return nil, err
+	}
+	return prof.Report(0), nil
 }
 
 // Seconds returns the simulated wall-clock time of one benchmark.

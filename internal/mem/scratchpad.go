@@ -23,6 +23,12 @@ type Scratchpad struct {
 	banks     int
 	lineBytes int
 	perBank   []int // reusable conflict counters (Scratchpad is not concurrency-safe)
+
+	// onConflict, when set, observes crossbar serialization: it receives
+	// the busiest bank of an access set and the cycles that bank was
+	// busy beyond the ideal parallel streaming cost. nil (the default)
+	// adds no work to AccessCycles.
+	onConflict func(bank, extraCycles int)
 }
 
 // NewScratchpad builds a scratchpad of size bytes with the given bank count
@@ -46,6 +52,14 @@ func (s *Scratchpad) Size() int { return len(s.data) }
 
 // Banks returns the number of banks.
 func (s *Scratchpad) Banks() int { return s.banks }
+
+// SetConflictHook registers fn to observe bank conflicts: whenever an
+// AccessCycles access set serializes through the crossbar beyond its
+// ideal streaming cost, fn receives the busiest bank and the extra
+// cycles it was responsible for. nil disables observation (the
+// default). The hook is how the simulator's tracing layer builds its
+// bank-conflict heatmap without the scratchpad knowing about tracing.
+func (s *Scratchpad) SetConflictHook(fn func(bank, extraCycles int)) { s.onConflict = fn }
 
 // check validates an access region. Scratchpad addressing errors are program
 // bugs surfaced as errors so the simulator can report the faulting
@@ -177,11 +191,14 @@ func (s *Scratchpad) AccessCycles(regions []Region) int {
 	// Each bank has a single port: total cycles is the busiest bank, but
 	// never less than the longest single streaming access (lines within one
 	// access to the same bank already serialize and are counted above).
-	busiest := 0
-	for _, n := range perBank {
+	busiest, busiestBank := 0, 0
+	for b, n := range perBank {
 		if n > busiest {
-			busiest = n
+			busiest, busiestBank = n, b
 		}
+	}
+	if s.onConflict != nil && busiest > longest {
+		s.onConflict(busiestBank, busiest-longest)
 	}
 	if busiest < longest {
 		busiest = longest

@@ -46,6 +46,11 @@ type effect struct {
 	nAccess      int
 	branchTaken  bool
 	branchOffset int
+	// isDMA marks scratchpad<->main-memory transfers (load/store DMAs);
+	// dmaBytes is the transfer size. Consumed by the tracer to draw DMA
+	// spans on their own timeline tracks.
+	isDMA    bool
+	dmaBytes int
 }
 
 func (e *effect) touch(sp space, addr, n int, write bool) {
@@ -288,6 +293,8 @@ func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error
 	}
 	dma := mem.DMA{StartupCycles: m.cfg.DMAStartupCycles, BytesPerCycle: m.cfg.DMABytesPerCycle}
 	e.execCycles = int64(dma.TransferCycles(bytes))
+	e.isDMA = true
+	e.dmaBytes = bytes
 	m.stats.DMABytes += int64(bytes)
 	m.stats.SpadBytes += int64(bytes)
 	return e, nil

@@ -7,6 +7,7 @@ import (
 	"cambricon/internal/core"
 	"cambricon/internal/fixed"
 	"cambricon/internal/mem"
+	"cambricon/internal/trace"
 )
 
 // Machine is one Cambricon-ACC instance: architectural state (GPRs, PC,
@@ -26,6 +27,12 @@ type Machine struct {
 	stats Stats
 	pipe  pipeline
 	trace io.Writer
+
+	// tracer receives the observability event stream (nil = untraced;
+	// the hot path then makes no trace calls and allocates nothing). ev
+	// is the single reusable event buffer handed to the tracer.
+	tracer trace.Tracer
+	ev     trace.InstEvent
 
 	// Reusable operand buffers for the execution hot path (one exec call
 	// uses at most one of each). bufA/bufB/bufMat are spill targets for
@@ -131,6 +138,40 @@ func (m *Machine) Stats() Stats { return m.stats }
 // inspection flow.
 func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
 
+// SetTracer attaches an observability sink (see internal/trace): per
+// committed instruction the tracer receives fetch-to-commit stage
+// timestamps, functional-unit and DMA spans, and the stall attribution
+// of the instruction's commit window; scratchpad crossbar serialization
+// is reported as bank-conflict events. nil (the default) disables
+// tracing; the untraced hot path makes no trace calls and stays
+// allocation-free, and attaching a tracer never changes simulated cycle
+// counts.
+func (m *Machine) SetTracer(t trace.Tracer) {
+	m.tracer = t
+	if t == nil {
+		m.vspad.SetConflictHook(nil)
+		m.mspad.SetConflictHook(nil)
+		return
+	}
+	m.vspad.SetConflictHook(func(bank, extra int) {
+		t.BankConflict(m.vspad.Name(), bank, int64(extra), m.pipe.lastCommit)
+	})
+	m.mspad.SetConflictHook(func(bank, extra int) {
+		t.BankConflict(m.mspad.Name(), bank, int64(extra), m.pipe.lastCommit)
+	})
+}
+
+// runMeta summarizes the configuration for trace sinks.
+func (m *Machine) runMeta() trace.RunMeta {
+	return trace.RunMeta{
+		ClockHz:      m.cfg.ClockHz,
+		VectorLanes:  m.cfg.VectorLanes,
+		MatrixBlocks: m.cfg.MatrixBlocks,
+		MACsPerBlock: m.cfg.MACsPerBlock,
+		SpadBanks:    m.cfg.SpadBanks,
+	}
+}
+
 // RuntimeError reports a fault during execution, tied to the program
 // counter and instruction that caused it.
 type RuntimeError struct {
@@ -150,20 +191,41 @@ func (e *RuntimeError) Unwrap() error { return e.Err }
 // MaxDynamicInstructions fails (runaway-loop guard).
 func (m *Machine) Run() (Stats, error) {
 	m.pc = 0
+	tracing := m.tracer != nil
+	if tracing {
+		m.tracer.BeginRun(m.runMeta())
+		defer func() { m.tracer.EndRun(m.pipe.lastCommit) }()
+	}
 	for m.pc >= 0 && m.pc < len(m.prog) {
 		if m.stats.Instructions >= m.cfg.MaxDynamicInstructions {
+			m.stats.Cycles = m.pipe.lastCommit
 			return m.stats, &RuntimeError{PC: m.pc, Inst: m.prog[m.pc],
 				Err: fmt.Errorf("dynamic instruction limit %d exceeded", m.cfg.MaxDynamicInstructions)}
 		}
 		inst := m.prog[m.pc]
 		eff, err := m.exec(inst)
 		if err != nil {
+			m.stats.Cycles = m.pipe.lastCommit
 			return m.stats, &RuntimeError{PC: m.pc, Inst: inst, Err: err}
 		}
 		m.stats.Instructions++
 		m.stats.ByType[inst.Op.Type()]++
 		m.stats.ByOpcode[inst.Op]++
-		commit := m.pipe.advance(inst, &eff)
+		var evp *trace.InstEvent
+		if tracing {
+			m.ev = trace.InstEvent{}
+			evp = &m.ev
+		}
+		commit := m.pipe.advance(inst, &eff, evp)
+		if tracing {
+			m.ev.Index = m.stats.Instructions - 1
+			m.ev.PC = m.pc
+			m.ev.Op = inst.Op
+			m.ev.BranchTaken = eff.branchTaken
+			m.ev.IsDMA = eff.isDMA
+			m.ev.DMABytes = eff.dmaBytes
+			m.tracer.Instruction(&m.ev)
+		}
 		if m.trace != nil {
 			note := ""
 			if eff.branchTaken {
@@ -179,10 +241,10 @@ func (m *Machine) Run() (Stats, error) {
 			m.pc++
 		}
 	}
+	m.stats.Cycles = m.pipe.lastCommit
 	if m.pc != len(m.prog) && len(m.prog) > 0 {
 		return m.stats, fmt.Errorf("sim: control flow left the program (pc=%d, len=%d)", m.pc, len(m.prog))
 	}
-	m.stats.Cycles = m.pipe.lastCommit
 	return m.stats, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cambricon/internal/core"
+	"cambricon/internal/trace"
 )
 
 // Stats aggregates a run's dynamic behaviour. Cycle counts come from the
@@ -61,6 +62,58 @@ type Stats struct {
 	// MemQueueFullStallCycles counts issue-stage waits for memory-queue
 	// space.
 	MemQueueFullStallCycles int64
+
+	// Stalls is the attributed CPI stack: every cycle of the run charged
+	// to exactly one cause (see pipeline.advance). Unlike the raw
+	// per-instruction stall counters above — which sum each
+	// instruction's own waits and therefore double-count wall-clock
+	// cycles when several instructions wait out the same interval — the
+	// attributed buckets are disjoint by construction and sum to exactly
+	// Cycles on a completed run (CheckConsistency enforces this).
+	Stalls trace.Breakdown `json:"StallBreakdown"`
+}
+
+// StallBreakdown returns the attributed CPI stack: cycles per stall
+// cause, disjoint, summing to Cycles for a completed run.
+func (s *Stats) StallBreakdown() trace.Breakdown { return s.Stalls }
+
+// CheckConsistency verifies the run's cycle accounting invariants:
+// the attributed stall breakdown must cover every cycle exactly once,
+// and no single-resource busy counter can exceed the run length. It
+// reports the first violated invariant. Valid after a completed Run;
+// a run that faulted mid-program still satisfies these checks because
+// Cycles tracks the last committed instruction.
+func (s *Stats) CheckConsistency() error {
+	for i, v := range s.Stalls {
+		if v < 0 {
+			return fmt.Errorf("sim: stall bucket %v is negative (%d)", trace.Cause(i), v)
+		}
+	}
+	if sum := s.Stalls.Sum(); sum != s.Cycles {
+		return fmt.Errorf("sim: attributed stall cycles sum to %d, want exactly Cycles=%d", sum, s.Cycles)
+	}
+	if s.VectorBusyCycles > s.Cycles {
+		return fmt.Errorf("sim: VectorBusyCycles %d exceeds Cycles %d", s.VectorBusyCycles, s.Cycles)
+	}
+	if s.MatrixBusyCycles > s.Cycles {
+		return fmt.Errorf("sim: MatrixBusyCycles %d exceeds Cycles %d", s.MatrixBusyCycles, s.Cycles)
+	}
+	for _, raw := range []struct {
+		name string
+		v    int64
+	}{
+		{"MemDepStallCycles", s.MemDepStallCycles},
+		{"FUBusyStallCycles", s.FUBusyStallCycles},
+		{"RegStallCycles", s.RegStallCycles},
+		{"ROBFullStallCycles", s.ROBFullStallCycles},
+		{"MemQueueFullStallCycles", s.MemQueueFullStallCycles},
+		{"BankConflictCycles", s.BankConflictCycles},
+	} {
+		if raw.v < 0 {
+			return fmt.Errorf("sim: %s is negative (%d)", raw.name, raw.v)
+		}
+	}
+	return nil
 }
 
 // OpcodeCount is one entry of a dynamic opcode histogram.

@@ -1,6 +1,9 @@
 package sim
 
-import "cambricon/internal/core"
+import (
+	"cambricon/internal/core"
+	"cambricon/internal/trace"
+)
 
 // pipeline is a timestamp-propagation model of the Fig. 8 seven-stage
 // pipeline. Instructions pass through it in program order (the machine
@@ -99,23 +102,47 @@ func (p *pipeline) init(cfg *Config, stats *Stats) {
 	p.regReady = [core.NumGPRs]int64{}
 }
 
+// attrSeg is one interval of an instruction's critical path, labeled
+// with what the instruction was doing (or waiting on) during it.
+type attrSeg struct {
+	cause trace.Cause
+	a, b  int64 // half-open [a, b)
+}
+
 // advance threads one executed instruction through the timing model and
 // returns the instruction's commit cycle.
-func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
+//
+// Besides computing the timestamps, advance attributes every cycle of the
+// instruction's commit window — the interval between the previous commit
+// and this one — to exactly one stall cause (a CPI stack), accumulated in
+// Stats.Stalls. The instruction's critical path covers [fetch, commit)
+// contiguously, so clipping each path segment to the window and charging
+// the pre-fetch remainder to whatever gated the fetch accounts for the
+// whole window; commit windows telescope across the run, which is why the
+// per-cause totals sum to exactly Stats.Cycles. When ev is non-nil the
+// same timestamps and attribution are recorded for the tracer; passing
+// nil adds no work beyond the always-on statistics.
+func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent) int64 {
 	i := p.count
 	p.count++
 	width := p.cfg.IssueWidth
+	prevCommit := p.lastCommit
 
 	// Fetch: bounded by the redirect of an earlier taken branch, fetch
 	// bandwidth, and issue-queue space (the instruction IssueQueueDepth
-	// back must have left the queue).
+	// back must have left the queue). fetchCause remembers which of the
+	// three gated the fetch, for attributing the window's pre-fetch
+	// cycles.
 	f := p.redirect
-	if f < p.fetchCycle {
+	fetchCause := trace.CauseBranch
+	if p.fetchCycle >= f {
 		f = p.fetchCycle
+		fetchCause = trace.CauseFrontend
 	}
 	if i >= int64(len(p.iqIssued)) {
 		if t := p.iqIssued[i%int64(len(p.iqIssued))]; t > f {
 			f = t
+			fetchCause = trace.CauseIQFull
 		}
 	}
 	// Fetch bandwidth: at most IssueWidth fetches per cycle.
@@ -131,37 +158,40 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 		p.fetchSlot = 0
 	}
 
-	// Decode.
-	s := f + 1
+	// Decode, then in-order issue behind the previous instruction.
+	d := f + 1
+	s0 := d
+	if s0 < p.lastIssueTime {
+		s0 = p.lastIssueTime
+	}
 
 	// Issue: in order, after source registers are read from the scalar
 	// register file, with ROB and memory-queue space available.
-	if s < p.lastIssueTime {
-		s = p.lastIssueTime
-	}
 	var srcBuf [6]uint8
-	rr := s
+	rr := s0
 	for _, r := range inst.ReadRegs(srcBuf[:0]) {
 		if p.regReady[r] > rr {
 			rr = p.regReady[r]
 		}
 	}
-	p.stats.RegStallCycles += rr - s
-	s = rr
+	p.stats.RegStallCycles += rr - s0
+	sROB := rr
 	if i >= int64(len(p.robCommit)) {
-		if t := p.robCommit[i%int64(len(p.robCommit))]; t > s {
-			p.stats.ROBFullStallCycles += t - s
-			s = t
+		if t := p.robCommit[i%int64(len(p.robCommit))]; t > sROB {
+			p.stats.ROBFullStallCycles += t - sROB
+			sROB = t
 		}
 	}
 	isMem := e.fu == fuVector || e.fu == fuMatrix || e.fu == fuScalarMem
+	sMQ := sROB
 	if isMem && p.memCount >= int64(len(p.mqRetire)) {
-		if t := p.mqRetire[p.memCount%int64(len(p.mqRetire))]; t > s {
-			p.stats.MemQueueFullStallCycles += t - s
-			s = t
+		if t := p.mqRetire[p.memCount%int64(len(p.mqRetire))]; t > sMQ {
+			p.stats.MemQueueFullStallCycles += t - sMQ
+			sMQ = t
 		}
 	}
 	// Issue bandwidth: at most IssueWidth issues per cycle.
+	s := sMQ
 	if s > p.issueCycle {
 		p.issueCycle = s
 		p.issueSlot = 0
@@ -176,11 +206,16 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 	p.lastIssueTime = s
 	p.iqIssued[i%int64(len(p.iqIssued))] = s
 
-	// Execute.
-	var done int64
+	// Execute. regReadEnd closes the fixed post-issue pipeline stages
+	// (register read, and the AGU for memory-touching instructions),
+	// depEnd the memory-queue dependence wait, start the functional-unit
+	// availability wait.
+	var regReadEnd, depEnd, start, done int64
 	switch e.fu {
 	case fuScalar:
-		start := s + 1 // register-read stage
+		regReadEnd = s + 1 // register-read stage
+		depEnd = regReadEnd
+		start = regReadEnd
 		if p.scalarNext > start {
 			p.stats.FUBusyStallCycles += p.scalarNext - start
 			start = p.scalarNext
@@ -191,6 +226,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 		// Memory-touching instructions pass the AGU and wait in the
 		// memory queue for earlier overlapping accesses.
 		entry := s + 2 // register read + AGU
+		regReadEnd = entry
 		dep := entry
 		lo := p.memCount - int64(len(p.mq))
 		if lo < 0 {
@@ -203,7 +239,8 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 			}
 		}
 		p.stats.MemDepStallCycles += dep - entry
-		start := dep
+		depEnd = dep
+		start = dep
 		switch e.fu {
 		case fuVector:
 			if p.vectorFree > start {
@@ -276,6 +313,62 @@ func (p *pipeline) advance(inst core.Instruction, e *effect) int64 {
 		if r > p.redirect {
 			p.redirect = r
 		}
+	}
+
+	// Stall attribution: clip the critical-path segments to the commit
+	// window [prevCommit, c). The segment boundaries are monotone
+	// (f <= s0 <= rr <= sROB <= sMQ <= s <= regReadEnd <= depEnd <=
+	// start <= done+1 <= c), so the clipped segments are disjoint and
+	// any window cycles they leave uncovered precede the fetch — those
+	// are charged to whatever gated the fetch.
+	segs := [10]attrSeg{
+		{trace.CauseFrontend, f, s0},            // fetch + decode + in-order issue
+		{trace.CauseRegDep, s0, rr},             // source-register wait
+		{trace.CauseROBFull, rr, sROB},          // reorder-buffer wait
+		{trace.CauseMemQueueFull, sROB, sMQ},    // memory-queue-space wait
+		{trace.CauseFrontend, sMQ, s},           // issue bandwidth
+		{trace.CauseCompute, s, regReadEnd},     // register read + AGU
+		{trace.CauseMemDep, regReadEnd, depEnd}, // memory-dependence wait
+		{trace.CauseFUBusy, depEnd, start},      // functional-unit wait
+		{trace.CauseCompute, start, done + 1},   // execution + write-back
+		{trace.CauseCommit, done + 1, c},        // in-order / bandwidth commit wait
+	}
+	gap := c - prevCommit
+	var covered int64
+	for _, sg := range segs {
+		lo, hi := sg.a, sg.b
+		if lo < prevCommit {
+			lo = prevCommit
+		}
+		if hi > c {
+			hi = c
+		}
+		if hi > lo {
+			p.stats.Stalls[sg.cause] += hi - lo
+			covered += hi - lo
+			if ev != nil {
+				ev.Attr[sg.cause] += hi - lo
+			}
+		}
+	}
+	if rest := gap - covered; rest > 0 {
+		p.stats.Stalls[fetchCause] += rest
+		if ev != nil {
+			ev.Attr[fetchCause] += rest
+		}
+	}
+
+	if ev != nil {
+		ev.Fetch, ev.Decode, ev.Issue = f, d, s
+		ev.ExecStart, ev.ExecDone, ev.Commit = start, done, c
+		ev.ExecCycles = e.execCycles
+		ev.FU = trace.FU(e.fu)
+		ev.Gap = gap
+		ev.RegWait = rr - s0
+		ev.ROBWait = sROB - rr
+		ev.MemQueueWait = sMQ - sROB
+		ev.MemDepWait = depEnd - regReadEnd
+		ev.FUBusyWait = start - depEnd
 	}
 	return c
 }

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome is a Tracer that streams the run as Chrome Trace Event JSON,
+// the format ui.perfetto.dev and chrome://tracing open directly. One
+// simulated cycle is rendered as one microsecond of trace time.
+//
+// The timeline is organized as one track per pipeline resource:
+//
+//	frontend     fetch->issue span of every instruction (stalled fetches
+//	             and issue-stage waits show up as long spans)
+//	scalar FU    execution spans of scalar ALU instructions
+//	L1 port      scalar load/store execution spans
+//	vector FU    vector functional-unit occupancy spans
+//	matrix FU    matrix functional-unit occupancy spans
+//	vector DMA   VLOAD/VSTORE transfer spans
+//	matrix DMA   MLOAD/MSTORE transfer spans
+//	commit       one instant per committed instruction
+//	bank conflicts  instants where a scratchpad access serialized in the
+//	                crossbar
+//	stall cycles    cumulative per-cause counter track (the CPI stack
+//	                over time; the slope shows what the machine was
+//	                limited by at each point of the run)
+//
+// Events stream through a buffered writer as they arrive; Close finishes
+// the JSON document and reports the first write error.
+type Chrome struct {
+	w      *bufio.Writer
+	err    error
+	events int // emitted events, for comma placement
+	begun  bool
+	cum    Breakdown // running totals behind the counter track
+}
+
+// Track ids (Chrome "tid" values) in display order.
+const (
+	tidFrontend = 1 + iota
+	tidScalar
+	tidL1
+	tidVector
+	tidMatrix
+	tidVecDMA
+	tidMatDMA
+	tidCommit
+	tidConflict
+	tidStalls
+)
+
+var trackNames = map[int]string{
+	tidFrontend: "frontend (fetch->issue)",
+	tidScalar:   "scalar FU",
+	tidL1:       "L1 port",
+	tidVector:   "vector FU",
+	tidMatrix:   "matrix FU",
+	tidVecDMA:   "vector DMA",
+	tidMatDMA:   "matrix DMA",
+	tidCommit:   "commit",
+	tidConflict: "bank conflicts",
+}
+
+// NewChrome builds a writer emitting to w. Call Close after the run to
+// finish the document.
+func NewChrome(w io.Writer) *Chrome {
+	return &Chrome{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// printf appends one raw fragment, latching the first error.
+func (c *Chrome) printf(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}
+
+// event appends one trace event object (the leading comma is managed
+// here; body must be a complete JSON object).
+func (c *Chrome) event(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	if c.events > 0 {
+		c.printf(",\n")
+	} else {
+		c.printf("\n")
+	}
+	c.events++
+	c.printf(format, args...)
+}
+
+// BeginRun writes the document preamble and track metadata. Only the
+// first call opens the document; later runs append to the same timeline.
+func (c *Chrome) BeginRun(meta RunMeta) {
+	if c.begun {
+		return
+	}
+	c.begun = true
+	c.printf(`{"displayTimeUnit":"ms","otherData":{"tool":"cambricon camsim","cycle_unit":"1 trace us = 1 simulated cycle","clock_hz":%g,"vector_lanes":%d,"matrix_blocks":%d,"macs_per_block":%d,"spad_banks":%d},"traceEvents":[`,
+		meta.ClockHz, meta.VectorLanes, meta.MatrixBlocks, meta.MACsPerBlock, meta.SpadBanks)
+	c.event(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"cambricon-acc"}}`)
+	for tid := tidFrontend; tid <= tidConflict; tid++ {
+		c.event(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, trackNames[tid])
+		c.event(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tid, tid)
+	}
+}
+
+// fuTid maps an instruction to its execution track.
+func fuTid(ev *InstEvent) int {
+	switch {
+	case ev.FU == FUVector && ev.IsDMA:
+		return tidVecDMA
+	case ev.FU == FUMatrix && ev.IsDMA:
+		return tidMatDMA
+	case ev.FU == FUVector:
+		return tidVector
+	case ev.FU == FUMatrix:
+		return tidMatrix
+	case ev.FU == FUScalarMem:
+		return tidL1
+	}
+	return tidScalar
+}
+
+// Instruction emits the instruction's frontend span, execution span,
+// commit instant, and advances the stall counter track.
+func (c *Chrome) Instruction(ev *InstEvent) {
+	op := ev.Op.String()
+	// Frontend: fetch through issue.
+	c.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"pc":%d,"idx":%d}}`,
+		tidFrontend, ev.Fetch, ev.Issue-ev.Fetch, op, ev.PC, ev.Index)
+	// Execution span on the owning FU or DMA engine track.
+	if ev.IsDMA {
+		c.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"pc":%d,"idx":%d,"bytes":%d}}`,
+			fuTid(ev), ev.ExecStart, ev.ExecDone-ev.ExecStart, op, ev.PC, ev.Index, ev.DMABytes)
+	} else {
+		c.event(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"pc":%d,"idx":%d}}`,
+			fuTid(ev), ev.ExecStart, ev.ExecDone-ev.ExecStart, op, ev.PC, ev.Index)
+	}
+	// Commit instant; taken branches are annotated.
+	name := op
+	if ev.BranchTaken {
+		name = op + " taken"
+	}
+	c.event(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","name":%q,"args":{"pc":%d,"idx":%d}}`,
+		tidCommit, ev.Commit, name, ev.PC, ev.Index)
+	// Cumulative CPI-stack counters.
+	for i := range ev.Attr {
+		c.cum[i] += ev.Attr[i]
+	}
+	if c.err != nil {
+		return
+	}
+	if c.events > 0 {
+		c.printf(",\n")
+	}
+	c.events++
+	c.printf(`{"ph":"C","pid":0,"tid":%d,"ts":%d,"name":"stall cycles (cumulative)","args":{`, tidStalls, ev.Commit)
+	for i, v := range c.cum {
+		if i > 0 {
+			c.printf(",")
+		}
+		c.printf(`%q:%d`, Cause(i).String(), v)
+	}
+	c.printf("}}")
+}
+
+// BankConflict emits an instant on the conflict track.
+func (c *Chrome) BankConflict(spad string, bank int, extraCycles, atCycle int64) {
+	c.event(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","name":"conflict","args":{"spad":%q,"bank":%d,"extra_cycles":%d}}`,
+		tidConflict, atCycle, spad, bank, extraCycles)
+}
+
+// EndRun marks the end of the run on the commit track.
+func (c *Chrome) EndRun(totalCycles int64) {
+	c.event(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"g","name":"run end","args":{"total_cycles":%d}}`,
+		tidCommit, totalCycles, totalCycles)
+}
+
+// Close finishes the JSON document, flushes, and returns the first error
+// seen on the underlying writer. A Chrome that never saw a run still
+// produces a valid empty trace.
+func (c *Chrome) Close() error {
+	if !c.begun {
+		c.printf(`{"traceEvents":[`)
+	}
+	c.printf("\n]}\n")
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}

@@ -1,0 +1,207 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cambricon/internal/asm"
+	"cambricon/internal/sim"
+	"cambricon/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenProgram is a small hand-written program exercising every trace
+// track: a scalar countdown loop (taken branches), then the paper's
+// Fig. 7 MLP layer (vector/matrix DMAs, matrix-vector multiply and the
+// sigmoid vector chain). It is fully deterministic, so its trace is too.
+const goldenProgram = `
+.data 100: 0.5, -1, 0.25
+.data 300: 0.5, 1, -0.5, -1, 0.25, 0.75, 2, -1, 0.5
+.data 400: 0.1, -0.2, 0.3
+	SMOVE  $9, #2
+spin:	SADD   $9, $9, #-1
+	CB     #spin, $9
+	SMOVE  $0, #3
+	SMOVE  $1, #3
+	SMOVE  $2, #9
+	SMOVE  $3, #0
+	SMOVE  $4, #0
+	SMOVE  $5, #64
+	SMOVE  $6, #512
+	SMOVE  $7, #128
+	SMOVE  $8, #192
+	VLOAD  $3, $0, #100
+	VLOAD  $5, $1, #400
+	MLOAD  $4, $2, #300
+	MMV    $7, $1, $4, $3, $0
+	VAV    $7, $1, $7, $5
+	VEXP   $8, $1, $7
+	VAS    $7, $1, $8, #256
+	VDV    $6, $1, $8, $7
+	VSTORE $6, $1, #200
+`
+
+// runGolden executes goldenProgram with a Chrome sink attached and
+// returns the emitted document plus the run statistics.
+func runGolden(t *testing.T) ([]byte, sim.Stats) {
+	t.Helper()
+	p, err := asm.Assemble(goldenProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.MustNew(sim.DefaultConfig())
+	for _, c := range p.Data {
+		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	c := trace.NewChrome(&buf)
+	m.SetTracer(c)
+	m.LoadProgram(p.Instructions)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), stats
+}
+
+func TestChromeGolden(t *testing.T) {
+	got, _ := runGolden(t)
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -run TestChromeGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace differs from golden file %s (re-run with -update if the change is intended)\ngot %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+}
+
+// chromeDoc is the subset of the Chrome Trace Event format the tests
+// inspect.
+type chromeDoc struct {
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	OtherData       map[string]any   `json:"otherData"`
+	TraceEvents     []map[string]any `json:"traceEvents"`
+}
+
+func TestChromeValidJSON(t *testing.T) {
+	raw, stats := runGolden(t)
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	names := map[string]bool{}
+	var lastCounter map[string]any
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event without ph: %v", ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event without pid: %v", ev)
+		}
+		switch ph {
+		case "X":
+			spans++
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Errorf("span with bad dur: %v", ev)
+			}
+		case "M":
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		case "C":
+			lastCounter, _ = ev["args"].(map[string]any)
+		}
+	}
+	if spans == 0 {
+		t.Error("no duration spans emitted")
+	}
+	for _, track := range []string{"frontend (fetch->issue)", "vector FU", "matrix FU", "vector DMA", "matrix DMA", "commit"} {
+		if !names[track] {
+			t.Errorf("track %q not declared", track)
+		}
+	}
+	// The cumulative stall counter must end exactly at the cycle count:
+	// the CPI stack covers the whole run.
+	if lastCounter == nil {
+		t.Fatal("no stall counter events")
+	}
+	var sum int64
+	for _, v := range lastCounter {
+		sum += int64(v.(float64))
+	}
+	if sum != stats.Cycles {
+		t.Errorf("final cumulative stalls = %d, want Cycles = %d", sum, stats.Cycles)
+	}
+	// The run-end marker carries the same total.
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last["name"] != "run end" {
+		t.Errorf("last event = %v, want run end", last)
+	}
+}
+
+func TestChromeEmptyClose(t *testing.T) {
+	var buf bytes.Buffer
+	c := trace.NewChrome(&buf)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty trace has %d events", len(doc.TraceEvents))
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestChromeWriteErrorSurfaces(t *testing.T) {
+	c := trace.NewChrome(&failWriter{n: 16})
+	c.BeginRun(trace.RunMeta{})
+	for i := 0; i < 10000; i++ {
+		ev := trace.InstEvent{Index: int64(i), Gap: 1}
+		c.Instruction(&ev)
+	}
+	c.EndRun(10000)
+	if err := c.Close(); err == nil {
+		t.Error("Close did not report the write error")
+	}
+}
