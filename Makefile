@@ -1,14 +1,15 @@
 # Build/verify entry points for the Cambricon reproduction. `make ci` is
 # the gate every PR must pass: formatting, vet, build, the full test suite
 # under the race detector (covering the parallel benchmark harness), a
-# short run of the hot-kernel microbenchmarks (docs/PERF.md), and a traced
-# smoke run of the observability layer (docs/OBSERVABILITY.md).
+# short run of the hot-kernel microbenchmarks (docs/PERF.md), a traced
+# smoke run of the observability layer (docs/OBSERVABILITY.md), and a
+# fault-campaign smoke run of the robustness layer (docs/ROBUSTNESS.md).
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-json repro smoke
+.PHONY: ci fmt vet build test race bench bench-json repro smoke smoke-fault fault-json
 
-ci: fmt vet build race bench smoke
+ci: fmt vet build race bench smoke smoke-fault
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -42,9 +43,21 @@ smoke:
 	@test -s /tmp/cambricon-smoke-trace.json || { echo "smoke: empty trace file"; exit 1; }
 	@rm -f /tmp/cambricon-smoke-trace.json
 
+# Fault-campaign smoke run: a small deterministic injection sweep over
+# one benchmark, proving the fault subsystem end to end (the report is
+# checked for the schema marker, then discarded).
+smoke-fault:
+	$(GO) run ./cmd/camrepro -fault-json /tmp/cambricon-smoke-faults.json -fault-bench MLP -fault-sites 10 2>/dev/null
+	@grep -q cambricon-fault/v1 /tmp/cambricon-smoke-faults.json || { echo "smoke-fault: bad report"; exit 1; }
+	@rm -f /tmp/cambricon-smoke-faults.json
+
 # Regenerate the machine-readable perf record tracked in BENCH_sim.json.
 bench-json:
 	$(GO) run ./cmd/camrepro -bench-json BENCH_sim.json
+
+# Run a full fault-injection campaign across all ten benchmarks.
+fault-json:
+	$(GO) run ./cmd/camrepro -fault-json FAULTS_sim.json
 
 # Regenerate every paper table/figure using all cores.
 repro:

@@ -106,7 +106,7 @@ func BenchmarkAssembler(b *testing.B) {
 }
 
 func BenchmarkEncodeDecode(b *testing.B) {
-	p := MustAssemble("\tMMV $7, $1, $4, $3, $0\n")
+	p := mustAssemble(b, "\tMMV $7, $1, $4, $3, $0\n")
 	inst := p.Instructions[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -123,7 +123,7 @@ func BenchmarkEncodeDecode(b *testing.B) {
 // BenchmarkMMVThroughput measures simulator throughput on the core matrix
 // primitive (a 256x256 MMV per iteration).
 func BenchmarkMMVThroughput(b *testing.B) {
-	p := MustAssemble(`
+	p := mustAssemble(b, `
 	SMOVE $1, #256
 	SMOVE $2, #65536
 	SMOVE $4, #0
@@ -151,7 +151,7 @@ func BenchmarkMMVThroughput(b *testing.B) {
 // ablation: one MMV versus a row of VDOTs for the same matrix-vector
 // product (the dedicated instruction must win).
 func BenchmarkMMVvsVDOTAblation(b *testing.B) {
-	mmv := MustAssemble(`
+	mmv := mustAssemble(b, `
 	SMOVE $1, #64
 	SMOVE $4, #0
 	SMOVE $6, #8192
@@ -163,7 +163,7 @@ func BenchmarkMMVvsVDOTAblation(b *testing.B) {
 	for i := 0; i < 64; i++ {
 		vdotSrc += "\tVDOT $10, $1, $4, $5\n"
 	}
-	vdot := MustAssemble(vdotSrc)
+	vdot := mustAssemble(b, vdotSrc)
 	m, err := NewMachine(DefaultConfig())
 	if err != nil {
 		b.Fatal(err)

@@ -62,9 +62,6 @@ func FromFloat(f float64) Num { return fixed.FromFloat(f) }
 // Assemble parses Cambricon assembly (the paper's Fig. 7 syntax).
 func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
 
-// MustAssemble is Assemble for known-good sources; it panics on error.
-func MustAssemble(src string) *Program { return asm.MustAssemble(src) }
-
 // Disassemble renders instructions back to assembly text.
 func Disassemble(prog []Instruction) string { return asm.Disassemble(prog) }
 

@@ -6,7 +6,7 @@ import (
 )
 
 func TestFacadeAssembleRun(t *testing.T) {
-	p := MustAssemble(`
+	p := mustAssemble(t, `
 	SMOVE $1, #8
 	SMOVE $2, #0
 	RV    $2, $1
@@ -37,7 +37,7 @@ func TestFacadeAssembleRun(t *testing.T) {
 }
 
 func TestFacadeRoundTrips(t *testing.T) {
-	p := MustAssemble("\tSADD $1, $2, #3\n")
+	p := mustAssemble(t, "\tSADD $1, $2, #3\n")
 	w, err := Encode(p.Instructions[0])
 	if err != nil {
 		t.Fatal(err)

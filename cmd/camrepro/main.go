@@ -11,8 +11,16 @@
 //	camrepro -j 8              # benchmark simulation worker count (0 = all cores)
 //	camrepro -bench-json BENCH_sim.json  # emit the machine-readable perf record
 //	camrepro -profile-json PROFILES.json # per-benchmark stall-attribution profiles
+//	camrepro -fault-json FAULTS.json     # fault-injection campaign record
 //	camrepro -listing x86:MLP  # dump a baseline pseudo-assembly listing
 //	camrepro -source BM        # dump a generated Cambricon program
+//
+// The fault campaign (see docs/ROBUSTNESS.md) sweeps deterministic
+// injected faults across the Table III benchmarks and classifies each
+// run against the fault-free golden run:
+//
+//	camrepro -fault-json FAULTS.json -fault-sites 50   # sites per benchmark
+//	camrepro -fault-json - -fault-bench MLP            # one benchmark, stdout
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"cambricon/internal/baseline/genarch"
 	"cambricon/internal/bench"
 	"cambricon/internal/codegen"
+	"cambricon/internal/fault"
 	"cambricon/internal/trace"
 	"cambricon/internal/workload"
 )
@@ -39,6 +48,9 @@ func main() {
 	workers := flag.Int("j", 0, "benchmark simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	benchJSON := flag.String("bench-json", "", "run the suite and write the perf record to this file (e.g. BENCH_sim.json)")
 	profileJSON := flag.String("profile-json", "", "write per-benchmark stall-attribution profiles as JSON to this file")
+	faultJSON := flag.String("fault-json", "", "run a fault-injection campaign and write the report to this file (\"-\" = stdout)")
+	faultSites := flag.Int("fault-sites", 50, "fault sites injected per benchmark in the campaign")
+	faultBench := flag.String("fault-bench", "", "restrict the fault campaign to one benchmark (empty = all)")
 	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
 	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
 	version := flag.Bool("version", false, "print the simulator version and exit")
@@ -79,6 +91,14 @@ func main() {
 
 	if *profileJSON != "" {
 		if err := emitProfileJSON(suite, *profileJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *faultJSON != "" {
+		if err := emitFaultJSON(suite, *workers, *faultSites, *faultBench, *faultJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "camrepro:", err)
 			os.Exit(1)
 		}
@@ -168,6 +188,47 @@ func emitProfileJSON(suite *bench.Suite, path string) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// emitFaultJSON runs a deterministic fault-injection campaign over the
+// Table III benchmarks (or one of them) and writes the
+// cambricon-fault/v1 report. The campaign seed is the suite seed, so
+// `-seed N -fault-sites K` fully determines the report bytes.
+func emitFaultJSON(suite *bench.Suite, workers, sites int, only, path string) error {
+	targets, err := suite.FaultTargets()
+	if err != nil {
+		return err
+	}
+	if only != "" {
+		kept := targets[:0]
+		for _, t := range targets {
+			if t.Name() == only {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("unknown benchmark %q for -fault-bench", only)
+		}
+		targets = kept
+	}
+	c := fault.Campaign{Seed: suite.Seed, Sites: sites, Workers: workers}
+	rep, err := c.Run(context.Background(), targets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, rep.Render())
+	if path == "-" {
+		return rep.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -22,6 +22,12 @@
 //	camsim -benchmark MLP -profile           # stall-attribution profile
 //	camsim -benchmark MLP -profile-json p.json
 //	camsim -itrace prog.cam                  # textual per-instruction trace
+//
+// Robustness (see docs/ROBUSTNESS.md):
+//
+//	camsim -max-cycles 100000 prog.cam       # watchdog: fail instead of hang
+//	camsim -bin prog.bin                     # run a binary instruction image;
+//	                                         # a corrupted image is a clean error
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"cambricon/internal/asm"
 	"cambricon/internal/bench"
 	"cambricon/internal/codegen"
+	"cambricon/internal/core"
 	"cambricon/internal/fixed"
 	"cambricon/internal/sim"
 	"cambricon/internal/trace"
@@ -60,6 +67,8 @@ func main() {
 	topN := flag.Int("top", 10, "opcode rows in the profile (0 = all)")
 	hist := flag.Bool("hist", false, "print the dynamic opcode histogram")
 	jsonOut := flag.Bool("json", false, "print run statistics as JSON")
+	maxCycles := flag.Int64("max-cycles", 0, "watchdog: fail the run once the simulated clock passes this budget (0 = off)")
+	binFlag := flag.Bool("bin", false, "treat the program argument as a binary instruction image (8 bytes per instruction, little-endian), not assembly text")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Var(&gprs, "gpr", "initialize a register, e.g. -gpr 1=64 (repeatable)")
 	flag.Var(&pokes, "poke", "write fixed-point values to main memory, e.g. -poke 100=1.5,2.25 (repeatable)")
@@ -75,7 +84,9 @@ func main() {
 		return
 	}
 
-	m, err := sim.New(sim.DefaultConfig())
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles = *maxCycles
+	m, err := sim.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,15 +145,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
-		fatal(err)
-	}
-	// Apply the program's own .data image first; -poke can override it.
-	for _, c := range prog.Data {
-		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
+	var insts []core.Instruction
+	if *binFlag {
+		// A binary image carries no .data section; -poke seeds memory.
+		insts, err = core.DecodeProgram(src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", flag.Arg(0), err))
+		}
+	} else {
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
 			fatal(err)
 		}
+		// Apply the program's own .data image first; -poke can override it.
+		for _, c := range prog.Data {
+			if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
+				fatal(err)
+			}
+		}
+		insts = prog.Instructions
 	}
 	for _, g := range gprs {
 		reg, val, err := parsePair(g)
@@ -160,7 +181,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	m.LoadProgram(prog.Instructions)
+	m.LoadProgram(insts)
 	obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, flag.Arg(0))
 	stats, err := m.Run()
 	obs.finish(err, *topN)

@@ -155,16 +155,6 @@ func Assemble(src string) (*Program, error) {
 	return prog, nil
 }
 
-// MustAssemble is Assemble for known-good sources (tests, generators); it
-// panics on error.
-func MustAssemble(src string) *Program {
-	p, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func parseInstruction(lineNo int, line string) (srcInst, error) {
 	fields := strings.Fields(line)
 	mnemonic := strings.ToUpper(fields[0])

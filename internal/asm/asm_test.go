@@ -134,7 +134,7 @@ func TestAssembleFig7BM(t *testing.T) {
 }
 
 func TestFig7TypeMix(t *testing.T) {
-	p := MustAssemble(poolingSrc)
+	p := mustAssemble(t, poolingSrc)
 	mix := p.TypeMix()
 	if mix[core.TypeControl] != 2 {
 		t.Errorf("control count %d, want 2", mix[core.TypeControl])
@@ -209,7 +209,7 @@ func TestCaseInsensitiveMnemonics(t *testing.T) {
 }
 
 func TestHexImmediates(t *testing.T) {
-	p := MustAssemble("\tSMOVE $1, #0x10\n")
+	p := mustAssemble(t, "\tSMOVE $1, #0x10\n")
 	if p.Instructions[0].Imm != 16 {
 		t.Errorf("hex immediate: %d", p.Instructions[0].Imm)
 	}
@@ -246,7 +246,7 @@ loop:	SADD $1, $1, #-1
 
 func TestDisassembleRoundTrip(t *testing.T) {
 	for _, src := range []string{mlpSrc, poolingSrc, bmSrc} {
-		p1 := MustAssemble(src)
+		p1 := mustAssemble(t, src)
 		text := Disassemble(p1.Instructions)
 		p2, err := Assemble(text)
 		if err != nil {
@@ -264,7 +264,7 @@ func TestDisassembleRoundTrip(t *testing.T) {
 }
 
 func TestDisassembleLabelsBranches(t *testing.T) {
-	p := MustAssemble(poolingSrc)
+	p := mustAssemble(t, poolingSrc)
 	text := Disassemble(p.Instructions)
 	if !strings.Contains(text, "L0:") || !strings.Contains(text, "CB #L1, $4") {
 		t.Errorf("disassembly missing labels:\n%s", text)

@@ -1,0 +1,119 @@
+package bench
+
+// This file is the fault-campaign adapter: it exposes the Table III
+// benchmarks as fault.Target implementations so fault.Campaign can
+// sweep injected faults across the same programs the performance
+// experiments run.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cambricon/internal/codegen"
+	"cambricon/internal/core"
+	"cambricon/internal/fault"
+	"cambricon/internal/sim"
+)
+
+// FaultTargets exposes the benchmark programs as fault-campaign
+// targets. Each target builds a fresh machine per run (so concurrent
+// campaign workers share nothing) configured exactly like the
+// performance runs: same Table II machine, same derived seed.
+func (s *Suite) FaultTargets() ([]fault.Target, error) {
+	progs, err := s.Programs()
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]fault.Target, len(progs))
+	for i, p := range progs {
+		targets[i] = &faultTarget{suite: s, prog: p}
+	}
+	return targets, nil
+}
+
+// faultTarget adapts one generated benchmark to fault.Target.
+type faultTarget struct {
+	suite *Suite
+	prog  *codegen.Program
+}
+
+func (t *faultTarget) Name() string { return t.prog.Name }
+
+// Run executes the benchmark once under the given injector. Per the
+// fault.Target contract it never panics (a panic is reported as a
+// crash), marks watchdog terminations as hangs, and fills Geometry so
+// the campaign can derive fault sites from the golden run.
+func (t *faultTarget) Run(inj fault.Injector, maxCycles int64) (obs fault.Observation) {
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Crashed = true
+			obs.Err = fmt.Errorf("bench: %s: panic: %v", t.prog.Name, r)
+		}
+	}()
+	cfg := t.suite.Config
+	cfg.Seed = t.suite.Seed ^ 0xcafe
+	cfg.MaxCycles = maxCycles
+	m, err := sim.New(cfg)
+	if err != nil {
+		obs.Err = err
+		return obs
+	}
+	m.SetInjector(inj)
+	if err := t.prog.Init(m); err != nil {
+		obs.Err = err
+		return obs
+	}
+	m.LoadProgram(t.prog.Asm.Instructions)
+	stats, err := m.Run()
+	obs.Cycles = stats.Cycles
+	obs.Instructions = stats.Instructions
+	obs.Geometry = fault.Geometry{
+		Instructions:    stats.Instructions,
+		GPRs:            core.NumGPRs,
+		VectorSpadWords: cfg.VectorSpadBytes / 2,
+		MatrixSpadWords: cfg.MatrixSpadBytes / 2,
+		VectorLanes:     cfg.VectorLanes,
+		MatrixLanes:     cfg.MatrixBlocks * cfg.MACsPerBlock,
+	}
+	if err != nil {
+		var we *sim.WatchdogError
+		if errors.As(err, &we) {
+			obs.Hung = true
+		}
+		obs.Err = err
+		return obs
+	}
+	// The golden (injector-free) run must also match the reference
+	// model: a wrong golden output would poison every classification.
+	if inj == nil {
+		if err := t.prog.Verify(m); err != nil {
+			obs.Err = err
+			return obs
+		}
+	}
+	obs.Output, obs.Err = t.output(m)
+	return obs
+}
+
+// output serializes the benchmark's declared result regions from main
+// memory: each element as its raw Q8.8 bits, little-endian, regions in
+// declaration order. Byte equality of two serializations is exactly
+// element-wise equality of all outputs.
+func (t *faultTarget) output(m *sim.Machine) ([]byte, error) {
+	var total int
+	for _, r := range t.prog.Results {
+		total += r.N
+	}
+	out := make([]byte, 0, 2*total)
+	for _, r := range t.prog.Results {
+		nums, err := m.ReadMainNums(r.Addr, r.N)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: result %q: %w", t.prog.Name, r.Name, err)
+		}
+		for _, n := range nums {
+			out = binary.LittleEndian.AppendUint16(out, uint16(n))
+		}
+	}
+	return out, nil
+}

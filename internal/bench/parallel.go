@@ -40,8 +40,10 @@ type Result struct {
 //
 // The first per-benchmark error is returned after all workers drain, with
 // every completed Result still populated. Cancelling ctx stops dispatching
-// new benchmarks and returns ctx.Err(); already-running simulations finish
-// (a single benchmark simulates in well under a second).
+// new benchmarks and returns ctx.Err(); already-running simulations stop at
+// their next cancellation poll point and are not cached, so every worker
+// goroutine exits promptly. A panic inside one benchmark is recovered into
+// that benchmark's Result.Err instead of crashing the pool.
 func (s *Suite) RunAll(ctx context.Context, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -70,11 +72,20 @@ func (s *Suite) RunAll(ctx context.Context, workers int) ([]Result, error) {
 			for i := range jobs {
 				r := &results[i]
 				start := time.Now()
-				r.Stats, r.Err = s.Stats(r.Name)
-				if r.Err == nil {
-					cycles, _, ok, err := s.DaDianNao(r.Name)
-					r.DDNCycles, r.DDNOK, r.Err = cycles, ok, err
-				}
+				// A panic in one benchmark becomes that benchmark's
+				// error; the worker survives to drain its queue.
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							r.Err = fmt.Errorf("bench: %s: panic: %v", r.Name, rec)
+						}
+					}()
+					r.Stats, r.Err = s.StatsCtx(ctx, r.Name)
+					if r.Err == nil {
+						cycles, _, ok, err := s.DaDianNao(r.Name)
+						r.DDNCycles, r.DDNOK, r.Err = cycles, ok, err
+					}
+				}()
 				r.HostNS = time.Since(start).Nanoseconds()
 			}
 		}()

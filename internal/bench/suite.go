@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -73,6 +75,14 @@ func (s *Suite) Program(name string) (*codegen.Program, error) {
 // verifying its outputs against the reference model. Concurrent calls for
 // the same benchmark share a single simulation.
 func (s *Suite) Stats(name string) (sim.Stats, error) {
+	return s.StatsCtx(context.Background(), name)
+}
+
+// StatsCtx is Stats with cancellation. The singleflight contract holds:
+// the first caller's simulation is shared by everyone blocked on the
+// same benchmark. A run ended by cancellation is NOT cached — the entry
+// is dropped so a later call with a live context retries cleanly.
+func (s *Suite) StatsCtx(ctx context.Context, name string) (sim.Stats, error) {
 	s.mu.Lock()
 	if s.stats == nil {
 		s.stats = map[string]*statsEntry{}
@@ -84,13 +94,27 @@ func (s *Suite) Stats(name string) (sim.Stats, error) {
 	}
 	s.mu.Unlock()
 	entry.once.Do(func() {
-		entry.st, entry.err = s.runBenchmark(name)
+		entry.st, entry.err = s.runBenchmark(ctx, name)
 	})
+	if errors.Is(entry.err, context.Canceled) || errors.Is(entry.err, context.DeadlineExceeded) {
+		s.mu.Lock()
+		if s.stats[name] == entry {
+			delete(s.stats, name)
+		}
+		s.mu.Unlock()
+	}
 	return entry.st, entry.err
 }
 
-// runBenchmark simulates one benchmark on a fresh machine.
-func (s *Suite) runBenchmark(name string) (sim.Stats, error) {
+// runBenchmark simulates one benchmark on a fresh machine. A panic
+// anywhere in generation or simulation is recovered into the returned
+// error so one poisoned benchmark cannot take down a whole campaign.
+func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bench: %s: panic: %v", name, r)
+		}
+	}()
 	p, err := s.Program(name)
 	if err != nil {
 		return sim.Stats{}, err
@@ -101,7 +125,7 @@ func (s *Suite) runBenchmark(name string) (sim.Stats, error) {
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	return p.Execute(m)
+	return p.ExecuteContext(ctx, m)
 }
 
 // Profile re-runs one benchmark with a stall-attribution profile

@@ -9,13 +9,24 @@ import (
 	"cambricon/internal/sim"
 )
 
+// newSim builds a machine from a known-good configuration, failing the
+// test otherwise.
+func newSim(t *testing.T, cfg sim.Config) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // execute runs a generated program on a fresh Table II machine.
 func execute(t *testing.T, p *Program, err error) sim.Stats {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sim.MustNew(sim.DefaultConfig())
+	m := newSim(t, sim.DefaultConfig())
 	stats, err := p.Execute(m)
 	if err != nil {
 		t.Fatalf("%v\nprogram:\n%s", err, p.Source)
@@ -190,7 +201,7 @@ func TestAllTenBenchmarksGenerateAndVerify(t *testing.T) {
 	for _, p := range progs {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			m := sim.MustNew(sim.DefaultConfig())
+			m := newSim(t, sim.DefaultConfig())
 			if _, err := p.Execute(m); err != nil {
 				t.Fatal(err)
 			}
@@ -259,7 +270,7 @@ func TestAllBenchmarksAcrossSeeds(t *testing.T) {
 			p := p
 			t.Run(fmt.Sprintf("%s/seed%d", p.Name, seed), func(t *testing.T) {
 				t.Parallel()
-				m := sim.MustNew(sim.DefaultConfig())
+				m := newSim(t, sim.DefaultConfig())
 				if _, err := p.Execute(m); err != nil {
 					t.Fatal(err)
 				}
@@ -274,7 +285,7 @@ func TestLogisticAcrossSeeds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := sim.MustNew(sim.DefaultConfig())
+		m := newSim(t, sim.DefaultConfig())
 		if _, err := p.Execute(m); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -337,7 +348,7 @@ func TestTiledElementwiseBeyondScratchpadCapacity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			m := sim.MustNew(sim.DefaultConfig())
+			m := newSim(t, sim.DefaultConfig())
 			stats, err := p.Execute(m)
 			if err != nil {
 				t.Fatal(err)
@@ -368,7 +379,7 @@ func TestTiledExactTileMultiple(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sim.MustNew(sim.DefaultConfig())
+	m := newSim(t, sim.DefaultConfig())
 	if _, err := p.Execute(m); err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +405,7 @@ func TestFunctionalResultsIndependentOfMicroarchitecture(t *testing.T) {
 		for ci, mod := range configs {
 			cfg := sim.DefaultConfig()
 			mod(&cfg)
-			m := sim.MustNew(cfg)
+			m := newSim(t, cfg)
 			stats, err := p.Execute(m) // Execute verifies outputs already
 			if err != nil {
 				t.Fatalf("%s config %d: %v", name, ci, err)

@@ -14,6 +14,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -103,11 +104,18 @@ func (p *Program) Verify(m *sim.Machine) error {
 // Execute initializes a machine, runs the program and verifies the outputs,
 // returning the run statistics.
 func (p *Program) Execute(m *sim.Machine) (sim.Stats, error) {
+	return p.ExecuteContext(context.Background(), m)
+}
+
+// ExecuteContext is Execute with cancellation: the simulation stops at
+// its next poll point once ctx is done, returning ctx.Err() wrapped
+// with the benchmark name and the partial statistics.
+func (p *Program) ExecuteContext(ctx context.Context, m *sim.Machine) (sim.Stats, error) {
 	if err := p.Init(m); err != nil {
 		return sim.Stats{}, err
 	}
 	m.LoadProgram(p.Asm.Instructions)
-	stats, err := m.Run()
+	stats, err := m.RunContext(ctx)
 	if err != nil {
 		return stats, fmt.Errorf("codegen: %s: %w", p.Name, err)
 	}

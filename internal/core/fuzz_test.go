@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProgramImage checks the binary program codec end to end: any
+// byte slice either fails to decode with an error or round-trips
+// through DecodeProgram -> EncodeProgram -> DecodeProgram to the same
+// instruction sequence, never panicking. (The per-word Decode/Encode
+// round trip is fuzzed from the assembler side in internal/asm.)
+func FuzzProgramImage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0, 0, 0, 0, 0, 0x80, 0x01}) // one valid word, little-endian
+	f.Add(bytes.Repeat([]byte{0xff}, 8))
+	f.Add(bytes.Repeat([]byte{0x00}, 24))
+	f.Add([]byte{0x01, 0x02, 0x03}) // not a multiple of the word size
+	f.Fuzz(func(t *testing.T, img []byte) {
+		prog, err := DecodeProgram(img)
+		if err != nil {
+			return // rejected image is fine; panics are not
+		}
+		if len(prog) != len(img)/WordBytes {
+			t.Fatalf("decoded %d instructions from %d bytes", len(prog), len(img))
+		}
+		for i, inst := range prog {
+			if verr := inst.Validate(); verr != nil {
+				t.Fatalf("decoded invalid instruction %d: %v", i, verr)
+			}
+		}
+		img2, err := EncodeProgram(prog)
+		if err != nil {
+			t.Fatalf("decoded program does not re-encode: %v", err)
+		}
+		prog2, err := DecodeProgram(img2)
+		if err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+		for i := range prog {
+			if prog2[i] != prog[i] {
+				t.Fatalf("round trip changed instruction %d: %v -> %v", i, prog[i], prog2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Outcome classifies one faulted run against its golden twin.
+type Outcome uint8
+
+const (
+	// OutcomeMasked: the run finished and its result region is
+	// byte-identical to the golden run — the fault was absorbed.
+	OutcomeMasked Outcome = iota
+	// OutcomeSDC: the run finished "successfully" but its result region
+	// differs — silent data corruption, the worst class.
+	OutcomeSDC
+	// OutcomeDetected: the simulator surfaced a structured error
+	// (undecodable fetch, runtime fault) instead of finishing.
+	OutcomeDetected
+	// OutcomeHang: the watchdog fired — the program exceeded its cycle
+	// budget without committing its last instruction.
+	OutcomeHang
+	// OutcomeCrash: the run panicked and was recovered by the harness.
+	OutcomeCrash
+
+	// NumOutcomes sizes tallies.
+	NumOutcomes = 5
+)
+
+var outcomeNames = [NumOutcomes]string{
+	"masked", "sdc", "detected", "hang", "crash",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// MarshalText renders the outcome name into reports.
+func (o Outcome) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
+// UnmarshalText parses an outcome name.
+func (o *Outcome) UnmarshalText(b []byte) error {
+	for i, name := range outcomeNames {
+		if string(b) == name {
+			*o = Outcome(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("fault: unknown outcome %q", b)
+}
+
+// Observation is what one simulation run (golden or faulted) produced,
+// as reported by a Target.
+type Observation struct {
+	// Cycles and Instructions are the run's final counters (best-effort
+	// for runs that did not finish).
+	Cycles       int64
+	Instructions int64
+	// Output is the serialized result region the classification compares
+	// (only meaningful when the run finished without error).
+	Output []byte
+	// Err is the structured error a detected fault surfaced as.
+	Err error
+	// Hung is set when the watchdog ended the run; Crashed when a panic
+	// was recovered.
+	Hung    bool
+	Crashed bool
+	// Geometry bounds the fault-site space (filled by golden runs).
+	Geometry Geometry
+}
+
+// Classify maps one faulted observation to its outcome class. Crash and
+// hang dominate; a structured error is a detected fault; otherwise the
+// result region decides masked vs. silent data corruption.
+func Classify(golden, obs Observation) Outcome {
+	switch {
+	case obs.Crashed:
+		return OutcomeCrash
+	case obs.Hung:
+		return OutcomeHang
+	case obs.Err != nil:
+		return OutcomeDetected
+	case bytes.Equal(golden.Output, obs.Output):
+		return OutcomeMasked
+	}
+	return OutcomeSDC
+}
+
+// Target is one benchmark the campaign can run. It is implemented in
+// internal/bench (the fault package cannot import the simulator without
+// creating a cycle, for the same reason trace cannot).
+type Target interface {
+	// Name identifies the benchmark in reports.
+	Name() string
+	// Run executes the benchmark once with the given injector (nil for
+	// the golden run) and cycle budget (0 = no watchdog) and reports
+	// what happened. Run must recover its own panics into
+	// Observation.Crashed and must be safe for concurrent calls.
+	Run(inj Injector, maxCycles int64) Observation
+}
+
+// Campaign sweeps seeded fault sites across a set of benchmark targets.
+type Campaign struct {
+	// Seed drives site generation; the same seed yields a byte-identical
+	// report.
+	Seed uint64
+	// Sites is the number of fault sites swept per benchmark.
+	Sites int
+	// Workers bounds concurrent faulted runs (<= 0 means GOMAXPROCS).
+	Workers int
+	// WatchdogFactor scales each benchmark's golden cycle count into the
+	// faulted runs' cycle budget (<= 0 means the default of 8x).
+	WatchdogFactor int64
+}
+
+// DefaultWatchdogFactor is the golden-cycles multiplier used when
+// Campaign.WatchdogFactor is unset: generous enough for any fault that
+// merely slows a run down, tight enough to classify real livelock fast.
+const DefaultWatchdogFactor = 8
+
+// Run executes the campaign: per target, one golden run, then Sites
+// faulted runs classified against it. The context cancels the sweep
+// between runs; a canceled campaign returns the error with a partial
+// (but internally consistent) report discarded.
+func (c *Campaign) Run(ctx context.Context, targets []Target) (*Report, error) {
+	factor := c.WatchdogFactor
+	if factor <= 0 {
+		factor = DefaultWatchdogFactor
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{
+		Schema:         Schema,
+		Seed:           c.Seed,
+		SitesPerBench:  c.Sites,
+		WatchdogFactor: factor,
+	}
+	for _, t := range targets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		golden := t.Run(nil, 0)
+		if golden.Crashed || golden.Err != nil {
+			return nil, fmt.Errorf("fault: golden run of %s failed: %w", t.Name(), golden.Err)
+		}
+		sites := Sites(BenchSeed(c.Seed, t.Name()), c.Sites, golden.Geometry)
+		budget := golden.Cycles*factor + 1024
+
+		br := &BenchmarkReport{
+			Name:               t.Name(),
+			GoldenCycles:       golden.Cycles,
+			GoldenInstructions: golden.Instructions,
+			Runs:               make([]RunRecord, len(sites)),
+		}
+
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					obs := t.Run(New(sites[i]), budget)
+					rec := RunRecord{
+						Fault:   sites[i],
+						Outcome: Classify(golden, obs),
+						Cycles:  obs.Cycles,
+					}
+					if obs.Err != nil {
+						rec.Detail = obs.Err.Error()
+					}
+					br.Runs[i] = rec
+				}
+			}()
+		}
+		var canceled error
+	dispatch:
+		for i := range sites {
+			select {
+			case <-ctx.Done():
+				canceled = ctx.Err()
+				break dispatch
+			case jobs <- i:
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		if canceled != nil {
+			return nil, canceled
+		}
+		for i := range br.Runs {
+			br.Tally.add(br.Runs[i].Outcome)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		rep.Total = rep.Total.plus(br.Tally)
+	}
+	return rep, nil
+}

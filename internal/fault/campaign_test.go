@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// scriptedTarget deterministically maps fault sites to outcomes so the
+// campaign machinery can be tested without a simulator.
+type scriptedTarget struct {
+	name string
+	runs atomic.Int64
+}
+
+func (t *scriptedTarget) Name() string { return t.name }
+
+func (t *scriptedTarget) Run(inj Injector, maxCycles int64) Observation {
+	t.runs.Add(1)
+	golden := Observation{
+		Cycles:       1000,
+		Instructions: 100,
+		Output:       []byte{0xAA, 0xBB},
+		Geometry: Geometry{
+			Instructions:    100,
+			GPRs:            64,
+			VectorSpadWords: 512,
+			MatrixSpadWords: 2048,
+			VectorLanes:     32,
+			MatrixLanes:     64,
+		},
+	}
+	if inj == nil {
+		return golden
+	}
+	inj.BeginRun()
+	f := inj.(*Single).Fault()
+	obs := Observation{Cycles: 1200, Instructions: 100, Output: []byte{0xAA, 0xBB}}
+	switch f.Model {
+	case ModelFetchBit:
+		obs.Err = errors.New("sim: undecodable instruction")
+	case ModelGPRBit:
+		obs.Hung = true
+		obs.Err = errors.New("sim: watchdog")
+	case ModelSpadBit:
+		obs.Output = []byte{0xAA, 0xFF} // silent corruption
+	case ModelDMABit:
+		obs.Crashed = true
+	}
+	// ModelStuckLane stays masked.
+	return obs
+}
+
+func TestCampaignClassifiesAndTallies(t *testing.T) {
+	tgt := &scriptedTarget{name: "fake"}
+	c := &Campaign{Seed: 7, Sites: 10, Workers: 4}
+	rep, err := c.Run(context.Background(), []Target{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Benchmarks) != 1 || len(rep.Benchmarks[0].Runs) != 10 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	br := rep.Benchmarks[0]
+	if br.GoldenCycles != 1000 || br.GoldenInstructions != 100 {
+		t.Fatalf("golden stats: %+v", br)
+	}
+	// 10 sites round-robin over 5 models = 2 each.
+	want := Tally{Masked: 2, SDC: 2, Detected: 2, Hang: 2, Crash: 2}
+	if br.Tally != want {
+		t.Fatalf("tally %+v want %+v", br.Tally, want)
+	}
+	if rep.Total != want {
+		t.Fatalf("total %+v", rep.Total)
+	}
+	if rep.Total.Sum() != 10 {
+		t.Fatalf("sum %d", rep.Total.Sum())
+	}
+	// 1 golden + 10 faulted runs.
+	if got := tgt.runs.Load(); got != 11 {
+		t.Fatalf("run count %d", got)
+	}
+	// Every record's outcome matches its own classification inputs.
+	for _, rec := range br.Runs {
+		if rec.Outcome == OutcomeDetected && rec.Detail == "" {
+			t.Fatalf("detected run missing detail: %+v", rec)
+		}
+	}
+	if !strings.Contains(rep.Render(), "fake") {
+		t.Fatal("Render missing benchmark name")
+	}
+}
+
+func TestCampaignReportByteIdentical(t *testing.T) {
+	run := func() []byte {
+		tgt := &scriptedTarget{name: "fake"}
+		c := &Campaign{Seed: 99, Sites: 15, Workers: 8}
+		rep, err := c.Run(context.Background(), []Target{tgt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different reports")
+	}
+	tgt := &scriptedTarget{name: "fake"}
+	rep, err := (&Campaign{Seed: 100, Sites: 15}).Run(context.Background(), []Target{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, buf.Bytes()) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestCampaignCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tgt := &scriptedTarget{name: "fake"}
+	_, err := (&Campaign{Seed: 1, Sites: 5}).Run(ctx, []Target{tgt})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+type crashingGolden struct{}
+
+func (crashingGolden) Name() string { return "bad" }
+func (crashingGolden) Run(inj Injector, maxCycles int64) Observation {
+	return Observation{Err: errors.New("broken program"), Crashed: inj == nil}
+}
+
+func TestCampaignGoldenFailureIsError(t *testing.T) {
+	_, err := (&Campaign{Seed: 1, Sites: 3}).Run(context.Background(), []Target{crashingGolden{}})
+	if err == nil || !strings.Contains(err.Error(), "golden run") {
+		t.Fatalf("err = %v", err)
+	}
+}

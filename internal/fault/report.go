@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Schema versions the campaign report format.
+const Schema = "cambricon-fault/v1"
+
+// Tally counts outcomes per class.
+type Tally struct {
+	Masked   int `json:"masked"`
+	SDC      int `json:"sdc"`
+	Detected int `json:"detected"`
+	Hang     int `json:"hang"`
+	Crash    int `json:"crash"`
+}
+
+func (t *Tally) add(o Outcome) {
+	switch o {
+	case OutcomeMasked:
+		t.Masked++
+	case OutcomeSDC:
+		t.SDC++
+	case OutcomeDetected:
+		t.Detected++
+	case OutcomeHang:
+		t.Hang++
+	case OutcomeCrash:
+		t.Crash++
+	}
+}
+
+func (t Tally) plus(o Tally) Tally {
+	return Tally{
+		Masked:   t.Masked + o.Masked,
+		SDC:      t.SDC + o.SDC,
+		Detected: t.Detected + o.Detected,
+		Hang:     t.Hang + o.Hang,
+		Crash:    t.Crash + o.Crash,
+	}
+}
+
+// Sum returns the total runs tallied.
+func (t Tally) Sum() int { return t.Masked + t.SDC + t.Detected + t.Hang + t.Crash }
+
+// RunRecord is one faulted run's entry in the report.
+type RunRecord struct {
+	Fault   Fault   `json:"fault"`
+	Outcome Outcome `json:"outcome"`
+	// Cycles is the faulted run's cycle count (best-effort for hangs and
+	// crashes).
+	Cycles int64 `json:"cycles"`
+	// Detail carries the structured error of a detected fault.
+	Detail string `json:"detail,omitempty"`
+}
+
+// BenchmarkReport is one benchmark's sweep.
+type BenchmarkReport struct {
+	Name               string      `json:"name"`
+	GoldenCycles       int64       `json:"golden_cycles"`
+	GoldenInstructions int64       `json:"golden_instructions"`
+	Runs               []RunRecord `json:"runs"`
+	Tally              Tally       `json:"tally"`
+}
+
+// Report is the machine-readable campaign result. It contains no maps
+// and no timestamps, so the same seed marshals to byte-identical JSON.
+type Report struct {
+	Schema         string             `json:"schema"`
+	Seed           uint64             `json:"seed"`
+	SitesPerBench  int                `json:"sites_per_benchmark"`
+	WatchdogFactor int64              `json:"watchdog_factor"`
+	Benchmarks     []*BenchmarkReport `json:"benchmarks"`
+	Total          Tally              `json:"total"`
+}
+
+// Write marshals the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Render formats a human-readable summary table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign: seed=%d sites/bench=%d watchdog=%dx\n",
+		r.Seed, r.SitesPerBench, r.WatchdogFactor)
+	fmt.Fprintf(&b, "%-20s %7s %7s %9s %6s %6s %7s\n",
+		"benchmark", "masked", "sdc", "detected", "hang", "crash", "runs")
+	for _, br := range r.Benchmarks {
+		t := br.Tally
+		fmt.Fprintf(&b, "%-20s %7d %7d %9d %6d %6d %7d\n",
+			br.Name, t.Masked, t.SDC, t.Detected, t.Hang, t.Crash, t.Sum())
+	}
+	t := r.Total
+	fmt.Fprintf(&b, "%-20s %7d %7d %9d %6d %6d %7d\n",
+		"total", t.Masked, t.SDC, t.Detected, t.Hang, t.Crash, t.Sum())
+	return b.String()
+}

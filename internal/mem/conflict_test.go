@@ -4,7 +4,7 @@ import "testing"
 
 func TestConflictHookFires(t *testing.T) {
 	// 2 banks of 64-byte lines: addresses 0 and 128 both map to bank 0.
-	s := NewScratchpad("spad", 1024, 2, 64)
+	s := newPad(t, "spad", 1024, 2, 64)
 	var gotBank, gotExtra, calls int
 	s.SetConflictHook(func(bank, extra int) {
 		gotBank, gotExtra = bank, extra
@@ -20,7 +20,7 @@ func TestConflictHookFires(t *testing.T) {
 }
 
 func TestConflictHookSilentWithoutConflict(t *testing.T) {
-	s := NewScratchpad("spad", 1024, 2, 64)
+	s := newPad(t, "spad", 1024, 2, 64)
 	calls := 0
 	s.SetConflictHook(func(bank, extra int) { calls++ })
 	// Different banks: parallel, one cycle, no conflict.
@@ -38,7 +38,7 @@ func TestConflictHookSilentWithoutConflict(t *testing.T) {
 }
 
 func TestConflictHookNilSafe(t *testing.T) {
-	s := NewScratchpad("spad", 1024, 2, 64)
+	s := newPad(t, "spad", 1024, 2, 64)
 	s.SetConflictHook(func(bank, extra int) {})
 	s.SetConflictHook(nil)
 	if cycles := s.AccessCycles([]Region{{Addr: 0, N: 64}, {Addr: 128, N: 64}}); cycles != 2 {
@@ -49,7 +49,7 @@ func TestConflictHookNilSafe(t *testing.T) {
 // TestConflictHookTimingNeutral pins that attaching a hook never
 // changes the modelled cycle counts.
 func TestConflictHookTimingNeutral(t *testing.T) {
-	mk := func() *Scratchpad { return NewScratchpad("spad", 4096, 4, 64) }
+	mk := func() *Scratchpad { return newPad(t, "spad", 4096, 4, 64) }
 	cases := [][]Region{
 		{{Addr: 0, N: 64}, {Addr: 256, N: 64}},
 		{{Addr: 0, N: 512}, {Addr: 512, N: 512}},

@@ -14,12 +14,14 @@ type Main struct {
 	data []byte
 }
 
-// NewMain allocates a main memory of size bytes.
-func NewMain(size int) *Main {
+// NewMain allocates a main memory of size bytes. The size comes from
+// user-supplied configuration, so a bad value is returned as an error
+// rather than panicking.
+func NewMain(size int) (*Main, error) {
 	if size <= 0 {
-		panic(fmt.Sprintf("mem: invalid main memory size %d", size))
+		return nil, fmt.Errorf("mem: invalid main memory size %d", size)
 	}
-	return &Main{data: make([]byte, size)}
+	return &Main{data: make([]byte, size)}, nil
 }
 
 // Size returns the capacity in bytes.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestScratchpadReadWriteRoundTrip(t *testing.T) {
-	s := NewScratchpad("vector", 1024, 4, 64)
+	s := newPad(t, "vector", 1024, 4, 64)
 	ns := fixed.FromFloats([]float64{1, -2, 3.5, 0})
 	if err := s.WriteNums(100, ns); err != nil {
 		t.Fatal(err)
@@ -25,7 +25,7 @@ func TestScratchpadReadWriteRoundTrip(t *testing.T) {
 }
 
 func TestScratchpadBoundsChecks(t *testing.T) {
-	s := NewScratchpad("vector", 128, 4, 64)
+	s := newPad(t, "vector", 128, 4, 64)
 	if _, err := s.ReadBytes(120, 16); err == nil {
 		t.Error("read past end must fail")
 	}
@@ -44,22 +44,59 @@ func TestScratchpadBoundsChecks(t *testing.T) {
 }
 
 func TestScratchpadGeometryValidation(t *testing.T) {
-	mustPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s should panic", name)
-			}
-		}()
-		f()
+	cases := []struct {
+		name              string
+		size, banks, line int
+	}{
+		{"zero size", 0, 4, 64},
+		{"non-power-of-two banks", 128, 3, 64},
+		{"zero line", 128, 4, 0},
+		{"negative size", -1, 4, 64},
 	}
-	mustPanic("zero size", func() { NewScratchpad("x", 0, 4, 64) })
-	mustPanic("non-power-of-two banks", func() { NewScratchpad("x", 128, 3, 64) })
-	mustPanic("zero line", func() { NewScratchpad("x", 128, 4, 0) })
+	for _, c := range cases {
+		if _, err := NewScratchpad("x", c.size, c.banks, c.line); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestScratchpadFlipBit(t *testing.T) {
+	s := newPad(t, "vector", 128, 4, 64)
+	if err := s.WriteBytes(10, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.FlipBit(10, 3) {
+		t.Fatal("in-range flip reported out of range")
+	}
+	b, err := s.ReadBytes(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1<<3 {
+		t.Fatalf("byte after flip: %#x", b[0])
+	}
+	// Flipping again restores the original value.
+	s.FlipBit(10, 3)
+	b, _ = s.ReadBytes(10, 1)
+	if b[0] != 0 {
+		t.Fatalf("double flip not identity: %#x", b[0])
+	}
+	// Bit indices reduce mod 8; out-of-range addresses are rejected.
+	if !s.FlipBit(10, 11) {
+		t.Fatal("bit 11 should reduce to bit 3")
+	}
+	b, _ = s.ReadBytes(10, 1)
+	if b[0] != 1<<3 {
+		t.Fatalf("bit reduced flip: %#x", b[0])
+	}
+	if s.FlipBit(-1, 0) || s.FlipBit(128, 0) {
+		t.Fatal("out-of-range flip must report false")
+	}
 }
 
 func TestAccessCyclesNoConflict(t *testing.T) {
 	// 4 banks, 64-byte lines: lines 0,1,2,3 map to distinct banks.
-	s := NewScratchpad("vector", 4096, 4, 64)
+	s := newPad(t, "vector", 4096, 4, 64)
 	regions := []Region{
 		{Addr: 0, N: 64},   // bank 0
 		{Addr: 64, N: 64},  // bank 1
@@ -72,7 +109,7 @@ func TestAccessCyclesNoConflict(t *testing.T) {
 }
 
 func TestAccessCyclesConflict(t *testing.T) {
-	s := NewScratchpad("vector", 4096, 4, 64)
+	s := newPad(t, "vector", 4096, 4, 64)
 	// All four accesses hit bank 0 (line stride of 4 lines = 256 bytes).
 	regions := []Region{
 		{Addr: 0, N: 64},
@@ -86,7 +123,7 @@ func TestAccessCyclesConflict(t *testing.T) {
 }
 
 func TestAccessCyclesStreaming(t *testing.T) {
-	s := NewScratchpad("vector", 4096, 4, 64)
+	s := newPad(t, "vector", 4096, 4, 64)
 	// One access covering 8 lines: 2 lines per bank, so the busiest bank
 	// count (2) is below the streaming length (8 lines).
 	if got := s.AccessCycles([]Region{{Addr: 0, N: 512}}); got != 8 {
@@ -99,7 +136,7 @@ func TestAccessCyclesStreaming(t *testing.T) {
 }
 
 func TestAccessCyclesPartialLineCountsOnce(t *testing.T) {
-	s := NewScratchpad("vector", 4096, 4, 64)
+	s := newPad(t, "vector", 4096, 4, 64)
 	// Two sub-line accesses to the same line conflict on one bank.
 	regions := []Region{{Addr: 0, N: 8}, {Addr: 16, N: 8}}
 	if got := s.AccessCycles(regions); got != 2 {
@@ -130,7 +167,7 @@ func TestRegionOverlaps(t *testing.T) {
 }
 
 func TestMainMemoryWords(t *testing.T) {
-	m := NewMain(64)
+	m := newMainMem(t, 64)
 	if err := m.WriteWord(12, 0xdeadbeef); err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +187,7 @@ func TestMainMemoryWords(t *testing.T) {
 }
 
 func TestMainMemoryNums(t *testing.T) {
-	m := NewMain(1024)
+	m := newMainMem(t, 1024)
 	ns := fixed.FromFloats([]float64{0.5, -0.5, 100})
 	if err := m.WriteNums(10, ns); err != nil {
 		t.Fatal(err)
@@ -190,7 +227,7 @@ func TestDMATransferCycles(t *testing.T) {
 
 // Property: writes then reads at arbitrary in-range offsets round-trip.
 func TestQuickScratchpadRoundTrip(t *testing.T) {
-	s := NewScratchpad("vector", 4096, 4, 64)
+	s := newPad(t, "vector", 4096, 4, 64)
 	f := func(addr uint16, vals []int16) bool {
 		a := int(addr) % 2048
 		ns := make([]fixed.Num, len(vals))
@@ -220,11 +257,11 @@ func TestQuickScratchpadRoundTrip(t *testing.T) {
 }
 
 func TestAccessors(t *testing.T) {
-	s := NewScratchpad("vector", 1024, 4, 64)
+	s := newPad(t, "vector", 1024, 4, 64)
 	if s.Name() != "vector" || s.Size() != 1024 || s.Banks() != 4 {
 		t.Error("accessors wrong")
 	}
-	m := NewMain(256)
+	m := newMainMem(t, 256)
 	if m.Size() != 256 {
 		t.Error("main size wrong")
 	}
@@ -243,11 +280,11 @@ func TestAccessors(t *testing.T) {
 	}
 }
 
-func TestNewMainPanicsOnBadSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	NewMain(0)
+func TestNewMainRejectsBadSize(t *testing.T) {
+	if _, err := NewMain(0); err == nil {
+		t.Error("zero size: want error")
+	}
+	if _, err := NewMain(-4); err == nil {
+		t.Error("negative size: want error")
+	}
 }

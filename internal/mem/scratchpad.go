@@ -33,15 +33,17 @@ type Scratchpad struct {
 
 // NewScratchpad builds a scratchpad of size bytes with the given bank count
 // and bank line width in bytes (Table II: bank width 512 bits = 64 bytes).
-func NewScratchpad(name string, size, banks, lineBytes int) *Scratchpad {
+// Geometry comes from user-supplied configuration, so bad values are
+// returned as errors rather than panicking.
+func NewScratchpad(name string, size, banks, lineBytes int) (*Scratchpad, error) {
 	if size <= 0 || banks <= 0 || lineBytes <= 0 {
-		panic(fmt.Sprintf("mem: invalid scratchpad geometry %d/%d/%d", size, banks, lineBytes))
+		return nil, fmt.Errorf("mem: invalid scratchpad geometry %d/%d/%d", size, banks, lineBytes)
 	}
 	if banks&(banks-1) != 0 {
-		panic(fmt.Sprintf("mem: bank count %d must be a power of two", banks))
+		return nil, fmt.Errorf("mem: bank count %d must be a power of two", banks)
 	}
 	return &Scratchpad{name: name, data: make([]byte, size), banks: banks,
-		lineBytes: lineBytes, perBank: make([]int, banks)}
+		lineBytes: lineBytes, perBank: make([]int, banks)}, nil
 }
 
 // Name returns the scratchpad's diagnostic name.
@@ -60,6 +62,19 @@ func (s *Scratchpad) Banks() int { return s.banks }
 // default). The hook is how the simulator's tracing layer builds its
 // bank-conflict heatmap without the scratchpad knowing about tracing.
 func (s *Scratchpad) SetConflictHook(fn func(bank, extraCycles int)) { s.onConflict = fn }
+
+// FlipBit flips one bit of the scratchpad's storage: bit (mod 8) of the
+// byte at addr. It reports whether addr was inside the scratchpad. This
+// is the fault-injection hook — a transient upset in an SRAM cell — and
+// deliberately bypasses the access-size checks real transfers go
+// through.
+func (s *Scratchpad) FlipBit(addr int, bit uint8) bool {
+	if addr < 0 || addr >= len(s.data) {
+		return false
+	}
+	s.data[addr] ^= 1 << (bit % 8)
+	return true
+}
 
 // check validates an access region. Scratchpad addressing errors are program
 // bugs surfaced as errors so the simulator can report the faulting

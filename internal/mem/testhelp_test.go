@@ -1,0 +1,25 @@
+package mem
+
+import "testing"
+
+// newPad builds a scratchpad with known-good geometry, failing the test
+// otherwise.
+func newPad(tb testing.TB, name string, size, banks, lineBytes int) *Scratchpad {
+	tb.Helper()
+	s, err := NewScratchpad(name, size, banks, lineBytes)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// newMainMem builds a main memory with a known-good size, failing the
+// test otherwise.
+func newMainMem(tb testing.TB, size int) *Main {
+	tb.Helper()
+	m, err := NewMain(size)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}

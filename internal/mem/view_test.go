@@ -8,7 +8,7 @@ import (
 
 func viewPad(t testing.TB) *Scratchpad {
 	t.Helper()
-	return NewScratchpad("test", 1024, 4, 64)
+	return newPad(t, "test", 1024, 4, 64)
 }
 
 func TestNumsViewReadsStoredValues(t *testing.T) {
@@ -180,7 +180,7 @@ func BenchmarkAccessCycles(b *testing.B) {
 }
 
 func BenchmarkNumsView(b *testing.B) {
-	s := NewScratchpad("bench", 1<<20, 4, 64)
+	s := newPad(b, "bench", 1<<20, 4, 64)
 	const count = 256 * 256
 	var spill []fixed.Num
 	b.ReportAllocs()
@@ -195,7 +195,7 @@ func BenchmarkNumsView(b *testing.B) {
 // BenchmarkReadNumsInto is the copying baseline NumsView replaces on the
 // simulator's matrix path.
 func BenchmarkReadNumsInto(b *testing.B) {
-	s := NewScratchpad("bench", 1<<20, 4, 64)
+	s := newPad(b, "bench", 1<<20, 4, 64)
 	const count = 256 * 256
 	dst := make([]fixed.Num, count)
 	b.ReportAllocs()

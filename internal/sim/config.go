@@ -88,6 +88,13 @@ type Config struct {
 	// MaxDynamicInstructions aborts runaway programs. Zero means the
 	// default cap.
 	MaxDynamicInstructions int64
+
+	// MaxCycles is the watchdog budget: a run whose simulated clock
+	// passes this cycle count before the program finishes ends with a
+	// *WatchdogError naming the oldest stuck instruction and its
+	// pipeline stage. Zero (the default) disables the watchdog — the
+	// dynamic-instruction cap still bounds every run.
+	MaxCycles int64
 }
 
 // DefaultConfig returns the Table II prototype parameters.
@@ -145,6 +152,9 @@ func (c *Config) validate() error {
 	}
 	if c.MaxDynamicInstructions <= 0 {
 		c.MaxDynamicInstructions = 64 << 20
+	}
+	if c.MaxCycles < 0 {
+		c.MaxCycles = 0
 	}
 	if c.ClockHz <= 0 {
 		c.ClockHz = 1e9

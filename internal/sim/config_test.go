@@ -3,8 +3,6 @@ package sim
 import (
 	"strings"
 	"testing"
-
-	"cambricon/internal/asm"
 )
 
 // TestValidateDefaultsHotPathDivisors: every divisor the timing model uses
@@ -97,7 +95,7 @@ func TestDegenerateGeometryStillRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(t, `
 	SMOVE $1, #32
 	SMOVE $2, #0
 	SMOVE $3, #4096

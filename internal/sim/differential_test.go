@@ -381,7 +381,7 @@ func TestDifferentialAgainstReferenceInterpreter(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.MainMemBytes = 1 << 20 // the generator stays far below 1 MB
-		m := MustNew(cfg)
+		m := mustNew(t, cfg)
 		ref := newRefInterp(seed)
 
 		// Identical random register setup: sizes 1..64, even scratchpad
@@ -479,7 +479,7 @@ func TestDifferentialWithControlFlow(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.MainMemBytes = 1 << 20
-		m := MustNew(cfg)
+		m := mustNew(t, cfg)
 		ref := newRefInterp(seed)
 
 		setGPR := func(r uint8, v int32) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cambricon/internal/core"
+	"cambricon/internal/fault"
 	"cambricon/internal/fixed"
 	"cambricon/internal/mem"
 )
@@ -125,6 +126,49 @@ func (m *Machine) matCycles(rows, cols int) int64 {
 func (m *Machine) matElemCycles(n int) int64 {
 	beats := ceilDiv(n, m.cfg.MatrixBlocks*m.cfg.MACsPerBlock)
 	return int64(m.cfg.HTreeOverhead) + beats
+}
+
+// applyStuck imposes the injector's persistent stuck-at lane fault (if
+// any) on a functional unit's output: element i is produced by lane
+// i mod lanes, so every element of the stuck lane has the stuck bit
+// forced. Called just before results are stored; a nil injector makes
+// this a single branch.
+func (m *Machine) applyStuck(unit fault.Unit, out []fixed.Num) {
+	if m.inj == nil {
+		return
+	}
+	st, ok := m.inj.StuckLane(unit)
+	if !ok || len(out) == 0 {
+		return
+	}
+	lanes := m.cfg.VectorLanes
+	if unit == fault.UnitMatrix {
+		lanes = m.cfg.MatrixBlocks * m.cfg.MACsPerBlock
+	}
+	lane := st.Lane % lanes
+	if lane < 0 {
+		lane += lanes
+	}
+	if lane >= len(out) {
+		return
+	}
+	mask := fixed.Num(1) << (st.Bit % 16)
+	for i := lane; i < len(out); i += lanes {
+		if st.Val == 0 {
+			out[i] &^= mask
+		} else {
+			out[i] |= mask
+		}
+	}
+	m.noteFault("stuck-lane")
+}
+
+// corruptDMA offers an in-flight DMA payload to the injector. A nil
+// injector makes this a single branch.
+func (m *Machine) corruptDMA(data []byte) {
+	if m.inj != nil && m.inj.CorruptDMA(m.stats.Instructions, data) {
+		m.noteFault("dma-bit")
+	}
 }
 
 // exec functionally executes inst against the architectural state and
@@ -276,6 +320,7 @@ func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error
 		if err := m.main.ReadBytesInto(mainAddr, data); err != nil {
 			return e, err
 		}
+		m.corruptDMA(data)
 		if err := pad.WriteBytes(spadAddr, data); err != nil {
 			return e, err
 		}
@@ -285,6 +330,7 @@ func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error
 		if err := pad.ReadBytesInto(spadAddr, data); err != nil {
 			return e, err
 		}
+		m.corruptDMA(data)
 		if err := m.main.WriteBytes(mainAddr, data); err != nil {
 			return e, err
 		}
@@ -392,6 +438,7 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 			out[j] = fixed.AccSat(sum)
 		}
 	}
+	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.vspad.WriteNums(voutAddr, out); err != nil {
 		return e, err
 	}
@@ -422,6 +469,7 @@ func (m *Machine) execMMS(inst core.Instruction) (effect, error) {
 	for i, v := range in {
 		out[i] = fixed.Mul(v, s)
 	}
+	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.mspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}
@@ -460,6 +508,7 @@ func (m *Machine) execOuter(inst core.Instruction) (effect, error) {
 			out[i*cols+j] = fixed.Mul(v0[i], v1[j])
 		}
 	}
+	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.mspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}
@@ -497,6 +546,7 @@ func (m *Machine) execMatElem(inst core.Instruction) (effect, error) {
 			out[i] = fixed.Sub(a[i], b[i])
 		}
 	}
+	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.mspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}
@@ -557,6 +607,7 @@ func (m *Machine) execVecBinary(inst core.Instruction) (effect, error) {
 	if inst.Op == core.VDV {
 		beatCost = m.cfg.DivBeatCycles
 	}
+	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}
@@ -587,6 +638,7 @@ func (m *Machine) execVAS(inst core.Instruction) (effect, error) {
 	for i := range out {
 		out[i] = fixed.Add(a[i], s)
 	}
+	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}
@@ -631,6 +683,7 @@ func (m *Machine) execVecUnary(inst core.Instruction) (effect, error) {
 			out[i] = boolNum(a[i] == 0)
 		}
 	}
+	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}
@@ -681,6 +734,7 @@ func (m *Machine) execRV(inst core.Instruction) (effect, error) {
 	for i := range out {
 		out[i] = m.nextRand()
 	}
+	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
 		return e, err
 	}

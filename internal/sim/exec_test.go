@@ -25,7 +25,10 @@ func tryRun(src string, setup func(*Machine)) (*Machine, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	m := MustNew(DefaultConfig())
+	m, err := New(DefaultConfig())
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	if setup != nil {
 		setup(m)
 	}
@@ -395,8 +398,8 @@ func TestRVUniformAndDeterministic(t *testing.T) {
 	// Different seed, different stream.
 	cfg := DefaultConfig()
 	cfg.Seed = 99
-	p := asm.MustAssemble(src)
-	m3 := MustNew(cfg)
+	p := mustAssemble(t, src)
+	m3 := mustNew(t, cfg)
 	m3.LoadProgram(p.Instructions)
 	if _, err := m3.Run(); err != nil {
 		t.Fatal(err)
@@ -671,8 +674,8 @@ func TestRuntimeErrorsCarryPC(t *testing.T) {
 func TestRunawayLoopGuard(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxDynamicInstructions = 100
-	p := asm.MustAssemble("loop:\tSMOVE $1, #1\n\tJUMP #loop\n")
-	m := MustNew(cfg)
+	p := mustAssemble(t, "loop:\tSMOVE $1, #1\n\tJUMP #loop\n")
+	m := mustNew(t, cfg)
 	m.LoadProgram(p.Instructions)
 	if _, err := m.Run(); err == nil {
 		t.Fatal("expected instruction-limit error")

@@ -3,7 +3,6 @@ package sim
 import (
 	"testing"
 
-	"cambricon/internal/asm"
 	"cambricon/internal/core"
 	"cambricon/internal/fixed"
 )
@@ -82,8 +81,8 @@ end:	SMOVE  $32, #1
 `
 
 func TestISATourCoversAll43Instructions(t *testing.T) {
-	p := asm.MustAssemble(tourSrc)
-	m := MustNew(DefaultConfig())
+	p := mustAssemble(t, tourSrc)
+	m := mustNew(t, DefaultConfig())
 	m.LoadProgram(p.Instructions)
 	stats, err := m.Run()
 	if err != nil {
@@ -121,8 +120,8 @@ func TestISATourCoversAll43Instructions(t *testing.T) {
 }
 
 func TestISATourDynamicMixConsistent(t *testing.T) {
-	p := asm.MustAssemble(tourSrc)
-	m := MustNew(DefaultConfig())
+	p := mustAssemble(t, tourSrc)
+	m := mustNew(t, DefaultConfig())
 	m.LoadProgram(p.Instructions)
 	stats, err := m.Run()
 	if err != nil {
@@ -165,8 +164,8 @@ func TestEdgeSemantics(t *testing.T) {
 	VEXP   $12, $1, $10         // exp(10) saturates
 	VSTORE $12, $1, #1200
 `
-	m := MustNew(DefaultConfig())
-	p := asm.MustAssemble(src)
+	m := mustNew(t, DefaultConfig())
+	p := mustAssemble(t, src)
 	m.LoadProgram(p.Instructions)
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
@@ -195,8 +194,8 @@ func TestJumpRegisterVariant(t *testing.T) {
 	SMOVE $2, #999
 	SMOVE $3, #1
 `
-	m := MustNew(DefaultConfig())
-	p := asm.MustAssemble(src)
+	m := mustNew(t, DefaultConfig())
+	p := mustAssemble(t, src)
 	m.LoadProgram(p.Instructions)
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
@@ -216,8 +215,8 @@ func TestCBRegisterOffsetVariant(t *testing.T) {
 	SMOVE $4, #1
 `
 	// Operand order here is predictor-first since both are registers.
-	m := MustNew(DefaultConfig())
-	p := asm.MustAssemble(src)
+	m := mustNew(t, DefaultConfig())
+	p := mustAssemble(t, src)
 	m.LoadProgram(p.Instructions)
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"cambricon/internal/core"
+	"cambricon/internal/fault"
 	"cambricon/internal/fixed"
 	"cambricon/internal/mem"
 	"cambricon/internal/trace"
@@ -30,9 +32,17 @@ type Machine struct {
 
 	// tracer receives the observability event stream (nil = untraced;
 	// the hot path then makes no trace calls and allocates nothing). ev
-	// is the single reusable event buffer handed to the tracer.
+	// is the single reusable event buffer handed to the tracer. fobs is
+	// the tracer's optional fault-event extension, resolved once in
+	// SetTracer.
 	tracer trace.Tracer
 	ev     trace.InstEvent
+	fobs   trace.FaultObserver
+
+	// inj receives the fault-injection hooks (nil = fault-free; the hot
+	// path then makes no injector calls, allocates nothing, and produces
+	// bit-identical cycle counts — the same contract as tracer).
+	inj fault.Injector
 
 	// Reusable operand buffers for the execution hot path (one exec call
 	// uses at most one of each). bufA/bufB/bufMat are spill targets for
@@ -50,20 +60,18 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{cfg: cfg}
-	m.vspad = mem.NewScratchpad("vector-spad", cfg.VectorSpadBytes, cfg.SpadBanks, cfg.BankBytes)
-	m.mspad = mem.NewScratchpad("matrix-spad", cfg.MatrixSpadBytes, cfg.SpadBanks, cfg.BankBytes)
-	m.main = mem.NewMain(cfg.MainMemBytes)
+	var err error
+	if m.vspad, err = mem.NewScratchpad("vector-spad", cfg.VectorSpadBytes, cfg.SpadBanks, cfg.BankBytes); err != nil {
+		return nil, err
+	}
+	if m.mspad, err = mem.NewScratchpad("matrix-spad", cfg.MatrixSpadBytes, cfg.SpadBanks, cfg.BankBytes); err != nil {
+		return nil, err
+	}
+	if m.main, err = mem.NewMain(cfg.MainMemBytes); err != nil {
+		return nil, err
+	}
 	m.Reset()
 	return m, nil
-}
-
-// MustNew is New for known-good configurations.
-func MustNew(cfg Config) *Machine {
-	m, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return m
 }
 
 // Config returns the machine's configuration.
@@ -149,10 +157,12 @@ func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
 func (m *Machine) SetTracer(t trace.Tracer) {
 	m.tracer = t
 	if t == nil {
+		m.fobs = nil
 		m.vspad.SetConflictHook(nil)
 		m.mspad.SetConflictHook(nil)
 		return
 	}
+	m.fobs, _ = t.(trace.FaultObserver)
 	m.vspad.SetConflictHook(func(bank, extra int) {
 		t.BankConflict(m.vspad.Name(), bank, int64(extra), m.pipe.lastCommit)
 	})
@@ -172,6 +182,64 @@ func (m *Machine) runMeta() trace.RunMeta {
 	}
 }
 
+// SetInjector attaches a fault injector (see internal/fault): the
+// machine hands it the fetch stream, the pre-execute state hook, DMA
+// payloads and functional-unit lane queries. nil (the default) disables
+// injection; the fault-free hot path makes no injector calls, stays
+// allocation-free, and produces bit-identical cycle counts.
+func (m *Machine) SetInjector(inj fault.Injector) { m.inj = inj }
+
+// FlipGPRBit implements fault.State: it flips bit (mod 32) of scalar
+// register reg (mod 64).
+func (m *Machine) FlipGPRBit(reg, bit uint8) {
+	m.gpr[int(reg)%core.NumGPRs] ^= 1 << (bit % 32)
+	m.noteFault("gpr-bit")
+}
+
+// FlipSpadBit implements fault.State: it flips bit (mod 16) of the
+// 16-bit word at element index word of the selected scratchpad,
+// reporting whether the word was in range.
+func (m *Machine) FlipSpadBit(space fault.Space, word int, bit uint8) bool {
+	pad := m.vspad
+	if space == fault.SpaceMatrix {
+		pad = m.mspad
+	}
+	// One 16-bit element = 2 bytes; route the flip to the right byte.
+	ok := pad.FlipBit(2*word+int(bit%16)/8, bit%8)
+	if ok {
+		m.noteFault("spad-bit")
+	}
+	return ok
+}
+
+// noteFault records one applied fault in the run's statistics and
+// forwards it to the tracer's fault track, if the tracer observes
+// faults.
+func (m *Machine) noteFault(kind string) {
+	m.stats.FaultsInjected++
+	if m.fobs != nil {
+		m.fobs.Fault(kind, m.pc, m.pipe.lastCommit)
+	}
+}
+
+// injectFetch routes one fetched instruction through the injector's
+// encoding-corruption hook: the instruction is re-encoded to its 64-bit
+// word, offered for corruption, and decoded again. An undecodable
+// corrupted word is a detected fault (the decode error). Programs reach
+// this path pre-validated, so the re-encode itself cannot fail.
+func (m *Machine) injectFetch(inst core.Instruction) (core.Instruction, error) {
+	w, err := core.Encode(inst)
+	if err != nil {
+		return inst, err
+	}
+	cw := m.inj.CorruptFetch(m.stats.Instructions, w)
+	if cw == w {
+		return inst, nil
+	}
+	m.noteFault("fetch-bit")
+	return core.Decode(cw)
+}
+
 // RuntimeError reports a fault during execution, tied to the program
 // counter and instruction that caused it.
 type RuntimeError struct {
@@ -186,23 +254,115 @@ func (e *RuntimeError) Error() string {
 
 func (e *RuntimeError) Unwrap() error { return e.Err }
 
+// WatchdogError reports a run terminated by the Config.MaxCycles
+// watchdog: the simulated clock passed the budget before the program
+// committed its last instruction. The diagnostic names the oldest
+// in-flight (committing) instruction and the pipeline stage it occupied
+// when the budget ran out.
+type WatchdogError struct {
+	// PC and Inst identify the oldest uncommitted instruction.
+	PC   int
+	Inst core.Instruction
+	// Index is its dynamic instruction index.
+	Index int64
+	// Cycle is the commit cycle that tripped the budget; Limit the
+	// configured budget.
+	Cycle int64
+	Limit int64
+	// Stage names the pipeline stage the instruction occupied at the
+	// budget cycle (fetch-wait, fetch, decode/issue, dispatch, execute,
+	// commit).
+	Stage string
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("sim: watchdog: cycle budget %d exceeded (commit at cycle %d): oldest stuck instruction #%d pc=%d %v in %s stage",
+		e.Limit, e.Cycle, e.Index, e.PC, e.Inst, e.Stage)
+}
+
+// stageAt maps a cycle to the pipeline stage an instruction occupied at
+// that cycle, given its stage timestamps.
+func stageAt(ev *trace.InstEvent, cycle int64) string {
+	switch {
+	case cycle < ev.Fetch:
+		return "fetch-wait"
+	case cycle < ev.Decode:
+		return "fetch"
+	case cycle < ev.Issue:
+		return "decode/issue"
+	case cycle < ev.ExecStart:
+		return "dispatch"
+	case cycle <= ev.ExecDone:
+		return "execute"
+	}
+	return "commit"
+}
+
 // Run executes the loaded program from PC 0 until it falls off the end of
 // the instruction stream, returning run statistics. A program that exceeds
-// MaxDynamicInstructions fails (runaway-loop guard).
+// MaxDynamicInstructions fails (runaway-loop guard). Run is
+// RunContext without cancellation.
 func (m *Machine) Run() (Stats, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every 1024 dynamic instructions (cheap enough to be invisible, frequent
+// enough that even all-scalar programs respond within microseconds), and
+// a canceled run returns ctx.Err() with the statistics accumulated so
+// far. When Config.MaxCycles is positive a watchdog also ends the run
+// with a *WatchdogError as soon as an instruction commits past the
+// budget — the structured escape hatch for programs that make dynamic
+// progress without ever finishing (livelock under fault injection,
+// runaway loops).
+func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 	m.pc = 0
+	// Pre-validate the program once: Run accepts handcrafted instruction
+	// slices (not just assembler output), and execution indexes register
+	// files and formats by field values, so malformed instructions must
+	// be rejected as errors before the hot loop runs unchecked.
+	for pc := range m.prog {
+		if err := m.prog[pc].Validate(); err != nil {
+			return m.stats, &RuntimeError{PC: pc, Inst: m.prog[pc], Err: err}
+		}
+	}
 	tracing := m.tracer != nil
 	if tracing {
 		m.tracer.BeginRun(m.runMeta())
 		defer func() { m.tracer.EndRun(m.pipe.lastCommit) }()
 	}
+	if m.inj != nil {
+		m.inj.BeginRun()
+	}
+	watchdog := m.cfg.MaxCycles > 0
+	// The watchdog reads the committing instruction's stage timestamps
+	// for its diagnostic, so it arms the reusable event buffer even when
+	// untraced; timing is unaffected (advance only records into it).
+	needEv := tracing || watchdog
+	done := ctx.Done()
 	for m.pc >= 0 && m.pc < len(m.prog) {
+		if done != nil && m.stats.Instructions&1023 == 0 {
+			select {
+			case <-done:
+				m.stats.Cycles = m.pipe.lastCommit
+				return m.stats, ctx.Err()
+			default:
+			}
+		}
 		if m.stats.Instructions >= m.cfg.MaxDynamicInstructions {
 			m.stats.Cycles = m.pipe.lastCommit
 			return m.stats, &RuntimeError{PC: m.pc, Inst: m.prog[m.pc],
 				Err: fmt.Errorf("dynamic instruction limit %d exceeded", m.cfg.MaxDynamicInstructions)}
 		}
 		inst := m.prog[m.pc]
+		if m.inj != nil {
+			var err error
+			if inst, err = m.injectFetch(inst); err != nil {
+				m.stats.Cycles = m.pipe.lastCommit
+				return m.stats, &RuntimeError{PC: m.pc, Inst: m.prog[m.pc], Err: err}
+			}
+			m.inj.BeforeExec(m.stats.Instructions, m)
+		}
 		eff, err := m.exec(inst)
 		if err != nil {
 			m.stats.Cycles = m.pipe.lastCommit
@@ -212,7 +372,7 @@ func (m *Machine) Run() (Stats, error) {
 		m.stats.ByType[inst.Op.Type()]++
 		m.stats.ByOpcode[inst.Op]++
 		var evp *trace.InstEvent
-		if tracing {
+		if needEv {
 			m.ev = trace.InstEvent{}
 			evp = &m.ev
 		}
@@ -233,6 +393,17 @@ func (m *Machine) Run() (Stats, error) {
 			}
 			fmt.Fprintf(m.trace, "%8d  cyc=%-8d pc=%-6d %s%s\n",
 				m.stats.Instructions-1, commit, m.pc, inst, note)
+		}
+		if watchdog && commit > m.cfg.MaxCycles {
+			m.stats.Cycles = m.pipe.lastCommit
+			return m.stats, &WatchdogError{
+				PC:    m.pc,
+				Inst:  inst,
+				Index: m.stats.Instructions - 1,
+				Cycle: commit,
+				Limit: m.cfg.MaxCycles,
+				Stage: stageAt(&m.ev, m.cfg.MaxCycles),
+			}
 		}
 		if eff.branchTaken {
 			m.stats.BranchesTaken++

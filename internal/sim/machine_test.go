@@ -4,17 +4,16 @@ import (
 	"strings"
 	"testing"
 
-	"cambricon/internal/asm"
 	"cambricon/internal/core"
 )
 
 func TestTraceOutput(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := mustAssemble(t, `
 	SMOVE $1, #2
 top:	SADD  $1, $1, #-1
 	CB    #top, $1
 `)
-	m := MustNew(DefaultConfig())
+	m := mustNew(t, DefaultConfig())
 	var buf strings.Builder
 	m.SetTrace(&buf)
 	m.LoadProgram(p.Instructions)
@@ -42,12 +41,12 @@ top:	SADD  $1, $1, #-1
 }
 
 func TestOpcodeHistogram(t *testing.T) {
-	p := asm.MustAssemble(`
+	p := mustAssemble(t, `
 	SMOVE $1, #5
 top:	SADD  $1, $1, #-1
 	CB    #top, $1
 `)
-	m := MustNew(DefaultConfig())
+	m := mustNew(t, DefaultConfig())
 	m.LoadProgram(p.Instructions)
 	stats, err := m.Run()
 	if err != nil {

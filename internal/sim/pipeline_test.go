@@ -34,7 +34,7 @@ func runWith(t *testing.T, cfg Config, src string) Stats {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := MustNew(cfg)
+	m := mustNew(t, cfg)
 	m.LoadProgram(p.Instructions)
 	st, err := m.Run()
 	if err != nil {
@@ -161,7 +161,7 @@ func TestConfigValidationFillsDefaults(t *testing.T) {
 		t.Errorf("validate left zero fields: %+v", got)
 	}
 	// The degenerate machine still runs a trivial program.
-	p := asm.MustAssemble("\tSMOVE $1, #1\n")
+	p := mustAssemble(t, "\tSMOVE $1, #1\n")
 	m.LoadProgram(p.Instructions)
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)

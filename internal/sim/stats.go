@@ -48,6 +48,11 @@ type Stats struct {
 	// crossbar.
 	BankConflictCycles int64
 
+	// FaultsInjected counts faults the attached fault.Injector actually
+	// applied during the run (zero, and omitted from JSON, on fault-free
+	// runs).
+	FaultsInjected int64 `json:",omitempty"`
+
 	// MemDepStallCycles counts cycles instructions waited in the memory
 	// queue on overlapping earlier accesses.
 	MemDepStallCycles int64

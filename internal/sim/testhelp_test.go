@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"testing"
+
+	"cambricon/internal/asm"
+)
+
+// mustNew builds a machine from a known-good configuration, failing the
+// test otherwise. (The production API has no panicking constructor.)
+func mustNew(tb testing.TB, cfg Config) *Machine {
+	tb.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// mustAssemble parses known-good test source, failing the test
+// otherwise. (The production API has no panicking assembler.)
+func mustAssemble(tb testing.TB, src string) *asm.Program {
+	tb.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}

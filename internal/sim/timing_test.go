@@ -15,7 +15,7 @@ func cyclesOf(t *testing.T, cfg Config, src string, setup func(*Machine)) Stats 
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := MustNew(cfg)
+	m := mustNew(t, cfg)
 	if setup != nil {
 		setup(m)
 	}
@@ -250,7 +250,7 @@ func TestStatsSecondsAndString(t *testing.T) {
 }
 
 func TestResetPreservesMemoryClearsState(t *testing.T) {
-	m := MustNew(DefaultConfig())
+	m := mustNew(t, DefaultConfig())
 	if err := m.WriteMainNums(0, fixed.FromFloats([]float64{7})); err != nil {
 		t.Fatal(err)
 	}

@@ -61,7 +61,7 @@ func runTraced(t *testing.T, src string, tr trace.Tracer) Stats {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := MustNew(DefaultConfig())
+	m := mustNew(t, DefaultConfig())
 	for _, c := range p.Data {
 		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
 			t.Fatal(err)
@@ -137,7 +137,7 @@ func TestStallAttributionConsistency(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				m := MustNew(cfg.cfg)
+				m := mustNew(t, cfg.cfg)
 				for _, c := range p.Data {
 					if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
 						t.Fatal(err)
@@ -195,7 +195,7 @@ func TestNilTracerZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := MustNew(DefaultConfig())
+	m := mustNew(t, DefaultConfig())
 	for _, c := range p.Data {
 		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
 			t.Fatal(err)
@@ -238,7 +238,7 @@ func benchmarkRun(b *testing.B, tr trace.Tracer) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := MustNew(DefaultConfig())
+	m := mustNew(b, DefaultConfig())
 	for _, c := range p.Data {
 		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
 			b.Fatal(err)

@@ -35,6 +35,11 @@ type Chrome struct {
 	events int // emitted events, for comma placement
 	begun  bool
 	cum    Breakdown // running totals behind the counter track
+
+	// faultTrack latches whether the injected-faults track metadata has
+	// been emitted (lazily, on the first fault event, so fault-free
+	// traces are unchanged).
+	faultTrack bool
 }
 
 // Track ids (Chrome "tid" values) in display order.
@@ -49,6 +54,7 @@ const (
 	tidCommit
 	tidConflict
 	tidStalls
+	tidFault
 )
 
 var trackNames = map[int]string{
@@ -166,6 +172,19 @@ func (c *Chrome) Instruction(ev *InstEvent) {
 		c.printf(`%q:%d`, Cause(i).String(), v)
 	}
 	c.printf("}}")
+}
+
+// Fault emits an instant on the fault-injection track. The track's
+// metadata is emitted lazily on the first fault so fault-free traces
+// stay byte-identical to what they were before fault support existed.
+func (c *Chrome) Fault(kind string, pc int, atCycle int64) {
+	if !c.faultTrack {
+		c.faultTrack = true
+		c.event(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"injected faults"}}`, tidFault)
+		c.event(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tidFault, tidFault)
+	}
+	c.event(`{"ph":"i","pid":0,"tid":%d,"ts":%d,"s":"t","name":%q,"args":{"pc":%d}}`,
+		tidFault, atCycle, "fault: "+kind, pc)
 }
 
 // BankConflict emits an instant on the conflict track.

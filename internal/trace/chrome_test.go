@@ -55,7 +55,10 @@ func runGolden(t *testing.T) ([]byte, sim.Stats) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := sim.MustNew(sim.DefaultConfig())
+	m, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range p.Data {
 		if err := m.WriteMainNums(c.Addr, c.Values); err != nil {
 			t.Fatal(err)

@@ -43,6 +43,28 @@ type Profile struct {
 	// cycles.
 	conflicts     map[string][]int64
 	conflictTotal int64
+
+	// faults counts injected-fault events per model kind, in first-seen
+	// order (runs see at most a handful of kinds, so a sorted slice beats
+	// a map for deterministic reports).
+	faults []FaultCount
+}
+
+// FaultCount is one fault-model row of the profile.
+type FaultCount struct {
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
+}
+
+// Fault counts an injected-fault event (FaultObserver extension).
+func (p *Profile) Fault(kind string, pc int, atCycle int64) {
+	for i := range p.faults {
+		if p.faults[i].Kind == kind {
+			p.faults[i].Count++
+			return
+		}
+	}
+	p.faults = append(p.faults, FaultCount{Kind: kind, Count: 1})
 }
 
 // NewProfile builds an empty profile.
@@ -178,6 +200,10 @@ type Report struct {
 	Opcodes       []OpcodeProfile `json:"opcodes"`
 	FUs           []FUUtil        `json:"fu_utilization"`
 	BankConflicts []SpadConflicts `json:"bank_conflicts"`
+	// Faults lists injected-fault events per model kind; empty (and
+	// omitted from JSON) on fault-free runs, so existing reports are
+	// unchanged.
+	Faults []FaultCount `json:"faults,omitempty"`
 }
 
 // Report materializes the rollup. topN bounds the opcode histogram
@@ -238,6 +264,11 @@ func (p *Profile) Report(topN int) *Report {
 			BusyCycles:  p.fuBusy[fu],
 			Utilization: util,
 		})
+	}
+	if len(p.faults) > 0 {
+		r.Faults = make([]FaultCount, len(p.faults))
+		copy(r.Faults, p.faults)
+		sort.SliceStable(r.Faults, func(i, j int) bool { return r.Faults[i].Kind < r.Faults[j].Kind })
 	}
 	names := make([]string, 0, len(p.conflicts))
 	for name := range p.conflicts {
@@ -311,6 +342,13 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "bank-conflict heatmap (extra serialization cycles per bank):\n")
 		for _, s := range r.BankConflicts {
 			fmt.Fprintf(&b, "  %-12s total %-8d %v\n", s.Spad, s.Total, s.PerBank)
+		}
+	}
+
+	if len(r.Faults) > 0 {
+		fmt.Fprintf(&b, "injected faults:\n")
+		for _, f := range r.Faults {
+			fmt.Fprintf(&b, "  %-12s %d\n", f.Kind, f.Count)
 		}
 	}
 	return b.String()

@@ -241,6 +241,18 @@ type InstEvent struct {
 	RegWait, ROBWait, MemQueueWait, MemDepWait, FUBusyWait int64
 }
 
+// FaultObserver is an optional Tracer extension for fault-injection
+// runs: a sink that also implements it receives one event per injected
+// fault (see internal/fault). Keeping it a separate interface means
+// existing Tracer implementations stay valid; the simulator discovers
+// support with a type assertion when the tracer is attached.
+type FaultObserver interface {
+	// Fault reports one injected fault: its model kind (e.g. "gpr-bit"),
+	// the program counter of the instruction it hit, and the approximate
+	// simulated cycle (the last commit when the fault was applied).
+	Fault(kind string, pc int, atCycle int64)
+}
+
 // Tee fans one event stream out to several sinks. Nil entries are
 // dropped; with zero live sinks it returns nil so the simulator keeps
 // its untraced fast path.
@@ -283,5 +295,16 @@ func (t tee) BankConflict(spad string, bank int, extraCycles, atCycle int64) {
 func (t tee) EndRun(totalCycles int64) {
 	for _, s := range t {
 		s.EndRun(totalCycles)
+	}
+}
+
+// Fault forwards to the members that observe faults. A tee always
+// satisfies FaultObserver; forwarding to zero interested members is a
+// no-op, so the assertion in the simulator stays correct either way.
+func (t tee) Fault(kind string, pc int, atCycle int64) {
+	for _, s := range t {
+		if fo, ok := s.(FaultObserver); ok {
+			fo.Fault(kind, pc, atCycle)
+		}
 	}
 }

@@ -1,0 +1,14 @@
+package cambricon
+
+import "testing"
+
+// mustAssemble parses known-good test source, failing the test
+// otherwise. (The facade has no panicking assembler.)
+func mustAssemble(tb testing.TB, src string) *Program {
+	tb.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
