@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-json repro smoke smoke-fault fault-json
+.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host fault-json
 
-ci: fmt vet build race bench smoke smoke-fault
+ci: fmt vet build race bench smoke smoke-fault smoke-host
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -51,9 +51,20 @@ smoke-fault:
 	@grep -q cambricon-fault/v1 /tmp/cambricon-smoke-faults.json || { echo "smoke-fault: bad report"; exit 1; }
 	@rm -f /tmp/cambricon-smoke-faults.json
 
+# Warm-start smoke run: one iteration of each host benchmark (campaign
+# throughput, warm restart) proving the warm-start layer end to end
+# without taking the minutes a real measurement needs.
+smoke-host:
+	$(GO) test -run '^$$' -bench 'CampaignThroughput|WarmRestart' -benchtime 1x ./internal/bench
+
 # Regenerate the machine-readable perf record tracked in BENCH_sim.json.
 bench-json:
 	$(GO) run ./cmd/camrepro -bench-json BENCH_sim.json
+
+# Regenerate the warm-vs-cold host-throughput record tracked in
+# BENCH_host.json (docs/PERF.md, Level 3).
+bench-host:
+	$(GO) run ./cmd/camrepro -host-json BENCH_host.json
 
 # Run a full fault-injection campaign across all ten benchmarks.
 fault-json:

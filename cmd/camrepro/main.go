@@ -10,6 +10,8 @@
 //	camrepro -seed 7           # benchmark generation seed
 //	camrepro -j 8              # benchmark simulation worker count (0 = all cores)
 //	camrepro -bench-json BENCH_sim.json  # emit the machine-readable perf record
+//	camrepro -host-json BENCH_host.json  # warm-vs-cold host throughput record
+//	camrepro -warm=false       # disable machine pooling / snapshot warm-starts
 //	camrepro -profile-json PROFILES.json # per-benchmark stall-attribution profiles
 //	camrepro -fault-json FAULTS.json     # fault-injection campaign record
 //	camrepro -listing x86:MLP  # dump a baseline pseudo-assembly listing
@@ -51,6 +53,9 @@ func main() {
 	faultJSON := flag.String("fault-json", "", "run a fault-injection campaign and write the report to this file (\"-\" = stdout)")
 	faultSites := flag.Int("fault-sites", 50, "fault sites injected per benchmark in the campaign")
 	faultBench := flag.String("fault-bench", "", "restrict the fault campaign to one benchmark (empty = all)")
+	hostJSON := flag.String("host-json", "", "run the host-throughput benchmarks and write the record to this file (e.g. BENCH_host.json, - for stdout)")
+	hostRuns := flag.Int("host-runs", 10, "timed iterations per host-benchmark row")
+	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs (false = build a machine per run)")
 	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
 	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
 	version := flag.Bool("version", false, "print the simulator version and exit")
@@ -80,6 +85,15 @@ func main() {
 	}
 
 	suite := bench.NewSuite(*seed)
+	suite.Warm = *warm
+
+	if *hostJSON != "" {
+		if err := emitHostJSON(*seed, *hostRuns, *hostJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(suite, *workers, *benchJSON); err != nil {
@@ -154,6 +168,28 @@ func emitBenchJSON(suite *bench.Suite, workers int, path string) error {
 		return err
 	}
 	rep := bench.BuildReport(suite, results, workers, time.Since(start))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// emitHostJSON measures host-side throughput of the warm-start layer —
+// campaign runs and machine acquisition, warm vs cold — and writes the
+// cambricon-bench-host/v1 record (see docs/PERF.md, Level 3).
+func emitHostJSON(seed uint64, runs int, path string) error {
+	rep, err := bench.RunHostBenchmarks(seed, runs, 32)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return rep.Write(os.Stdout)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -68,6 +68,7 @@ func main() {
 	hist := flag.Bool("hist", false, "print the dynamic opcode histogram")
 	jsonOut := flag.Bool("json", false, "print run statistics as JSON")
 	maxCycles := flag.Int64("max-cycles", 0, "watchdog: fail the run once the simulated clock passes this budget (0 = off)")
+	warm := flag.Bool("warm", true, "with -benchmark all: reuse pooled, snapshot-restored machines across runs (false = build a machine per run)")
 	binFlag := flag.Bool("bin", false, "treat the program argument as a binary instruction image (8 bytes per instruction, little-endian), not assembly text")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Var(&gprs, "gpr", "initialize a register, e.g. -gpr 1=64 (repeatable)")
@@ -107,7 +108,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "camsim: -trace/-profile/-profile-json need a single run; use -benchmark NAME (or camrepro -profile-json for the whole suite)")
 				os.Exit(2)
 			}
-			runAll(*seed, *workers, *jsonOut)
+			runAll(*seed, *workers, *jsonOut, *warm)
 			return
 		}
 		obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, *benchmark)
@@ -284,8 +285,9 @@ func (o *observer) finish(runErr error, topN int) {
 // runAll executes every Table III benchmark through the shared suite's
 // parallel harness (bench.Suite.RunAll) and prints one summary line per
 // benchmark in deterministic table order.
-func runAll(seed uint64, workers int, jsonOut bool) {
+func runAll(seed uint64, workers int, jsonOut, warm bool) {
 	s := bench.NewSuite(seed)
+	s.Warm = warm
 	results, err := s.RunAll(context.Background(), workers)
 	if err != nil {
 		fatal(err)

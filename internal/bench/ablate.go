@@ -21,10 +21,11 @@ func RunAblations(s *Suite) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		m, err := sim.New(cfg)
+		m, pooled, err := s.kernelMachine(cfg)
 		if err != nil {
 			return 0, err
 		}
+		defer s.releaseMachine(m, pooled)
 		m.LoadProgram(p.Instructions)
 		st, err := m.Run()
 		if err != nil {

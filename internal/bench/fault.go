@@ -6,20 +6,22 @@ package bench
 // experiments run.
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"cambricon/internal/codegen"
 	"cambricon/internal/core"
 	"cambricon/internal/fault"
+	"cambricon/internal/fixed"
 	"cambricon/internal/sim"
 )
 
 // FaultTargets exposes the benchmark programs as fault-campaign
-// targets. Each target builds a fresh machine per run (so concurrent
-// campaign workers share nothing) configured exactly like the
-// performance runs: same Table II machine, same derived seed.
+// targets. Each run draws its machine through the suite's warm-start
+// layer (a pooled machine restored from the benchmark's post-Init
+// snapshot; a fresh build when Warm is off) configured exactly like the
+// performance runs: same Table II machine, same derived seed. Machines
+// are never shared between concurrent campaign workers.
 func (s *Suite) FaultTargets() ([]fault.Target, error) {
 	progs, err := s.Programs()
 	if err != nil {
@@ -32,7 +34,8 @@ func (s *Suite) FaultTargets() ([]fault.Target, error) {
 	return targets, nil
 }
 
-// faultTarget adapts one generated benchmark to fault.Target.
+// faultTarget adapts one generated benchmark to fault.Target (and
+// fault.BufferedTarget).
 type faultTarget struct {
 	suite *Suite
 	prog  *codegen.Program
@@ -40,11 +43,19 @@ type faultTarget struct {
 
 func (t *faultTarget) Name() string { return t.prog.Name }
 
-// Run executes the benchmark once under the given injector. Per the
-// fault.Target contract it never panics (a panic is reported as a
-// crash), marks watchdog terminations as hangs, and fills Geometry so
-// the campaign can derive fault sites from the golden run.
-func (t *faultTarget) Run(inj fault.Injector, maxCycles int64) (obs fault.Observation) {
+// Run executes the benchmark once under the given injector.
+func (t *faultTarget) Run(inj fault.Injector, maxCycles int64) fault.Observation {
+	return t.RunBuf(inj, maxCycles, nil)
+}
+
+// RunBuf is Run with an optional output buffer: when buf has capacity it
+// backs Observation.Output, so a campaign worker that is done comparing
+// the previous observation's output can recycle the bytes instead of
+// allocating ~2N per faulted run. Per the fault.Target contract it never
+// panics (a panic is reported as a crash), marks watchdog terminations
+// as hangs, and fills Geometry so the campaign can derive fault sites
+// from the golden run.
+func (t *faultTarget) RunBuf(inj fault.Injector, maxCycles int64, buf []byte) (obs fault.Observation) {
 	defer func() {
 		if r := recover(); r != nil {
 			obs.Crashed = true
@@ -54,17 +65,13 @@ func (t *faultTarget) Run(inj fault.Injector, maxCycles int64) (obs fault.Observ
 	cfg := t.suite.Config
 	cfg.Seed = t.suite.Seed ^ 0xcafe
 	cfg.MaxCycles = maxCycles
-	m, err := sim.New(cfg)
+	m, pooled, err := t.suite.preparedMachine(t.prog, cfg)
 	if err != nil {
 		obs.Err = err
 		return obs
 	}
+	defer t.suite.releaseMachine(m, pooled)
 	m.SetInjector(inj)
-	if err := t.prog.Init(m); err != nil {
-		obs.Err = err
-		return obs
-	}
-	m.LoadProgram(t.prog.Asm.Instructions)
 	stats, err := m.Run()
 	obs.Cycles = stats.Cycles
 	obs.Instructions = stats.Instructions
@@ -92,28 +99,32 @@ func (t *faultTarget) Run(inj fault.Injector, maxCycles int64) (obs fault.Observ
 			return obs
 		}
 	}
-	obs.Output, obs.Err = t.output(m)
+	obs.Output, obs.Err = t.output(m, buf)
 	return obs
 }
 
 // output serializes the benchmark's declared result regions from main
-// memory: each element as its raw Q8.8 bits, little-endian, regions in
-// declaration order. Byte equality of two serializations is exactly
-// element-wise equality of all outputs.
-func (t *faultTarget) output(m *sim.Machine) ([]byte, error) {
+// memory into buf (grown as needed): each element as its raw Q8.8 bits,
+// little-endian, regions in declaration order — exactly the bytes the
+// machine holds, since main memory stores elements little-endian. Byte
+// equality of two serializations is exactly element-wise equality of all
+// outputs.
+func (t *faultTarget) output(m *sim.Machine, buf []byte) ([]byte, error) {
 	var total int
 	for _, r := range t.prog.Results {
-		total += r.N
+		total += fixed.Bytes(r.N)
 	}
-	out := make([]byte, 0, 2*total)
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+	off := 0
 	for _, r := range t.prog.Results {
-		nums, err := m.ReadMainNums(r.Addr, r.N)
-		if err != nil {
+		n := fixed.Bytes(r.N)
+		if err := m.ReadMainBytesInto(r.Addr, buf[off:off+n]); err != nil {
 			return nil, fmt.Errorf("bench: %s: result %q: %w", t.prog.Name, r.Name, err)
 		}
-		for _, n := range nums {
-			out = binary.LittleEndian.AppendUint16(out, uint16(n))
-		}
+		off += n
 	}
-	return out, nil
+	return buf, nil
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"cambricon/internal/codegen"
 	"cambricon/internal/sim"
 )
@@ -15,14 +17,16 @@ func codegenLogisticTraining(seed uint64) (*codegen.Program, error) {
 	return codegen.GenLogisticTraining(seed)
 }
 
-// runProgram executes a generated program on a fresh suite-configured
-// machine, verifying its expectations.
+// runProgram executes a generated program on a suite-configured machine
+// (pooled and snapshot-restored when the suite is Warm), verifying its
+// expectations.
 func runProgram(s *Suite, p *codegen.Program) (sim.Stats, error) {
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	m, err := sim.New(cfg)
+	m, pooled, err := s.preparedMachine(p, cfg)
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	return p.Execute(m)
+	defer s.releaseMachine(m, pooled)
+	return p.ExecutePreparedContext(context.Background(), m)
 }

@@ -1,0 +1,226 @@
+package bench
+
+// This file is the warm-start layer (docs/PERF.md, "Level 3"): campaign
+// and experiment paths that used to construct a fresh 16 MiB sim.Machine
+// and replay a workload image per run instead draw a pooled machine and
+// Restore a captured post-Init snapshot — a handful of dirty-page copies.
+// Simulated statistics are bit-identical either way; Suite.Warm=false is
+// the escape hatch that forces the historical cold behaviour.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cambricon/internal/codegen"
+	"cambricon/internal/sim"
+)
+
+// machinePool caches sim.Machine instances per architectural
+// configuration (the pool key normalizes the watchdog budget away, see
+// sim.Machine.SetMaxCycles). Machines are handed out bare; callers
+// restore them to a snapshot before use. The zero value is ready.
+type machinePool struct {
+	mu      sync.Mutex
+	entries map[sim.Config]*poolEntry
+	builds  atomic.Int64
+	reuses  atomic.Int64
+}
+
+type poolEntry struct {
+	pool sync.Pool
+	// pristine is the post-construction zero state of this configuration,
+	// captured from the first machine built for it: handcrafted kernels
+	// (ablations, sweeps) restore to it so a recycled machine is
+	// indistinguishable from a fresh one.
+	pristine *sim.Snapshot
+}
+
+// poolKey normalizes a configuration to its architectural identity.
+func poolKey(cfg sim.Config) sim.Config {
+	cfg.MaxCycles = 0
+	return cfg
+}
+
+func (p *machinePool) entry(cfg sim.Config) *poolEntry {
+	key := poolKey(cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.entries == nil {
+		p.entries = map[sim.Config]*poolEntry{}
+	}
+	e := p.entries[key]
+	if e == nil {
+		e = &poolEntry{}
+		p.entries[key] = e
+	}
+	return e
+}
+
+// acquire returns a machine for cfg — recycled when the pool has one,
+// freshly built otherwise — with its watchdog budget set to
+// cfg.MaxCycles. The machine's other state is whatever the previous user
+// left; callers must Restore a snapshot (or load a program onto a
+// pristine machine) before running.
+func (p *machinePool) acquire(cfg sim.Config) (*sim.Machine, error) {
+	e := p.entry(cfg)
+	if m, ok := e.pool.Get().(*sim.Machine); ok && m != nil {
+		p.reuses.Add(1)
+		m.SetMaxCycles(cfg.MaxCycles)
+		return m, nil
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.builds.Add(1)
+	p.mu.Lock()
+	if e.pristine == nil {
+		// First machine for this configuration: capture its untouched
+		// state so acquirePristine can reset recycled machines to it.
+		e.pristine = m.Snapshot()
+	}
+	p.mu.Unlock()
+	return m, nil
+}
+
+// acquirePristine is acquire plus a restore to the configuration's
+// post-construction zero state: registers, PRNG and all memory exactly as
+// sim.New left them.
+func (p *machinePool) acquirePristine(cfg sim.Config) (*sim.Machine, error) {
+	m, err := p.acquire(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := p.entry(cfg)
+	p.mu.Lock()
+	pristine := e.pristine
+	p.mu.Unlock()
+	if err := m.Restore(pristine); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// release detaches the machine's observers and returns it to the pool.
+func (p *machinePool) release(m *sim.Machine) {
+	m.SetTracer(nil)
+	m.SetInjector(nil)
+	m.SetTrace(nil)
+	key := poolKey(m.Config())
+	p.mu.Lock()
+	e := p.entries[key]
+	p.mu.Unlock()
+	if e != nil {
+		e.pool.Put(m)
+	}
+}
+
+// preparedEntry is the singleflight cell for one benchmark's post-Init
+// snapshot.
+type preparedEntry struct {
+	once sync.Once
+	snap *sim.Snapshot
+	err  error
+}
+
+// preparedSnapshot builds (once per benchmark) the snapshot of a machine
+// that has the program's memory image written and its instruction stream
+// loaded — the state every run of that benchmark starts from.
+func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Snapshot, error) {
+	s.prepMu.Lock()
+	if s.prepared == nil {
+		s.prepared = map[string]*preparedEntry{}
+	}
+	pe := s.prepared[prog.Name]
+	if pe == nil {
+		pe = &preparedEntry{}
+		s.prepared[prog.Name] = pe
+	}
+	s.prepMu.Unlock()
+	pe.once.Do(func() {
+		m, err := s.pool.acquirePristine(poolKey(cfg))
+		if err != nil {
+			pe.err = err
+			return
+		}
+		if err := prog.Init(m); err != nil {
+			pe.err = err
+			return
+		}
+		m.LoadProgram(prog.Asm.Instructions)
+		pe.snap = m.Snapshot()
+		s.pool.release(m)
+	})
+	return pe.snap, pe.err
+}
+
+// preparedMachine returns a machine holding prog's post-Init state. Warm
+// suites restore a pooled machine from the benchmark's snapshot and
+// report pooled=true — the caller must hand it back via releaseMachine
+// when done with the run. Cold suites (Warm=false) build a fresh machine
+// and replay the image, the historical behaviour, with pooled=false.
+// Both produce bit-identical run statistics. (The pooled flag, rather
+// than a release closure, keeps the per-run hot path allocation-free.)
+func (s *Suite) preparedMachine(prog *codegen.Program, cfg sim.Config) (m *sim.Machine, pooled bool, err error) {
+	if !s.Warm {
+		m, err := sim.New(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := prog.Init(m); err != nil {
+			return nil, false, err
+		}
+		m.LoadProgram(prog.Asm.Instructions)
+		return m, false, nil
+	}
+	snap, err := s.preparedSnapshot(prog, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	m, err = s.pool.acquire(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := m.Restore(snap); err != nil {
+		// A restore mismatch means the machine does not belong to this
+		// snapshot's configuration; drop it rather than re-pooling.
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// kernelMachine returns a machine in post-construction zero state for a
+// handcrafted kernel (ablations, sweeps, extension programs). Warm
+// suites recycle pooled machines through a pristine-state restore
+// (pooled=true, release via releaseMachine); cold suites build fresh
+// ones.
+func (s *Suite) kernelMachine(cfg sim.Config) (*sim.Machine, bool, error) {
+	if !s.Warm {
+		m, err := sim.New(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		return m, false, nil
+	}
+	m, err := s.pool.acquirePristine(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// releaseMachine returns a pooled machine (pooled=true from
+// preparedMachine/kernelMachine) to the pool; cold machines are left for
+// the garbage collector.
+func (s *Suite) releaseMachine(m *sim.Machine, pooled bool) {
+	if pooled && m != nil {
+		s.pool.release(m)
+	}
+}
+
+// PoolStats reports how many machines the warm-start layer built versus
+// recycled — the denominator of the warm-start win (and the
+// pool-leak/reuse check in tests).
+func (s *Suite) PoolStats() (builds, reuses int64) {
+	return s.pool.builds.Load(), s.pool.reuses.Load()
+}

@@ -26,6 +26,12 @@ type Suite struct {
 	Seed uint64
 	// Config is the accelerator configuration (Table II defaults).
 	Config sim.Config
+	// Warm enables the warm-start layer (docs/PERF.md, Level 3): runs
+	// draw pooled machines restored from per-benchmark snapshots instead
+	// of building a fresh machine and replaying the memory image each
+	// time. Simulated statistics are bit-identical either way; set false
+	// (or pass -warm=off to the CLIs) to force the historical cold path.
+	Warm bool
 
 	progsOnce sync.Once
 	progs     []*codegen.Program
@@ -33,6 +39,10 @@ type Suite struct {
 
 	mu    sync.Mutex
 	stats map[string]*statsEntry
+
+	pool     machinePool
+	prepMu   sync.Mutex
+	prepared map[string]*preparedEntry
 }
 
 // statsEntry is the singleflight cell for one benchmark's simulation: the
@@ -44,9 +54,9 @@ type statsEntry struct {
 	err  error
 }
 
-// NewSuite builds a suite over the Table II machine.
+// NewSuite builds a suite over the Table II machine, with warm-starts on.
 func NewSuite(seed uint64) *Suite {
-	return &Suite{Seed: seed, Config: sim.DefaultConfig(), stats: map[string]*statsEntry{}}
+	return &Suite{Seed: seed, Config: sim.DefaultConfig(), Warm: true, stats: map[string]*statsEntry{}}
 }
 
 // Programs generates (once) the ten Table III benchmark programs.
@@ -106,9 +116,10 @@ func (s *Suite) StatsCtx(ctx context.Context, name string) (sim.Stats, error) {
 	return entry.st, entry.err
 }
 
-// runBenchmark simulates one benchmark on a fresh machine. A panic
-// anywhere in generation or simulation is recovered into the returned
-// error so one poisoned benchmark cannot take down a whole campaign.
+// runBenchmark simulates one benchmark on a prepared machine (pooled and
+// snapshot-restored when Warm, freshly built otherwise). A panic anywhere
+// in generation or simulation is recovered into the returned error so one
+// poisoned benchmark cannot take down a whole campaign.
 func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -121,11 +132,12 @@ func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, er
 	}
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	m, err := sim.New(cfg)
+	m, pooled, err := s.preparedMachine(p, cfg)
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	return p.ExecuteContext(ctx, m)
+	defer s.releaseMachine(m, pooled)
+	return p.ExecutePreparedContext(ctx, m)
 }
 
 // Profile re-runs one benchmark with a stall-attribution profile
@@ -141,14 +153,15 @@ func (s *Suite) Profile(name string) (*trace.Report, error) {
 	}
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	m, err := sim.New(cfg)
+	m, pooled, err := s.preparedMachine(p, cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer s.releaseMachine(m, pooled)
 	prof := trace.NewProfile()
 	prof.Label = name
 	m.SetTracer(prof)
-	if _, err := p.Execute(m); err != nil {
+	if _, err := p.ExecutePreparedContext(context.Background(), m); err != nil {
 		return nil, err
 	}
 	return prof.Report(0), nil

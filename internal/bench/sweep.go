@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"cambricon/internal/asm"
-	"cambricon/internal/sim"
 )
 
 // RunMMVSweep is an extension experiment: it sweeps square MMV sizes
@@ -29,12 +28,13 @@ func RunMMVSweep(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := sim.New(s.Config)
+		m, pooled, err := s.kernelMachine(s.Config)
 		if err != nil {
 			return nil, err
 		}
 		m.LoadProgram(p.Instructions)
 		st, err := m.Run()
+		s.releaseMachine(m, pooled)
 		if err != nil {
 			return nil, err
 		}

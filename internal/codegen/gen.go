@@ -125,6 +125,22 @@ func (p *Program) ExecuteContext(ctx context.Context, m *sim.Machine) (sim.Stats
 	return stats, nil
 }
 
+// ExecutePreparedContext runs and verifies the program on a machine that
+// already holds its memory image and instruction stream — typically one
+// just restored from a sim.Snapshot captured after Init+LoadProgram. It
+// is ExecuteContext minus the image replay, and produces identical
+// statistics and errors.
+func (p *Program) ExecutePreparedContext(ctx context.Context, m *sim.Machine) (sim.Stats, error) {
+	stats, err := m.RunContext(ctx)
+	if err != nil {
+		return stats, fmt.Errorf("codegen: %s: %w", p.Name, err)
+	}
+	if err := p.Verify(m); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
 // finish assembles the builder output into a Program.
 func finish(name string, b *asm.Builder, g *gen) (*Program, error) {
 	src := b.Source()

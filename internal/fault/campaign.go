@@ -106,6 +106,18 @@ type Target interface {
 	Run(inj Injector, maxCycles int64) Observation
 }
 
+// BufferedTarget is an optional Target extension that lets the campaign
+// recycle each worker's output buffer across faulted runs instead of
+// allocating a fresh Observation.Output every time.
+type BufferedTarget interface {
+	Target
+	// RunBuf is Run with a caller-owned scratch buffer that may back
+	// Observation.Output. The caller promises it is done with buf (and
+	// any Output aliasing it) before the next RunBuf call on the same
+	// buffer; distinct buffers are safe concurrently.
+	RunBuf(inj Injector, maxCycles int64, buf []byte) Observation
+}
+
 // Campaign sweeps seeded fault sites across a set of benchmark targets.
 type Campaign struct {
 	// Seed drives site generation; the same seed yields a byte-identical
@@ -149,7 +161,13 @@ func (c *Campaign) Run(ctx context.Context, targets []Target) (*Report, error) {
 			return nil, err
 		}
 		golden := t.Run(nil, 0)
-		if golden.Crashed || golden.Err != nil {
+		switch {
+		case golden.Crashed && golden.Err != nil:
+			return nil, fmt.Errorf("fault: golden run of %s crashed: %w", t.Name(), golden.Err)
+		case golden.Crashed:
+			// A recovered panic with no error attached: don't wrap nil.
+			return nil, fmt.Errorf("fault: golden run of %s crashed (panic recovered without detail)", t.Name())
+		case golden.Err != nil:
 			return nil, fmt.Errorf("fault: golden run of %s failed: %w", t.Name(), golden.Err)
 		}
 		sites := Sites(BenchSeed(c.Seed, t.Name()), c.Sites, golden.Geometry)
@@ -162,14 +180,31 @@ func (c *Campaign) Run(ctx context.Context, targets []Target) (*Report, error) {
 			Runs:               make([]RunRecord, len(sites)),
 		}
 
+		bt, buffered := t.(BufferedTarget)
+
 		var wg sync.WaitGroup
 		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Each worker owns one injector and one output buffer:
+				// Classify is done with obs.Output before the next RunBuf
+				// reuses it, and the target never retains the injector
+				// past its run.
+				inj := New(Fault{})
+				var buf []byte
 				for i := range jobs {
-					obs := t.Run(New(sites[i]), budget)
+					inj.Retarget(sites[i])
+					var obs Observation
+					if buffered {
+						obs = bt.RunBuf(inj, budget, buf)
+						if cap(obs.Output) > cap(buf) {
+							buf = obs.Output
+						}
+					} else {
+						obs = t.Run(inj, budget)
+					}
 					rec := RunRecord{
 						Fault:   sites[i],
 						Outcome: Classify(golden, obs),

@@ -152,3 +152,68 @@ func TestCampaignGoldenFailureIsError(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// panickyGolden crashes the golden run with no error attached — the
+// shape a recovered panic without detail produces. The campaign must
+// still return a real error (and not wrap a nil one).
+type panickyGolden struct{}
+
+func (panickyGolden) Name() string                    { return "panicky" }
+func (panickyGolden) Run(Injector, int64) Observation { return Observation{Crashed: true} }
+
+func TestCampaignGoldenCrashWithoutErr(t *testing.T) {
+	_, err := (&Campaign{Seed: 1, Sites: 3}).Run(context.Background(), []Target{panickyGolden{}})
+	if err == nil || !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("err = %v", err)
+	}
+	if strings.Contains(err.Error(), "<nil>") {
+		t.Fatalf("golden-crash error wraps nil: %v", err)
+	}
+}
+
+// bufferedScripted implements BufferedTarget over the scripted target,
+// copying outputs into the campaign-provided buffer when it fits.
+type bufferedScripted struct {
+	scriptedTarget
+	bufRuns atomic.Int64
+}
+
+func (t *bufferedScripted) RunBuf(inj Injector, maxCycles int64, buf []byte) Observation {
+	t.bufRuns.Add(1)
+	obs := t.Run(inj, maxCycles)
+	if obs.Output != nil && cap(buf) >= len(obs.Output) {
+		out := buf[:len(obs.Output)]
+		copy(out, obs.Output)
+		obs.Output = out
+	}
+	return obs
+}
+
+// TestCampaignUsesBufferedTarget pins that the campaign routes faulted
+// runs through RunBuf when the target supports it — and that the report
+// is byte-identical to the plain Run path.
+func TestCampaignUsesBufferedTarget(t *testing.T) {
+	c := &Campaign{Seed: 11, Sites: 20, Workers: 2}
+	bt := &bufferedScripted{scriptedTarget: scriptedTarget{name: "scripted"}}
+	repBuf, err := c.Run(context.Background(), []Target{bt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bt.bufRuns.Load(); got != 20 {
+		t.Fatalf("RunBuf called %d times, want 20 (one per site)", got)
+	}
+	repPlain, err := c.Run(context.Background(), []Target{&scriptedTarget{name: "scripted"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := repBuf.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := repPlain.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("buffered and plain campaign reports differ")
+	}
+}

@@ -239,6 +239,11 @@ type Single struct {
 // New builds the injector for one fault site.
 func New(f Fault) *Single { return &Single{f: f} }
 
+// Retarget re-aims the injector at a different fault site, re-arming it.
+// Campaign workers use it to sweep many sites through one injector
+// instead of allocating one per run.
+func (s *Single) Retarget(f Fault) { s.f, s.fired = f, false }
+
 // Fault returns the site the injector realizes.
 func (s *Single) Fault() Fault { return s.f }
 

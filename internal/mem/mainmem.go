@@ -2,9 +2,15 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cambricon/internal/fixed"
 )
+
+// PageBytes is the dirty-tracking granule of Main: restore-from-snapshot
+// copies whole pages, so the value trades bitmap size (16 MiB / 4 KiB =
+// 4096 pages = 64 words) against copy amplification for small writes.
+const PageBytes = 4096
 
 // Main is the off-chip main memory. The prototype accesses it only through
 // load/store instructions (Cambricon is a load-store architecture,
@@ -12,6 +18,12 @@ import (
 // vector/matrix accesses move 16-bit fixed-point element blocks via DMA.
 type Main struct {
 	data []byte
+
+	// dirty is the page bitmap behind snapshot/restore warm-starts: when
+	// non-nil every write marks its pages, and RestoreFrom copies back
+	// only marked pages instead of the whole memory. nil (the default)
+	// disables tracking and adds a single predicted branch per write.
+	dirty []uint64
 }
 
 // NewMain allocates a main memory of size bytes. The size comes from
@@ -26,6 +38,76 @@ func NewMain(size int) (*Main, error) {
 
 // Size returns the capacity in bytes.
 func (m *Main) Size() int { return len(m.data) }
+
+// Image returns a copy of the full memory contents (snapshot capture).
+func (m *Main) Image() []byte {
+	img := make([]byte, len(m.data))
+	copy(img, m.data)
+	return img
+}
+
+// BeginDirtyTracking clears and (re)enables write tracking: after the
+// call, RestoreFrom copies back only pages written since. The bitmap is
+// allocated once and reused.
+func (m *Main) BeginDirtyTracking() {
+	pages := (len(m.data) + PageBytes - 1) / PageBytes
+	if m.dirty == nil {
+		m.dirty = make([]uint64, (pages+63)/64)
+		return
+	}
+	for i := range m.dirty {
+		m.dirty[i] = 0
+	}
+}
+
+// DropDirtyTracking disables write tracking; the next RestoreFrom falls
+// back to a full copy. Used when a machine switches to a different
+// snapshot, whose image it has never held.
+func (m *Main) DropDirtyTracking() { m.dirty = nil }
+
+// markDirty records the pages of a write region. Callers validate the
+// region first, so the page range is always inside the bitmap.
+func (m *Main) markDirty(addr, n int) {
+	if m.dirty == nil || n <= 0 {
+		return
+	}
+	for p := addr / PageBytes; p <= (addr+n-1)/PageBytes; p++ {
+		m.dirty[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// RestoreFrom reinstates img (a prior Image of this memory): with
+// tracking active only dirty pages are copied and the bitmap is cleared;
+// without tracking the whole memory is copied and tracking begins. It
+// returns the number of bytes copied — the measure of how much the page
+// bitmap saved.
+func (m *Main) RestoreFrom(img []byte) (int, error) {
+	if len(img) != len(m.data) {
+		return 0, fmt.Errorf("mem: main: restore image is %d bytes, capacity %d", len(img), len(m.data))
+	}
+	if m.dirty == nil {
+		copy(m.data, img)
+		m.BeginDirtyTracking()
+		return len(m.data), nil
+	}
+	copied := 0
+	for w, word := range m.dirty {
+		if word == 0 {
+			continue
+		}
+		m.dirty[w] = 0
+		for ; word != 0; word &= word - 1 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			lo := p * PageBytes
+			hi := lo + PageBytes
+			if hi > len(m.data) {
+				hi = len(m.data)
+			}
+			copied += copy(m.data[lo:hi], img[lo:hi])
+		}
+	}
+	return copied, nil
+}
 
 func (m *Main) check(addr, n int) error {
 	if n < 0 {
@@ -61,6 +143,7 @@ func (m *Main) WriteBytes(addr int, b []byte) error {
 	if err := m.check(addr, len(b)); err != nil {
 		return err
 	}
+	m.markDirty(addr, len(b))
 	copy(m.data[addr:], b)
 	return nil
 }
@@ -79,6 +162,7 @@ func (m *Main) WriteWord(addr int, v uint32) error {
 	if err := m.check(addr, 4); err != nil {
 		return err
 	}
+	m.markDirty(addr, 4)
 	m.data[addr] = byte(v)
 	m.data[addr+1] = byte(v >> 8)
 	m.data[addr+2] = byte(v >> 16)
@@ -95,12 +179,24 @@ func (m *Main) ReadNums(addr, count int) ([]fixed.Num, error) {
 	return fixed.FromBytes(m.data[addr:addr+n], count), nil
 }
 
+// ReadNumsInto reads len(dst) elements at byte address addr into dst
+// without allocating.
+func (m *Main) ReadNumsInto(addr int, dst []fixed.Num) error {
+	n := fixed.Bytes(len(dst))
+	if err := m.check(addr, n); err != nil {
+		return err
+	}
+	fixed.FromBytesInto(m.data[addr:addr+n], dst)
+	return nil
+}
+
 // WriteNums stores fixed-point elements at byte address addr.
 func (m *Main) WriteNums(addr int, ns []fixed.Num) error {
 	n := fixed.Bytes(len(ns))
 	if err := m.check(addr, n); err != nil {
 		return err
 	}
+	m.markDirty(addr, n)
 	fixed.ToBytes(ns, m.data[addr:addr+n])
 	return nil
 }

@@ -24,6 +24,14 @@ type Scratchpad struct {
 	lineBytes int
 	perBank   []int // reusable conflict counters (Scratchpad is not concurrency-safe)
 
+	// tracking/dirty implement whole-pad dirty tracking for
+	// snapshot/restore warm-starts: scratchpads are small (64 KiB / 768
+	// KiB) and almost every run streams through most of one, so a single
+	// flag — skip the copy when the pad was never written — captures the
+	// useful cases without per-page bookkeeping on the operand hot path.
+	tracking bool
+	dirty    bool
+
 	// onConflict, when set, observes crossbar serialization: it receives
 	// the busiest bank of an access set and the cycles that bank was
 	// busy beyond the ideal parallel streaming cost. nil (the default)
@@ -55,6 +63,40 @@ func (s *Scratchpad) Size() int { return len(s.data) }
 // Banks returns the number of banks.
 func (s *Scratchpad) Banks() int { return s.banks }
 
+// Image returns a copy of the full scratchpad contents (snapshot capture).
+func (s *Scratchpad) Image() []byte {
+	img := make([]byte, len(s.data))
+	copy(img, s.data)
+	return img
+}
+
+// BeginDirtyTracking clears and (re)enables write tracking: after the
+// call, RestoreFrom skips the copy entirely when nothing was written
+// since.
+func (s *Scratchpad) BeginDirtyTracking() {
+	s.tracking = true
+	s.dirty = false
+}
+
+// DropDirtyTracking disables write tracking; the next RestoreFrom falls
+// back to a full copy.
+func (s *Scratchpad) DropDirtyTracking() { s.tracking = false }
+
+// RestoreFrom reinstates img (a prior Image of this scratchpad), copying
+// only when the pad was written since BeginDirtyTracking (or when
+// tracking is off), and returns the number of bytes copied.
+func (s *Scratchpad) RestoreFrom(img []byte) (int, error) {
+	if len(img) != len(s.data) {
+		return 0, fmt.Errorf("mem: %s: restore image is %d bytes, capacity %d", s.name, len(img), len(s.data))
+	}
+	if s.tracking && !s.dirty {
+		return 0, nil
+	}
+	s.tracking = true
+	s.dirty = false
+	return copy(s.data, img), nil
+}
+
 // SetConflictHook registers fn to observe bank conflicts: whenever an
 // AccessCycles access set serializes through the crossbar beyond its
 // ideal streaming cost, fn receives the busiest bank and the extra
@@ -72,6 +114,7 @@ func (s *Scratchpad) FlipBit(addr int, bit uint8) bool {
 	if addr < 0 || addr >= len(s.data) {
 		return false
 	}
+	s.dirty = true
 	s.data[addr] ^= 1 << (bit % 8)
 	return true
 }
@@ -114,6 +157,7 @@ func (s *Scratchpad) WriteBytes(addr int, b []byte) error {
 	if err := s.check(addr, len(b)); err != nil {
 		return err
 	}
+	s.dirty = true
 	copy(s.data[addr:], b)
 	return nil
 }
@@ -174,6 +218,7 @@ func (s *Scratchpad) WriteNums(addr int, ns []fixed.Num) error {
 	if err := s.check(addr, n); err != nil {
 		return err
 	}
+	s.dirty = true
 	fixed.ToBytes(ns, s.data[addr:addr+n])
 	return nil
 }

@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cambricon/internal/fixed"
+)
+
+// dirtyPages decodes the main-memory bitmap into page indices.
+func dirtyPages(m *Main) []int {
+	var pages []int
+	for w, word := range m.dirty {
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				pages = append(pages, w*64+b)
+			}
+		}
+	}
+	return pages
+}
+
+func TestMainDirtyTrackingMarksPages(t *testing.T) {
+	m := newMainMem(t, 4*PageBytes)
+	img := m.Image()
+	m.BeginDirtyTracking()
+
+	// A small write inside page 1.
+	if err := m.WriteWord(PageBytes+16, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	// A write spanning the page 2/3 boundary.
+	if err := m.WriteBytes(3*PageBytes-2, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got := dirtyPages(m)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("dirty pages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirty pages = %v, want %v", got, want)
+		}
+	}
+
+	copied, err := m.RestoreFrom(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 3*PageBytes {
+		t.Fatalf("restore copied %d bytes, want %d (3 pages)", copied, 3*PageBytes)
+	}
+	if !bytes.Equal(m.data, img) {
+		t.Fatal("restored contents differ from image")
+	}
+	if pages := dirtyPages(m); len(pages) != 0 {
+		t.Fatalf("bitmap not cleared after restore: %v", pages)
+	}
+	// Untouched restore copies nothing.
+	copied, err = m.RestoreFrom(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 0 {
+		t.Fatalf("clean restore copied %d bytes, want 0", copied)
+	}
+}
+
+func TestMainDirtyTrackingWriteNums(t *testing.T) {
+	m := newMainMem(t, 2*PageBytes)
+	m.BeginDirtyTracking()
+	if err := m.WriteNums(0, fixed.FromFloats([]float64{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	got := dirtyPages(m)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("dirty pages = %v, want [0]", got)
+	}
+}
+
+func TestMainRestoreWithoutTrackingCopiesAll(t *testing.T) {
+	m := newMainMem(t, 2*PageBytes+100) // partial last page
+	if err := m.WriteBytes(2*PageBytes+50, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, m.Size())
+	copied, err := m.RestoreFrom(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != m.Size() {
+		t.Fatalf("untracked restore copied %d bytes, want full %d", copied, m.Size())
+	}
+	if m.dirty == nil {
+		t.Fatal("untracked restore should begin tracking")
+	}
+	// The partial last page restores without overrunning the buffer.
+	if err := m.WriteBytes(2*PageBytes+10, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	copied, err = m.RestoreFrom(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 100 {
+		t.Fatalf("partial-page restore copied %d bytes, want 100", copied)
+	}
+	if !bytes.Equal(m.data, img) {
+		t.Fatal("restored contents differ from image")
+	}
+}
+
+func TestMainRestoreSizeMismatch(t *testing.T) {
+	m := newMainMem(t, PageBytes)
+	if _, err := m.RestoreFrom(make([]byte, PageBytes-1)); err == nil ||
+		!strings.Contains(err.Error(), "restore image") {
+		t.Fatalf("size-mismatch restore: err = %v", err)
+	}
+}
+
+func TestScratchpadDirtyTracking(t *testing.T) {
+	s := newPad(t, "vspad", 1024, 4, 64)
+	if err := s.WriteBytes(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	img := s.Image()
+	s.BeginDirtyTracking()
+
+	// Clean pad: restore is free.
+	copied, err := s.RestoreFrom(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 0 {
+		t.Fatalf("clean restore copied %d bytes, want 0", copied)
+	}
+
+	// Each write kind dirties the pad.
+	dirtiers := []struct {
+		name string
+		fn   func()
+	}{
+		{"WriteBytes", func() { s.WriteBytes(0, []byte{9}) }},
+		{"WriteNums", func() { s.WriteNums(0, fixed.FromFloats([]float64{4})) }},
+		{"FlipBit", func() { s.FlipBit(5, 1) }},
+	}
+	for _, d := range dirtiers {
+		d.fn()
+		if !s.dirty {
+			t.Fatalf("%s did not dirty the pad", d.name)
+		}
+		copied, err := s.RestoreFrom(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if copied != s.Size() {
+			t.Fatalf("%s: dirty restore copied %d bytes, want %d", d.name, copied, s.Size())
+		}
+		if !bytes.Equal(s.data, img) {
+			t.Fatalf("%s: restored contents differ from image", d.name)
+		}
+	}
+
+	// Tracking dropped: restore always copies.
+	s.DropDirtyTracking()
+	copied, err = s.RestoreFrom(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != s.Size() {
+		t.Fatalf("untracked restore copied %d bytes, want %d", copied, s.Size())
+	}
+
+	if _, err := s.RestoreFrom(make([]byte, 7)); err == nil ||
+		!strings.Contains(err.Error(), "restore image") {
+		t.Fatalf("size-mismatch restore: err = %v", err)
+	}
+}

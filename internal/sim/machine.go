@@ -44,6 +44,11 @@ type Machine struct {
 	// bit-identical cycle counts — the same contract as tracer).
 	inj fault.Injector
 
+	// lastSnap remembers which Snapshot this machine's memory dirty
+	// tracking is relative to: Restore to the same snapshot copies only
+	// dirty regions, any other snapshot forces a full copy.
+	lastSnap *Snapshot
+
 	// Reusable operand buffers for the execution hot path (one exec call
 	// uses at most one of each). bufA/bufB/bufMat are spill targets for
 	// zero-copy scratchpad views (mem.Scratchpad.NumsView) and are only
@@ -113,6 +118,19 @@ func (m *Machine) WriteMainNums(addr int, ns []fixed.Num) error {
 // ReadMainNums reads fixed-point data from main memory (results).
 func (m *Machine) ReadMainNums(addr, count int) ([]fixed.Num, error) {
 	return m.main.ReadNums(addr, count)
+}
+
+// ReadMainNumsInto reads len(dst) fixed-point elements from main memory
+// into dst without allocating (result retrieval on hot loops).
+func (m *Machine) ReadMainNumsInto(addr int, dst []fixed.Num) error {
+	return m.main.ReadNumsInto(addr, dst)
+}
+
+// ReadMainBytesInto copies len(dst) raw bytes from main memory into dst
+// without allocating. Fixed-point data is stored little-endian, so this
+// is also the allocation-free way to serialize a result region.
+func (m *Machine) ReadMainBytesInto(addr int, dst []byte) error {
+	return m.main.ReadBytesInto(addr, dst)
 }
 
 // WriteMainWord stores a 32-bit scalar in main memory.

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"cambricon/internal/core"
+)
+
+// Snapshot is a captured machine state: registers, PC, PRNG, the loaded
+// program and full memory images. Capturing one right after Program.Init
+// turns every later run of the same prepared workload into a Restore —
+// a handful of dirty-page copies — instead of a 16 MiB machine rebuild
+// plus image replay. A Snapshot is immutable once captured and may be
+// shared by any number of machines (and goroutines) concurrently.
+type Snapshot struct {
+	cfg  Config
+	gpr  [core.NumGPRs]uint32
+	pc   int
+	rng  uint64
+	prog []core.Instruction
+
+	vspad, mspad, main []byte
+}
+
+// Config returns the configuration the snapshot was captured under.
+func (s *Snapshot) Config() Config { return s.cfg }
+
+// Bytes returns the total size of the captured memory images — what a
+// full (cold) Restore copies.
+func (s *Snapshot) Bytes() int { return len(s.vspad) + len(s.mspad) + len(s.main) }
+
+// archEqual reports whether two configurations describe the same
+// architectural state shapes, ignoring the watchdog budget: MaxCycles
+// bounds a run's length but not the machine's state, so a pooled machine
+// may be restored across runs with different budgets.
+func archEqual(a, b Config) bool {
+	a.MaxCycles, b.MaxCycles = 0, 0
+	return a == b
+}
+
+// Snapshot captures the machine's current architectural state and arms
+// dirty tracking on its memories, so a later Restore to this snapshot
+// copies only regions written in between. Timing state (stats, pipeline
+// rings) is not captured: Restore resets it exactly like a fresh machine,
+// and the attached tracer/injector are left untouched.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		cfg:   m.cfg,
+		gpr:   m.gpr,
+		pc:    m.pc,
+		rng:   m.rng,
+		prog:  m.prog,
+		vspad: m.vspad.Image(),
+		mspad: m.mspad.Image(),
+		main:  m.main.Image(),
+	}
+	m.vspad.BeginDirtyTracking()
+	m.mspad.BeginDirtyTracking()
+	m.main.BeginDirtyTracking()
+	m.lastSnap = s
+	return s
+}
+
+// Restore reinstates a snapshot by copying into the machine's existing
+// buffers: registers, PC and PRNG come back exactly, statistics and
+// pipeline state reset as in a fresh machine, and the snapshot's program
+// is (re)loaded. When the machine's last Snapshot/Restore used the same
+// snapshot, only memory dirtied since is copied back; otherwise — a
+// brand-new or pool-recycled machine meeting this snapshot for the first
+// time — the full images are copied and dirty tracking starts. Either
+// way the machine afterwards produces bit-identical runs to a freshly
+// constructed machine that replayed the same initialization.
+//
+// The machine's own watchdog budget (Config.MaxCycles) is preserved; any
+// other configuration difference is an error.
+func (m *Machine) Restore(s *Snapshot) error {
+	if !archEqual(m.cfg, s.cfg) {
+		return fmt.Errorf("sim: restore: machine config %+v does not match snapshot config %+v", m.cfg, s.cfg)
+	}
+	if m.lastSnap != s {
+		// The machine's dirty state is relative to some other image (or
+		// none): invalidate tracking so the restores below copy in full.
+		m.vspad.DropDirtyTracking()
+		m.mspad.DropDirtyTracking()
+		m.main.DropDirtyTracking()
+		m.lastSnap = s
+	}
+	if _, err := m.vspad.RestoreFrom(s.vspad); err != nil {
+		return err
+	}
+	if _, err := m.mspad.RestoreFrom(s.mspad); err != nil {
+		return err
+	}
+	if _, err := m.main.RestoreFrom(s.main); err != nil {
+		return err
+	}
+	m.gpr = s.gpr
+	m.pc = s.pc
+	m.rng = s.rng
+	m.prog = s.prog
+	m.stats = Stats{}
+	m.pipe.init(&m.cfg, &m.stats)
+	return nil
+}
+
+// SetMaxCycles adjusts the watchdog budget between runs (negative values
+// disable it, like Config.MaxCycles = 0). Pooled machines use this to
+// carry per-run budgets across Restores without breaking the snapshot's
+// configuration match.
+func (m *Machine) SetMaxCycles(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	m.cfg.MaxCycles = v
+}

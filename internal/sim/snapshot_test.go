@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cambricon/internal/fixed"
+)
+
+// snapKernel exercises every state a snapshot must capture: the RV stream
+// (PRNG), scalar registers, both a vector-scratchpad round trip and a
+// main-memory store (dirty pages), and a loop (PC/branching).
+const snapKernel = `
+	SMOVE  $1, #32          // element count
+	SMOVE  $2, #0           // vspad region A
+	SMOVE  $3, #4096        // vspad region B
+	SMOVE  $8, #4           // loop counter
+l:	RV     $2, $1           // fresh random vector each iteration
+	VLOAD  $3, $1, #1000    // input from main
+	VAV    $3, $1, $2, $3   // input + random
+	VSTORE $3, $1, #2000    // result back to main
+	SADD   $10, $10, #7
+	SADD   $8, $8, #-1
+	CB     #l, $8
+`
+
+// snapInit writes the kernel's input region.
+func snapInit(t *testing.T, m *Machine) {
+	t.Helper()
+	in := make([]float64, 32)
+	for i := range in {
+		in[i] = float64(i%7) * 0.25
+	}
+	if err := m.WriteMainNums(1000, fixed.FromFloats(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapRun runs the loaded kernel and returns its stats plus the result
+// region and a scalar register.
+func snapRun(t *testing.T, m *Machine) (Stats, []fixed.Num, uint32) {
+	t.Helper()
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadMainNums(2000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, out, m.GPR(10)
+}
+
+func snapConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 0x1234
+	return cfg
+}
+
+// TestRestoreMatchesFresh pins the warm-start contract: a machine
+// restored from a post-init snapshot produces bit-identical statistics,
+// outputs and registers to a freshly constructed machine that replayed
+// the same initialization — across repeated restores.
+func TestRestoreMatchesFresh(t *testing.T) {
+	prog := mustAssemble(t, snapKernel)
+
+	fresh := mustNew(t, snapConfig())
+	snapInit(t, fresh)
+	fresh.LoadProgram(prog.Instructions)
+	wantSt, wantOut, wantGPR := snapRun(t, fresh)
+
+	m := mustNew(t, snapConfig())
+	snapInit(t, m)
+	m.LoadProgram(prog.Instructions)
+	snap := m.Snapshot()
+	for i := 0; i < 3; i++ {
+		st, out, gpr := snapRun(t, m)
+		if !reflect.DeepEqual(st, wantSt) {
+			t.Fatalf("restore %d: stats = %+v, want %+v", i, st, wantSt)
+		}
+		if !reflect.DeepEqual(out, wantOut) {
+			t.Fatalf("restore %d: outputs differ from fresh run", i)
+		}
+		if gpr != wantGPR {
+			t.Fatalf("restore %d: $10 = %d, want %d", i, gpr, wantGPR)
+		}
+		if err := m.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreOntoForeignMachine pins the pool-recycling path: a machine
+// that never held the snapshot's image (its dirty state is relative to
+// nothing) restores via a full copy and still matches a fresh machine.
+func TestRestoreOntoForeignMachine(t *testing.T) {
+	prog := mustAssemble(t, snapKernel)
+
+	donor := mustNew(t, snapConfig())
+	snapInit(t, donor)
+	donor.LoadProgram(prog.Instructions)
+	snap := donor.Snapshot()
+	wantSt, wantOut, wantGPR := snapRun(t, donor)
+
+	// The foreign machine has run arbitrary other work first.
+	foreign := mustNew(t, snapConfig())
+	if err := foreign.WriteMainNums(1000, fixed.FromFloats(make([]float64, 32))); err != nil {
+		t.Fatal(err)
+	}
+	foreign.LoadProgram(mustAssemble(t, "\tSMOVE $1, #8\n\tSMOVE $2, #0\n\tRV $2, $1\n").Instructions)
+	if _, err := foreign.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := foreign.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	st, out, gpr := snapRun(t, foreign)
+	if !reflect.DeepEqual(st, wantSt) {
+		t.Fatalf("foreign restore: stats = %+v, want %+v", st, wantSt)
+	}
+	if !reflect.DeepEqual(out, wantOut) || gpr != wantGPR {
+		t.Fatal("foreign restore: outputs differ from fresh run")
+	}
+}
+
+// TestRestoreConfigMismatch pins the safety check: restoring across
+// architecturally different configurations fails, while a differing
+// watchdog budget (MaxCycles) is explicitly allowed.
+func TestRestoreConfigMismatch(t *testing.T) {
+	m := mustNew(t, snapConfig())
+	snap := m.Snapshot()
+
+	other := snapConfig()
+	other.IssueWidth = 1
+	mm := mustNew(t, other)
+	if err := mm.Restore(snap); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("cross-config restore: err = %v", err)
+	}
+
+	budget := snapConfig()
+	budget.MaxCycles = 12345
+	mb := mustNew(t, budget)
+	if err := mb.Restore(snap); err != nil {
+		t.Fatalf("MaxCycles-only difference should restore: %v", err)
+	}
+	if got := mb.Config().MaxCycles; got != 12345 {
+		t.Fatalf("restore clobbered MaxCycles: %d", got)
+	}
+}
+
+// TestSetMaxCycles pins the budget setter used by pooled machines.
+func TestSetMaxCycles(t *testing.T) {
+	m := mustNew(t, snapConfig())
+	m.SetMaxCycles(99)
+	if got := m.Config().MaxCycles; got != 99 {
+		t.Fatalf("MaxCycles = %d, want 99", got)
+	}
+	m.SetMaxCycles(-1)
+	if got := m.Config().MaxCycles; got != 0 {
+		t.Fatalf("negative budget should disable the watchdog, got %d", got)
+	}
+}
+
+// TestSnapshotBytes sanity-checks the captured image accounting.
+func TestSnapshotBytes(t *testing.T) {
+	cfg := snapConfig()
+	m := mustNew(t, cfg)
+	snap := m.Snapshot()
+	want := cfg.VectorSpadBytes + cfg.MatrixSpadBytes + cfg.MainMemBytes
+	if snap.Bytes() != want {
+		t.Fatalf("Snapshot.Bytes() = %d, want %d", snap.Bytes(), want)
+	}
+	if !archEqual(snap.Config(), cfg) {
+		t.Fatal("snapshot config does not match capture config")
+	}
+}
