@@ -2,14 +2,17 @@
 # the gate every PR must pass: formatting, vet, build, the full test suite
 # under the race detector (covering the parallel benchmark harness), a
 # short run of the hot-kernel microbenchmarks (docs/PERF.md), a traced
-# smoke run of the observability layer (docs/OBSERVABILITY.md), and a
-# fault-campaign smoke run of the robustness layer (docs/ROBUSTNESS.md).
+# smoke run of the observability layer (docs/OBSERVABILITY.md), a
+# fault-campaign smoke run of the robustness layer (docs/ROBUSTNESS.md),
+# an end-to-end camserve smoke run (start the daemon, drive one /run,
+# scrape /metrics), and the host-benchmark regression gate against
+# BENCH_host.json.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host fault-json
+.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve check-host fault-json
 
-ci: fmt vet build race bench smoke smoke-fault smoke-host
+ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve check-host
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -56,6 +59,33 @@ smoke-fault:
 # without taking the minutes a real measurement needs.
 smoke-host:
 	$(GO) test -run '^$$' -bench 'CampaignThroughput|WarmRestart' -benchtime 1x ./internal/bench
+
+# Service smoke run: start camserve, wait for readiness, drive one
+# simulation through POST /run, and assert the run shows up in the
+# Prometheus scrape — the observability daemon proven end to end.
+smoke-serve:
+	@$(GO) build -o /tmp/cambricon-smoke-camserve ./cmd/camserve
+	@/tmp/cambricon-smoke-camserve -addr 127.0.0.1:18931 >/dev/null 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18931/readyz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://127.0.0.1:18931/healthz >/dev/null || { echo "smoke-serve: healthz failed"; exit 1; }; \
+	curl -fsS -X POST -d '{"benchmark":"MLP"}' http://127.0.0.1:18931/run > /tmp/cambricon-smoke-run.json || { echo "smoke-serve: /run failed"; exit 1; }; \
+	grep -q '"status": "ok"' /tmp/cambricon-smoke-run.json || { echo "smoke-serve: /run failed"; cat /tmp/cambricon-smoke-run.json; exit 1; }; \
+	curl -fsS http://127.0.0.1:18931/metrics > /tmp/cambricon-smoke-metrics.txt || { echo "smoke-serve: /metrics failed"; exit 1; }; \
+	grep -q '^cambricon_bench_runs_completed_total 1$$' /tmp/cambricon-smoke-metrics.txt || { echo "smoke-serve: run not visible in /metrics"; exit 1; }; \
+	rm -f /tmp/cambricon-smoke-run.json /tmp/cambricon-smoke-metrics.txt; \
+	echo "smoke-serve: ok"
+	@rm -f /tmp/cambricon-smoke-camserve
+
+# Host-benchmark regression gate: re-measure the warm-start layer and
+# fail if the host-portable signals (cold/warm ratios, warm-row
+# allocation counts) regressed against the committed BENCH_host.json.
+check-host:
+	$(GO) run ./cmd/camrepro -check-host BENCH_host.json -check-runs 3
 
 # Regenerate the machine-readable perf record tracked in BENCH_sim.json.
 bench-json:

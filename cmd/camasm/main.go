@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"cambricon"
 	"cambricon/internal/asm"
 	"cambricon/internal/core"
 )
@@ -21,11 +22,16 @@ import (
 func main() {
 	out := flag.String("o", "", "output binary path (default: stdout listing only)")
 	list := flag.Bool("list", false, "print a numbered listing with encodings")
+	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: camasm [-o out.bin] [-list] prog.cam\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Printf("camasm %s (cambricon-bench-sim)\n", cambricon.Version)
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

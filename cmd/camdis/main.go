@@ -11,15 +11,22 @@ import (
 	"fmt"
 	"os"
 
+	"cambricon"
 	"cambricon/internal/asm"
 	"cambricon/internal/core"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: camdis prog.bin\n")
+		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Printf("camdis %s (cambricon-bench-sim)\n", cambricon.Version)
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -11,6 +11,7 @@
 //	camrepro -j 8              # benchmark simulation worker count (0 = all cores)
 //	camrepro -bench-json BENCH_sim.json  # emit the machine-readable perf record
 //	camrepro -host-json BENCH_host.json  # warm-vs-cold host throughput record
+//	camrepro -check-host BENCH_host.json # re-measure and gate against the committed record
 //	camrepro -warm=false       # disable machine pooling / snapshot warm-starts
 //	camrepro -profile-json PROFILES.json # per-benchmark stall-attribution profiles
 //	camrepro -fault-json FAULTS.json     # fault-injection campaign record
@@ -55,6 +56,9 @@ func main() {
 	faultBench := flag.String("fault-bench", "", "restrict the fault campaign to one benchmark (empty = all)")
 	hostJSON := flag.String("host-json", "", "run the host-throughput benchmarks and write the record to this file (e.g. BENCH_host.json, - for stdout)")
 	hostRuns := flag.Int("host-runs", 10, "timed iterations per host-benchmark row")
+	checkHost := flag.String("check-host", "", "re-run the host benchmarks and exit nonzero if they regressed against this baseline record")
+	checkRuns := flag.Int("check-runs", 5, "timed iterations per row for -check-host (fewer than -host-runs: the gate compares ratios, not raw times)")
+	checkTol := flag.Float64("check-tol", bench.DefaultHostTolerance, "fractional tolerance for -check-host (ratios may drop, and warm allocations grow, by this much)")
 	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs (false = build a machine per run)")
 	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
 	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
@@ -92,6 +96,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "camrepro:", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *checkHost != "" {
+		regressions, err := runHostCheck(*checkHost, *seed, *checkRuns, *checkTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camrepro:", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "camrepro: host benchmarks regressed against %s:\n", *checkHost)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  -", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("host benchmarks within tolerance of %s\n", *checkHost)
 		return
 	}
 
@@ -199,6 +220,31 @@ func emitHostJSON(seed uint64, runs int, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runHostCheck is the perf-regression gate (`make check-host`): it
+// re-measures the host benchmarks with the baseline's seed and compares
+// the host-portable signals (cold/warm ratios, warm-row allocation
+// counts) against the committed record within the given tolerance.
+func runHostCheck(path string, seed uint64, runs int, tol float64) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var baseline bench.HostReport
+	if err := json.NewDecoder(f).Decode(&baseline); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if baseline.Seed != 0 {
+		// Measure what the baseline measured, whatever -seed says.
+		seed = baseline.Seed
+	}
+	fresh, err := bench.RunHostBenchmarks(seed, runs, 32)
+	if err != nil {
+		return nil, err
+	}
+	return bench.CheckHost(&baseline, fresh, tol), nil
 }
 
 // emitProfileJSON re-runs every Table III benchmark with a

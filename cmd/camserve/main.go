@@ -1,0 +1,353 @@
+// Command camserve exposes the benchmark suite as a long-running
+// simulation service (docs/OBSERVABILITY.md, "Service metrics"): every
+// POST /run is one real simulation on a pooled, snapshot-restored
+// machine, the aggregate behaviour streams out of GET /metrics in
+// Prometheus text format, and GET /runs is the in-memory ledger of
+// recent runs.
+//
+// Usage:
+//
+//	camserve                    # listen on :8080
+//	camserve -addr :9090        # another port
+//	camserve -max-inflight 8    # concurrent /run bound (excess -> 503)
+//	camserve -ledger 256        # runs retained by GET /runs
+//	camserve -seed 7            # benchmark generation seed
+//	camserve -warm=false        # disable machine pooling / warm-starts
+//
+// Endpoints:
+//
+//	GET  /metrics   Prometheus text exposition (version 0.0.4)
+//	GET  /healthz   liveness (200 once the listener is up)
+//	GET  /readyz    readiness (200 once programs are generated)
+//	POST /run       {"benchmark":"MLP"} -> one simulation, JSON result
+//	GET  /runs      recent runs, newest first
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight runs
+// finish, new connections are refused.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cambricon"
+	"cambricon/internal/bench"
+	"cambricon/internal/metrics"
+)
+
+// Metric names owned by the HTTP layer (the suite's own instruments are
+// the cambricon_bench_*/cambricon_pool_*/cambricon_snapshot_* families,
+// see internal/bench).
+const (
+	metricRequests  = "cambricon_serve_requests_total"
+	metricRejected  = "cambricon_serve_busy_rejections_total"
+	metricInFlight  = "cambricon_serve_runs_in_flight"
+	metricRunsTotal = "cambricon_serve_ledger_runs_total"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 7, "benchmark generation seed")
+	maxInflight := flag.Int("max-inflight", 8, "concurrent POST /run bound; excess requests get 503")
+	ledgerSize := flag.Int("ledger", 256, "runs retained by GET /runs")
+	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs")
+	version := flag.Bool("version", false, "print the simulator version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Printf("camserve %s (cambricon-bench-sim)\n", cambricon.Version)
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "camserve: unexpected arguments %q (all inputs are flags)\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := newServer(*seed, *warm, *maxInflight, *ledgerSize, logger)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go srv.warmup()
+	logger.Info("camserve listening", "addr", *addr, "version", cambricon.Version)
+
+	select {
+	case err := <-errCh:
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "grace", "30s")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+}
+
+// server wires the benchmark suite, its metrics registry and the run
+// ledger behind the HTTP handlers.
+type server struct {
+	suite  *bench.Suite
+	reg    *metrics.Registry
+	logger *slog.Logger
+
+	// sem bounds concurrent /run simulations; a full channel is the 503
+	// signal, never a queue — the client owns its retry policy.
+	sem      chan struct{}
+	inFlight *metrics.Gauge
+	rejected *metrics.Counter
+
+	ledger *runLedger
+	ready  atomic.Bool
+}
+
+func newServer(seed uint64, warm bool, maxInflight, ledgerSize int, logger *slog.Logger) *server {
+	if maxInflight <= 0 {
+		maxInflight = 1
+	}
+	if ledgerSize <= 0 {
+		ledgerSize = 1
+	}
+	reg := metrics.New()
+	suite := bench.NewSuite(seed)
+	suite.Warm = warm
+	suite.Metrics = reg
+	return &server{
+		suite:    suite,
+		reg:      reg,
+		logger:   logger,
+		sem:      make(chan struct{}, maxInflight),
+		inFlight: reg.Gauge(metricInFlight, "POST /run simulations currently executing"),
+		rejected: reg.Counter(metricRejected, "POST /run requests rejected because max-inflight was reached"),
+		ledger:   newRunLedger(ledgerSize),
+	}
+}
+
+// warmup pays the one-time program-generation cost off the request path
+// and then flips readiness. A generation failure is fatal to readiness
+// but not liveness — /healthz keeps answering so the failure is
+// observable where the probes look.
+func (s *server) warmup() {
+	if _, err := s.suite.Programs(); err != nil {
+		s.logger.Error("program generation failed; staying unready", "err", err)
+		return
+	}
+	s.ready.Store(true)
+	s.logger.Info("ready", "benchmarks", "generated")
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	return s.logRequests(mux)
+}
+
+// logRequests is the slog access-log middleware; it also feeds the
+// per-path request counter.
+func (s *server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		path := r.URL.Path
+		s.reg.Counter(metricRequests, "HTTP requests served, by path and status",
+			metrics.L("path", path), metrics.L("code", fmt.Sprint(rec.status))).Inc()
+		s.logger.Info("request",
+			"method", r.Method, "path", path, "status", rec.status,
+			"dur", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.logger.Error("metrics write", "err", err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		http.Error(w, "generating benchmark programs", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// runRequest is the POST /run body.
+type runRequest struct {
+	Benchmark string `json:"benchmark"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Benchmark == "" {
+		writeJSONError(w, http.StatusBadRequest, `missing "benchmark"`)
+		return
+	}
+	if _, err := s.suite.Program(req.Benchmark); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("at capacity (%d runs in flight)", cap(s.sem)))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	rec := s.ledger.begin(req.Benchmark)
+	start := time.Now()
+	st, err := s.suite.RunOnce(r.Context(), req.Benchmark)
+	rec.WallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		rec.Status = "error"
+		rec.Error = err.Error()
+		s.ledger.finish(rec)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client went away mid-run; 499-style, but stay standard.
+			status = http.StatusServiceUnavailable
+		}
+		writeJSONError(w, status, err.Error())
+		return
+	}
+	rec.Status = "ok"
+	rec.Cycles = st.Cycles
+	rec.Instructions = st.Instructions
+	s.ledger.finish(rec)
+	s.reg.Counter(metricRunsTotal, "runs recorded in the ledger, by status",
+		metrics.L("status", rec.Status)).Inc()
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Runs []runRecord `json:"runs"`
+	}{Runs: s.ledger.list()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	// The suite's errors already carry a "bench: " prefix; strip it so
+	// clients see the fact, not the package.
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: strings.TrimPrefix(msg, "bench: ")})
+}
+
+// runRecord is one ledger row (and the POST /run success body).
+type runRecord struct {
+	ID           int64   `json:"id"`
+	Benchmark    string  `json:"benchmark"`
+	Start        string  `json:"start"`
+	Status       string  `json:"status"`
+	Cycles       int64   `json:"cycles,omitempty"`
+	Instructions int64   `json:"instructions,omitempty"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// runLedger is a fixed-size ring of completed runs, newest first on
+// read. Records enter only on finish, so a reader never sees a
+// half-filled row.
+type runLedger struct {
+	mu     sync.Mutex
+	nextID int64
+	ring   []runRecord
+	n      int // rows filled, up to len(ring)
+	head   int // next write position
+}
+
+func newRunLedger(size int) *runLedger {
+	return &runLedger{ring: make([]runRecord, size)}
+}
+
+// begin stamps identity and start time; the caller fills the outcome and
+// hands the record to finish.
+func (l *runLedger) begin(benchmark string) runRecord {
+	l.mu.Lock()
+	l.nextID++
+	id := l.nextID
+	l.mu.Unlock()
+	return runRecord{
+		ID:        id,
+		Benchmark: benchmark,
+		Start:     time.Now().UTC().Format(time.RFC3339Nano),
+	}
+}
+
+func (l *runLedger) finish(rec runRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring[l.head] = rec
+	l.head = (l.head + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+}
+
+// list returns the retained runs, newest first.
+func (l *runLedger) list() []runRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]runRecord, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.ring[(l.head-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testServer builds a server over a discarding logger and runs warmup
+// synchronously so /readyz is deterministic in tests.
+func testServer(t *testing.T, maxInflight, ledgerSize int) (*server, *httptest.Server) {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := newServer(7, true, maxInflight, ledgerSize, logger)
+	s.warmup()
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, benchmark string) (*http.Response, runRecord) {
+	t.Helper()
+	body, _ := json.Marshal(runRequest{Benchmark: benchmark})
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rec runRecord
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, rec
+}
+
+// metricValue digs one un-labelled sample out of a Prometheus text page.
+func metricValue(t *testing.T, page, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in page:\n%s", name, page)
+	return 0
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content-type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := newServer(7, true, 2, 8, logger)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+	// Not ready until warmup has generated the programs.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before warmup = %d, want 503", resp.StatusCode)
+	}
+	s.warmup()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after warmup = %d", resp.StatusCode)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := testServer(t, 2, 8)
+	resp, rec := postRun(t, ts, "MLP")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run = %d", resp.StatusCode)
+	}
+	if rec.Status != "ok" || rec.Benchmark != "MLP" || rec.Cycles <= 0 || rec.ID != 1 {
+		t.Fatalf("run record %+v", rec)
+	}
+	// Unknown benchmark and malformed body are client errors.
+	resp, _ = postRun(t, ts, "no-such-benchmark")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown benchmark = %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	// Wrong method on a registered path.
+	resp, err = http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run = %d, want 405", resp.StatusCode)
+	}
+	// The run shows up in metrics and ledger.
+	page := scrape(t, ts)
+	if got := metricValue(t, page, "cambricon_bench_runs_completed_total"); got != 1 {
+		t.Fatalf("runs completed = %v, want 1", got)
+	}
+}
+
+func TestRunSaturationReturns503(t *testing.T) {
+	s, ts := testServer(t, 1, 8)
+	// Occupy the single slot; the next request must bounce, not queue.
+	s.sem <- struct{}{}
+	resp, _ := postRun(t, ts, "MLP")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated POST /run = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+	<-s.sem
+	resp, _ = postRun(t, ts, "MLP")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run after slot freed = %d", resp.StatusCode)
+	}
+	page := scrape(t, ts)
+	if got := metricValue(t, page, metricRejected); got != 1 {
+		t.Fatalf("%s = %v, want 1", metricRejected, got)
+	}
+}
+
+// TestConcurrentRunsConsistentMetrics drives the acceptance criterion:
+// 8 concurrent POST /run all succeed (the semaphore has 8 slots), every
+// run reports the same deterministic cycle count, and /metrics agrees
+// with the ledger afterwards.
+func TestConcurrentRunsConsistentMetrics(t *testing.T) {
+	const n = 8
+	_, ts := testServer(t, n, 2*n)
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	cycles := make([]int64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(runRequest{Benchmark: "MLP"})
+			resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			var rec runRecord
+			if json.NewDecoder(resp.Body).Decode(&rec) == nil {
+				cycles[i] = rec.Cycles
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d = %d, want 200 (semaphore has %d slots)", i, code, n)
+		}
+		if cycles[i] != cycles[0] {
+			t.Fatalf("run %d reported %d cycles, run 0 reported %d — not deterministic",
+				i, cycles[i], cycles[0])
+		}
+	}
+	page := scrape(t, ts)
+	if got := metricValue(t, page, "cambricon_bench_runs_completed_total"); got != n {
+		t.Fatalf("runs completed = %v, want %d", got, n)
+	}
+	if got := metricValue(t, page, "cambricon_bench_runs_started_total"); got != n {
+		t.Fatalf("runs started = %v, want %d", got, n)
+	}
+	if got := metricValue(t, page, metricInFlight); got != 0 {
+		t.Fatalf("in-flight gauge = %v after the burst, want 0", got)
+	}
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ledger struct {
+		Runs []runRecord `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger.Runs) != n {
+		t.Fatalf("ledger holds %d runs, want %d", len(ledger.Runs), n)
+	}
+	for _, r := range ledger.Runs {
+		if r.Status != "ok" || r.Cycles != cycles[0] {
+			t.Fatalf("ledger row %+v disagrees with responses", r)
+		}
+	}
+}
+
+func TestRunsLedgerRingNewestFirst(t *testing.T) {
+	_, ts := testServer(t, 2, 3)
+	for i := 0; i < 5; i++ {
+		if resp, _ := postRun(t, ts, "MLP"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ledger struct {
+		Runs []runRecord `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger.Runs) != 3 {
+		t.Fatalf("ring retained %d rows, want 3", len(ledger.Runs))
+	}
+	for i, wantID := range []int64{5, 4, 3} {
+		if ledger.Runs[i].ID != wantID {
+			t.Fatalf("ledger order %+v, want ids newest-first 5,4,3", ledger.Runs)
+		}
+	}
+}

@@ -56,21 +56,21 @@ func (p *machinePool) entry(cfg sim.Config) *poolEntry {
 	return e
 }
 
-// acquire returns a machine for cfg — recycled when the pool has one,
-// freshly built otherwise — with its watchdog budget set to
-// cfg.MaxCycles. The machine's other state is whatever the previous user
-// left; callers must Restore a snapshot (or load a program onto a
+// acquire returns a machine for cfg — recycled when the pool has one
+// (reused=true), freshly built otherwise — with its watchdog budget set
+// to cfg.MaxCycles. The machine's other state is whatever the previous
+// user left; callers must Restore a snapshot (or load a program onto a
 // pristine machine) before running.
-func (p *machinePool) acquire(cfg sim.Config) (*sim.Machine, error) {
+func (p *machinePool) acquire(cfg sim.Config) (*sim.Machine, bool, error) {
 	e := p.entry(cfg)
 	if m, ok := e.pool.Get().(*sim.Machine); ok && m != nil {
 		p.reuses.Add(1)
 		m.SetMaxCycles(cfg.MaxCycles)
-		return m, nil
+		return m, true, nil
 	}
 	m, err := sim.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p.builds.Add(1)
 	p.mu.Lock()
@@ -80,25 +80,25 @@ func (p *machinePool) acquire(cfg sim.Config) (*sim.Machine, error) {
 		e.pristine = m.Snapshot()
 	}
 	p.mu.Unlock()
-	return m, nil
+	return m, false, nil
 }
 
 // acquirePristine is acquire plus a restore to the configuration's
 // post-construction zero state: registers, PRNG and all memory exactly as
 // sim.New left them.
-func (p *machinePool) acquirePristine(cfg sim.Config) (*sim.Machine, error) {
-	m, err := p.acquire(cfg)
+func (p *machinePool) acquirePristine(cfg sim.Config) (*sim.Machine, bool, error) {
+	m, reused, err := p.acquire(cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e := p.entry(cfg)
 	p.mu.Lock()
 	pristine := e.pristine
 	p.mu.Unlock()
 	if err := m.Restore(pristine); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return m, nil
+	return m, reused, nil
 }
 
 // release detaches the machine's observers and returns it to the pool.
@@ -106,6 +106,7 @@ func (p *machinePool) release(m *sim.Machine) {
 	m.SetTracer(nil)
 	m.SetInjector(nil)
 	m.SetTrace(nil)
+	m.SetMetrics(nil)
 	key := poolKey(m.Config())
 	p.mu.Lock()
 	e := p.entries[key]
@@ -138,17 +139,19 @@ func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Sn
 	}
 	s.prepMu.Unlock()
 	pe.once.Do(func() {
-		m, err := s.pool.acquirePristine(poolKey(cfg))
+		m, reused, err := s.pool.acquirePristine(poolKey(cfg))
 		if err != nil {
 			pe.err = err
 			return
 		}
+		s.sm().poolAcquired(reused)
 		if err := prog.Init(m); err != nil {
 			pe.err = err
 			return
 		}
 		m.LoadProgram(prog.Asm.Instructions)
 		pe.snap = m.Snapshot()
+		s.sm().snapshotPrepared(pe.snap)
 		s.pool.release(m)
 	})
 	return pe.snap, pe.err
@@ -162,6 +165,7 @@ func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Sn
 // Both produce bit-identical run statistics. (The pooled flag, rather
 // than a release closure, keeps the per-run hot path allocation-free.)
 func (s *Suite) preparedMachine(prog *codegen.Program, cfg sim.Config) (m *sim.Machine, pooled bool, err error) {
+	sm := s.sm()
 	if !s.Warm {
 		m, err := sim.New(cfg)
 		if err != nil {
@@ -171,21 +175,25 @@ func (s *Suite) preparedMachine(prog *codegen.Program, cfg sim.Config) (m *sim.M
 			return nil, false, err
 		}
 		m.LoadProgram(prog.Asm.Instructions)
+		m.SetMetrics(sm.simMetrics())
 		return m, false, nil
 	}
 	snap, err := s.preparedSnapshot(prog, cfg)
 	if err != nil {
 		return nil, false, err
 	}
-	m, err = s.pool.acquire(cfg)
+	m, reused, err := s.pool.acquire(cfg)
 	if err != nil {
 		return nil, false, err
 	}
+	sm.poolAcquired(reused)
 	if err := m.Restore(snap); err != nil {
 		// A restore mismatch means the machine does not belong to this
 		// snapshot's configuration; drop it rather than re-pooling.
 		return nil, false, err
 	}
+	sm.restored(m.LastRestoreBytes())
+	m.SetMetrics(sm.simMetrics())
 	return m, true, nil
 }
 
@@ -195,17 +203,21 @@ func (s *Suite) preparedMachine(prog *codegen.Program, cfg sim.Config) (m *sim.M
 // (pooled=true, release via releaseMachine); cold suites build fresh
 // ones.
 func (s *Suite) kernelMachine(cfg sim.Config) (*sim.Machine, bool, error) {
+	sm := s.sm()
 	if !s.Warm {
 		m, err := sim.New(cfg)
 		if err != nil {
 			return nil, false, err
 		}
+		m.SetMetrics(sm.simMetrics())
 		return m, false, nil
 	}
-	m, err := s.pool.acquirePristine(cfg)
+	m, reused, err := s.pool.acquirePristine(cfg)
 	if err != nil {
 		return nil, false, err
 	}
+	sm.poolAcquired(reused)
+	m.SetMetrics(sm.simMetrics())
 	return m, true, nil
 }
 

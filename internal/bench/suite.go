@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cambricon/internal/baseline/dadiannao"
 	"cambricon/internal/codegen"
+	"cambricon/internal/metrics"
 	"cambricon/internal/sim"
 	"cambricon/internal/trace"
 	"cambricon/internal/workload"
@@ -32,10 +34,21 @@ type Suite struct {
 	// time. Simulated statistics are bit-identical either way; set false
 	// (or pass -warm=off to the CLIs) to force the historical cold path.
 	Warm bool
+	// Metrics, when non-nil, receives service-level instrumentation
+	// (docs/OBSERVABILITY.md, "Service metrics"): run and cache counters,
+	// per-benchmark cycle/wall-time histograms, pool and snapshot-restore
+	// activity, and watchdog/cancellation events from the machines the
+	// suite prepares. nil (the default) disables metering entirely; the
+	// instrumented paths then stay allocation-free and produce
+	// bit-identical simulated statistics. Set before the first run.
+	Metrics *metrics.Registry
 
 	progsOnce sync.Once
 	progs     []*codegen.Program
 	progsErr  error
+
+	metOnce sync.Once
+	met     *suiteMetrics
 
 	mu    sync.Mutex
 	stats map[string]*statsEntry
@@ -57,6 +70,17 @@ type statsEntry struct {
 // NewSuite builds a suite over the Table II machine, with warm-starts on.
 func NewSuite(seed uint64) *Suite {
 	return &Suite{Seed: seed, Config: sim.DefaultConfig(), Warm: true, stats: map[string]*statsEntry{}}
+}
+
+// sm resolves the suite's metric bundle once (nil when no registry is
+// attached; every suiteMetrics method is a nil-receiver no-op).
+func (s *Suite) sm() *suiteMetrics {
+	s.metOnce.Do(func() {
+		if s.Metrics != nil {
+			s.met = newSuiteMetrics(s.Metrics)
+		}
+	})
+	return s.met
 }
 
 // Programs generates (once) the ten Table III benchmark programs.
@@ -103,6 +127,11 @@ func (s *Suite) StatsCtx(ctx context.Context, name string) (sim.Stats, error) {
 		s.stats[name] = entry
 	}
 	s.mu.Unlock()
+	if ok {
+		// Served from (or blocked on) an existing singleflight entry: the
+		// caller did not pay for a simulation of its own.
+		s.sm().cacheHit()
+	}
 	entry.once.Do(func() {
 		entry.st, entry.err = s.runBenchmark(ctx, name)
 	})
@@ -121,10 +150,14 @@ func (s *Suite) StatsCtx(ctx context.Context, name string) (sim.Stats, error) {
 // in generation or simulation is recovered into the returned error so one
 // poisoned benchmark cannot take down a whole campaign.
 func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, err error) {
+	sm := s.sm()
+	sm.runStarted()
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("bench: %s: panic: %v", name, r)
 		}
+		sm.runDone(name, st, time.Since(start), err)
 	}()
 	p, err := s.Program(name)
 	if err != nil {
@@ -138,6 +171,14 @@ func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, er
 	}
 	defer s.releaseMachine(m, pooled)
 	return p.ExecutePreparedContext(ctx, m)
+}
+
+// RunOnce executes one benchmark simulation unconditionally — no
+// singleflight cache — over the warm-start layer: the service path
+// (cmd/camserve), where every request is a real run on a pooled machine
+// and the aggregate behaviour is what the metrics registry observes.
+func (s *Suite) RunOnce(ctx context.Context, name string) (sim.Stats, error) {
+	return s.runBenchmark(ctx, name)
 }
 
 // Profile re-runs one benchmark with a stall-attribution profile

@@ -3,9 +3,12 @@ package fault
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"cambricon/internal/metrics"
 )
 
 // Outcome classifies one faulted run against its golden twin.
@@ -125,12 +128,28 @@ type Campaign struct {
 	Seed uint64
 	// Sites is the number of fault sites swept per benchmark.
 	Sites int
-	// Workers bounds concurrent faulted runs (<= 0 means GOMAXPROCS).
+	// Workers bounds concurrent faulted runs within one target (<= 0
+	// means GOMAXPROCS).
 	Workers int
+	// TargetWorkers bounds concurrently swept targets — the outer pool
+	// on top of the per-site Workers pool, cheap now that each run draws
+	// a pooled warm machine (<= 0 means GOMAXPROCS, capped at the target
+	// count). The report bytes are independent of both worker counts.
+	TargetWorkers int
 	// WatchdogFactor scales each benchmark's golden cycle count into the
 	// faulted runs' cycle budget (<= 0 means the default of 8x).
 	WatchdogFactor int64
+	// Metrics, when non-nil, receives campaign-level service metrics:
+	// per-classification outcome counters and a swept-target counter.
+	// nil (the default) is free, per the metrics package's nil contract.
+	Metrics *metrics.Registry
 }
+
+// Metric names exported by an instrumented Campaign.
+const (
+	MetricFaultRuns    = "cambricon_fault_runs_total"
+	MetricFaultTargets = "cambricon_fault_targets_total"
+)
 
 // DefaultWatchdogFactor is the golden-cycles multiplier used when
 // Campaign.WatchdogFactor is unset: generous enough for any fault that
@@ -138,9 +157,13 @@ type Campaign struct {
 const DefaultWatchdogFactor = 8
 
 // Run executes the campaign: per target, one golden run, then Sites
-// faulted runs classified against it. The context cancels the sweep
-// between runs; a canceled campaign returns the error with a partial
-// (but internally consistent) report discarded.
+// faulted runs classified against it. Targets fan out across a
+// TargetWorkers outer pool, and the faulted runs of each target across
+// a Workers inner pool; the assembled report is byte-identical for
+// every combination of worker counts (per-target reports are assembled
+// in target order, and each target's runs in site order). The context
+// cancels the sweep between runs; a canceled campaign returns the error
+// with a partial (but internally consistent) report discarded.
 func (c *Campaign) Run(ctx context.Context, targets []Target) (*Report, error) {
 	factor := c.WatchdogFactor
 	if factor <= 0 {
@@ -150,93 +173,182 @@ func (c *Campaign) Run(ctx context.Context, targets []Target) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	outer := c.TargetWorkers
+	if outer <= 0 {
+		outer = runtime.GOMAXPROCS(0)
+	}
+	if outer > len(targets) {
+		outer = len(targets)
+	}
 	rep := &Report{
 		Schema:         Schema,
 		Seed:           c.Seed,
 		SitesPerBench:  c.Sites,
 		WatchdogFactor: factor,
 	}
-	for _, t := range targets {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		golden := t.Run(nil, 0)
-		switch {
-		case golden.Crashed && golden.Err != nil:
-			return nil, fmt.Errorf("fault: golden run of %s crashed: %w", t.Name(), golden.Err)
-		case golden.Crashed:
-			// A recovered panic with no error attached: don't wrap nil.
-			return nil, fmt.Errorf("fault: golden run of %s crashed (panic recovered without detail)", t.Name())
-		case golden.Err != nil:
-			return nil, fmt.Errorf("fault: golden run of %s failed: %w", t.Name(), golden.Err)
-		}
-		sites := Sites(BenchSeed(c.Seed, t.Name()), c.Sites, golden.Geometry)
-		budget := golden.Cycles*factor + 1024
 
-		br := &BenchmarkReport{
-			Name:               t.Name(),
-			GoldenCycles:       golden.Cycles,
-			GoldenInstructions: golden.Instructions,
-			Runs:               make([]RunRecord, len(sites)),
-		}
+	// A failing target cancels the whole sweep; the parent context's own
+	// cancellation is distinguished afterwards.
+	sweepCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
-		bt, buffered := t.(BufferedTarget)
-
-		var wg sync.WaitGroup
-		jobs := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				// Each worker owns one injector and one output buffer:
-				// Classify is done with obs.Output before the next RunBuf
-				// reuses it, and the target never retains the injector
-				// past its run.
-				inj := New(Fault{})
-				var buf []byte
-				for i := range jobs {
-					inj.Retarget(sites[i])
-					var obs Observation
-					if buffered {
-						obs = bt.RunBuf(inj, budget, buf)
-						if cap(obs.Output) > cap(buf) {
-							buf = obs.Output
-						}
-					} else {
-						obs = t.Run(inj, budget)
-					}
-					rec := RunRecord{
-						Fault:   sites[i],
-						Outcome: Classify(golden, obs),
-						Cycles:  obs.Cycles,
-					}
-					if obs.Err != nil {
-						rec.Detail = obs.Err.Error()
-					}
-					br.Runs[i] = rec
+	reports := make([]*BenchmarkReport, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < outer; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i], errs[i] = c.runTarget(sweepCtx, targets[i], factor, workers)
+				if errs[i] != nil {
+					cancel()
 				}
-			}()
-		}
-		var canceled error
-	dispatch:
-		for i := range sites {
-			select {
-			case <-ctx.Done():
-				canceled = ctx.Err()
-				break dispatch
-			case jobs <- i:
 			}
+		}()
+	}
+dispatch:
+	for i := range targets {
+		select {
+		case <-sweepCtx.Done():
+			break dispatch
+		case jobs <- i:
 		}
-		close(jobs)
-		wg.Wait()
-		if canceled != nil {
-			return nil, canceled
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Deterministic error selection: the lowest-index real failure wins;
+	// cancellation artifacts of the internal fan-out cancel (and targets
+	// never dispatched) don't mask it. A parent-context cancellation with
+	// no real failure surfaces as ctx.Err, like the serial sweep did.
+	for i := range targets {
+		if errs[i] != nil && !errors.Is(errs[i], context.Canceled) && !errors.Is(errs[i], context.DeadlineExceeded) {
+			return nil, errs[i]
 		}
-		for i := range br.Runs {
-			br.Tally.add(br.Runs[i].Outcome)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		if reports[i] == nil {
+			// Unreachable unless a worker died before assigning; treat as
+			// cancellation rather than emit a hole in the report.
+			return nil, context.Canceled
+		}
+	}
+
+	outcomes := c.outcomeCounters()
+	swept := c.Metrics.Counter(MetricFaultTargets, "benchmark targets swept by fault campaigns")
+	for i := range targets {
+		br := reports[i]
 		rep.Benchmarks = append(rep.Benchmarks, br)
 		rep.Total = rep.Total.plus(br.Tally)
+		swept.Inc()
+		for _, r := range br.Runs {
+			outcomes[r.Outcome].Inc()
+		}
 	}
 	return rep, nil
+}
+
+// outcomeCounters resolves the per-classification counters (all nil
+// no-ops when no registry is attached).
+func (c *Campaign) outcomeCounters() [NumOutcomes]*metrics.Counter {
+	var out [NumOutcomes]*metrics.Counter
+	for i := range out {
+		out[i] = c.Metrics.Counter(MetricFaultRuns, "classified faulted runs",
+			metrics.L("outcome", Outcome(i).String()))
+	}
+	return out
+}
+
+// runTarget sweeps one target: golden run, site generation, then the
+// faulted runs across an inner worker pool. The returned report's Runs
+// are in site order and its Tally accumulated in site order, so the
+// bytes are independent of worker scheduling.
+func (c *Campaign) runTarget(ctx context.Context, t Target, factor int64, workers int) (*BenchmarkReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	golden := t.Run(nil, 0)
+	switch {
+	case golden.Crashed && golden.Err != nil:
+		return nil, fmt.Errorf("fault: golden run of %s crashed: %w", t.Name(), golden.Err)
+	case golden.Crashed:
+		// A recovered panic with no error attached: don't wrap nil.
+		return nil, fmt.Errorf("fault: golden run of %s crashed (panic recovered without detail)", t.Name())
+	case golden.Err != nil:
+		return nil, fmt.Errorf("fault: golden run of %s failed: %w", t.Name(), golden.Err)
+	}
+	sites := Sites(BenchSeed(c.Seed, t.Name()), c.Sites, golden.Geometry)
+	budget := golden.Cycles*factor + 1024
+
+	br := &BenchmarkReport{
+		Name:               t.Name(),
+		GoldenCycles:       golden.Cycles,
+		GoldenInstructions: golden.Instructions,
+		Runs:               make([]RunRecord, len(sites)),
+	}
+
+	bt, buffered := t.(BufferedTarget)
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns one injector and one output buffer:
+			// Classify is done with obs.Output before the next RunBuf
+			// reuses it, and the target never retains the injector
+			// past its run.
+			inj := New(Fault{})
+			var buf []byte
+			for i := range jobs {
+				inj.Retarget(sites[i])
+				var obs Observation
+				if buffered {
+					obs = bt.RunBuf(inj, budget, buf)
+					if cap(obs.Output) > cap(buf) {
+						buf = obs.Output
+					}
+				} else {
+					obs = t.Run(inj, budget)
+				}
+				rec := RunRecord{
+					Fault:   sites[i],
+					Outcome: Classify(golden, obs),
+					Cycles:  obs.Cycles,
+				}
+				if obs.Err != nil {
+					rec.Detail = obs.Err.Error()
+				}
+				br.Runs[i] = rec
+			}
+		}()
+	}
+	var canceled error
+dispatch:
+	for i := range sites {
+		select {
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			break dispatch
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if canceled != nil {
+		return nil, canceled
+	}
+	for i := range br.Runs {
+		br.Tally.add(br.Runs[i].Outcome)
+	}
+	return br, nil
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"cambricon/internal/metrics"
 )
 
 // scriptedTarget deterministically maps fault sites to outcomes so the
@@ -126,6 +128,47 @@ func TestCampaignReportByteIdentical(t *testing.T) {
 	}
 	if bytes.Equal(a, buf.Bytes()) {
 		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestCampaignTargetFanOutByteIdentical pins the outer per-target pool:
+// sweeping many targets serially (TargetWorkers=1) and concurrently must
+// produce byte-identical cambricon-fault/v1 reports, and the metrics
+// attached to the fan-out run must agree with the serial tallies.
+func TestCampaignTargetFanOutByteIdentical(t *testing.T) {
+	names := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	run := func(outer int, reg *metrics.Registry) []byte {
+		targets := make([]Target, len(names))
+		for i, n := range names {
+			targets[i] = &scriptedTarget{name: n}
+		}
+		c := &Campaign{Seed: 42, Sites: 12, Workers: 3, TargetWorkers: outer, Metrics: reg}
+		rep, err := c.Run(context.Background(), targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1, nil)
+	reg := metrics.New()
+	fanned := run(4, reg)
+	if !bytes.Equal(serial, fanned) {
+		t.Fatal("target fan-out changed the report bytes")
+	}
+	if got := reg.Counter(MetricFaultTargets, "").Value(); got != uint64(len(names)) {
+		t.Fatalf("%s = %d, want %d", MetricFaultTargets, got, len(names))
+	}
+	var classified uint64
+	for i := 0; i < NumOutcomes; i++ {
+		classified += reg.Counter(MetricFaultRuns, "",
+			metrics.L("outcome", Outcome(i).String())).Value()
+	}
+	if want := uint64(len(names) * 12); classified != want {
+		t.Fatalf("classified runs = %d, want %d", classified, want)
 	}
 }
 

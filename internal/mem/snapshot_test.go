@@ -120,6 +120,82 @@ func TestMainRestoreSizeMismatch(t *testing.T) {
 	}
 }
 
+func TestSparseImageRoundTrip(t *testing.T) {
+	m := newMainMem(t, 4*PageBytes+100) // partial last page
+	if err := m.WriteWord(PageBytes+8, 0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(4*PageBytes+96, []byte{5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	dense := m.Image()
+	img := m.SparseImage()
+	if img.Size() != m.Size() {
+		t.Fatalf("SparseImage.Size() = %d, want %d", img.Size(), m.Size())
+	}
+	if img.Pages() != 2 {
+		t.Fatalf("SparseImage.Pages() = %d, want 2 (pages 1 and 4)", img.Pages())
+	}
+	if want := PageBytes + 100; img.Bytes() != want {
+		t.Fatalf("SparseImage.Bytes() = %d, want %d (one full + the short last page)", img.Bytes(), want)
+	}
+
+	// Untracked restore onto scribbled memory rebuilds everything,
+	// including zero pages the image does not store.
+	for i := 0; i < m.Size(); i += 37 {
+		m.data[i] = 0xAA
+	}
+	m.DropDirtyTracking()
+	written, err := m.RestoreFromSparse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != m.Size() {
+		t.Fatalf("untracked sparse restore wrote %d bytes, want full %d", written, m.Size())
+	}
+	if !bytes.Equal(m.data, dense) {
+		t.Fatal("sparse restore does not reproduce the dense image")
+	}
+	if m.dirty == nil {
+		t.Fatal("untracked sparse restore should begin tracking")
+	}
+
+	// Tracked restore touches only dirty pages: one stored, one absent.
+	if err := m.WriteWord(PageBytes+8, 0xffffffff); err != nil { // stored page
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(2*PageBytes, 0xffffffff); err != nil { // zero page
+		t.Fatal(err)
+	}
+	written, err = m.RestoreFromSparse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 2*PageBytes {
+		t.Fatalf("tracked sparse restore wrote %d bytes, want %d (2 pages)", written, 2*PageBytes)
+	}
+	if !bytes.Equal(m.data, dense) {
+		t.Fatal("tracked sparse restore does not reproduce the dense image")
+	}
+	// Clean restore is free.
+	written, err = m.RestoreFromSparse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 0 {
+		t.Fatalf("clean sparse restore wrote %d bytes, want 0", written)
+	}
+}
+
+func TestSparseRestoreSizeMismatch(t *testing.T) {
+	m := newMainMem(t, PageBytes)
+	other := newMainMem(t, 2*PageBytes)
+	if _, err := m.RestoreFromSparse(other.SparseImage()); err == nil ||
+		!strings.Contains(err.Error(), "restore image") {
+		t.Fatalf("size-mismatch sparse restore: err = %v", err)
+	}
+}
+
 func TestScratchpadDirtyTracking(t *testing.T) {
 	s := newPad(t, "vspad", 1024, 4, 64)
 	if err := s.WriteBytes(0, []byte{1, 2, 3}); err != nil {

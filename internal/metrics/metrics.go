@@ -1,0 +1,295 @@
+// Package metrics is the service-level observability layer: a
+// dependency-free registry of atomic counters, gauges and fixed-bucket
+// histograms with a hand-rolled Prometheus text-format encoder
+// (prometheus.go). Where internal/trace answers "where did the cycles of
+// one run go", this package answers "how is the fleet behaving" —
+// aggregate run counts, pool hit rates, latency distributions across
+// thousands of warm-started simulations.
+//
+// The contract mirrors trace.Tracer's: instrumentation must be free when
+// unused. Every metric method is nil-safe — a nil *Counter, *Gauge or
+// *Histogram is a no-op receiver, and a nil *Registry hands out nil
+// metrics — so instrumented hot paths stay allocation-free and
+// branch-predictable when no registry is attached. All operations are
+// atomic and safe for concurrent use.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Kind discriminates the metric families a Registry holds.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing count. The zero value is ready;
+// a nil receiver is a no-op (the detached/unregistered fast path).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n. Negative deltas are ignored — a
+// counter only goes up.
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready; a
+// nil receiver is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add shifts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: observation counts per
+// upper bound plus a running sum. Buckets are chosen at registration and
+// never change; observing is lock-free. A nil receiver is a no-op.
+type Histogram struct {
+	// bounds are the inclusive upper bounds, ascending; an implicit +Inf
+	// bucket follows. counts[i] holds observations in (bounds[i-1],
+	// bounds[i]]; counts[len(bounds)] is the +Inf overflow.
+	bounds  []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// newHistogram sanitizes the bucket bounds: sorted, deduplicated, with
+// non-finite values dropped (the +Inf bucket is implicit).
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			bs = append(bs, b)
+		}
+	}
+	sort.Float64s(bs)
+	n := 0
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			bs[n] = b
+			n++
+		}
+	}
+	bs = bs[:n]
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n bucket bounds starting at start and growing by
+// factor — the usual shape for latency and size distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// series is one label-set instance inside a family.
+type series struct {
+	// key is the pre-rendered, escaped `{a="b",c="d"}` suffix ("" for the
+	// unlabelled series); encode order sorts on it.
+	key string
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name, help string
+	kind       Kind
+	buckets    []float64
+	series     map[string]*series
+}
+
+// Registry holds metric families and encodes them in Prometheus text
+// format. The zero value is NOT usable — use New — but a nil *Registry
+// is: every lookup on it returns a nil metric, keeping instrumented code
+// unconditional.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// lookup finds or creates the series for (name, kind, labels). A name
+// already registered under a different kind cannot be re-registered:
+// the caller gets a live but detached metric so instrumentation keeps
+// working, and the exposition keeps the first registration only.
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		return nil // caller substitutes a detached metric
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{key: key}
+		switch kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = newHistogram(f.buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name and labels, registering it on
+// first use. A nil registry returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindCounter, nil, labels)
+	if s == nil {
+		return &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for name and labels, registering it on first
+// use. A nil registry returns nil.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindGauge, nil, labels)
+	if s == nil {
+		return &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for name and labels, registering it
+// (with the given bucket upper bounds; +Inf is implicit) on first use.
+// Later calls for the same name reuse the registered buckets. A nil
+// registry returns nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindHistogram, buckets, labels)
+	if s == nil {
+		return &Histogram{counts: make([]atomic.Uint64, 1)}
+	}
+	return s.h
+}

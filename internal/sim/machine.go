@@ -9,6 +9,7 @@ import (
 	"cambricon/internal/fault"
 	"cambricon/internal/fixed"
 	"cambricon/internal/mem"
+	"cambricon/internal/metrics"
 	"cambricon/internal/trace"
 )
 
@@ -47,7 +48,15 @@ type Machine struct {
 	// lastSnap remembers which Snapshot this machine's memory dirty
 	// tracking is relative to: Restore to the same snapshot copies only
 	// dirty regions, any other snapshot forces a full copy.
-	lastSnap *Snapshot
+	// lastRestoreBytes is the copy volume of the most recent Restore.
+	lastSnap         *Snapshot
+	lastRestoreBytes int
+
+	// metWatchdog/metCancel receive service-level event counts (nil —
+	// the default — is a no-op per the metrics package's nil contract,
+	// so the unmetered hot path costs a nil check and nothing else).
+	metWatchdog *metrics.Counter
+	metCancel   *metrics.Counter
 
 	// Reusable operand buffers for the execution hot path (one exec call
 	// uses at most one of each). bufA/bufB/bufMat are spill targets for
@@ -198,6 +207,28 @@ func (m *Machine) runMeta() trace.RunMeta {
 		MACsPerBlock: m.cfg.MACsPerBlock,
 		SpadBanks:    m.cfg.SpadBanks,
 	}
+}
+
+// Metrics bundles the service-level event counters a machine reports
+// into (see internal/metrics): terminal events that aggregate across a
+// fleet of runs rather than within one. Nil fields are no-ops.
+type Metrics struct {
+	// WatchdogTrips counts runs ended by the Config.MaxCycles watchdog.
+	WatchdogTrips *metrics.Counter
+	// Cancellations counts runs ended by context cancellation.
+	Cancellations *metrics.Counter
+}
+
+// SetMetrics attaches service-level event counters (nil detaches them).
+// Like SetTracer and SetInjector, the unmetered path makes no metric
+// calls beyond nil checks, allocates nothing, and metering never
+// changes simulated cycle counts.
+func (m *Machine) SetMetrics(mt *Metrics) {
+	if mt == nil {
+		m.metWatchdog, m.metCancel = nil, nil
+		return
+	}
+	m.metWatchdog, m.metCancel = mt.WatchdogTrips, mt.Cancellations
 }
 
 // SetInjector attaches a fault injector (see internal/fault): the
@@ -363,6 +394,7 @@ func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 			select {
 			case <-done:
 				m.stats.Cycles = m.pipe.lastCommit
+				m.metCancel.Inc()
 				return m.stats, ctx.Err()
 			default:
 			}
@@ -414,6 +446,7 @@ func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 		}
 		if watchdog && commit > m.cfg.MaxCycles {
 			m.stats.Cycles = m.pipe.lastCommit
+			m.metWatchdog.Inc()
 			return m.stats, &WatchdogError{
 				PC:    m.pc,
 				Inst:  inst,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cambricon/internal/fixed"
+	"cambricon/internal/mem"
 )
 
 // snapKernel exercises every state a snapshot must capture: the RV stream
@@ -163,16 +164,72 @@ func TestSetMaxCycles(t *testing.T) {
 	}
 }
 
-// TestSnapshotBytes sanity-checks the captured image accounting.
+// TestSnapshotBytes sanity-checks the captured image accounting: main
+// memory is held page-sparse, so a pristine machine's snapshot keeps
+// only the dense scratchpad copies resident, while DenseBytes reports
+// what the historical full-image capture would have occupied.
 func TestSnapshotBytes(t *testing.T) {
 	cfg := snapConfig()
 	m := mustNew(t, cfg)
 	snap := m.Snapshot()
-	want := cfg.VectorSpadBytes + cfg.MatrixSpadBytes + cfg.MainMemBytes
-	if snap.Bytes() != want {
-		t.Fatalf("Snapshot.Bytes() = %d, want %d", snap.Bytes(), want)
+	if want := cfg.VectorSpadBytes + cfg.MatrixSpadBytes; snap.Bytes() != want {
+		t.Fatalf("pristine Snapshot.Bytes() = %d, want %d (sparse main should be empty)", snap.Bytes(), want)
+	}
+	if want := cfg.VectorSpadBytes + cfg.MatrixSpadBytes + cfg.MainMemBytes; snap.DenseBytes() != want {
+		t.Fatalf("Snapshot.DenseBytes() = %d, want %d", snap.DenseBytes(), want)
 	}
 	if !archEqual(snap.Config(), cfg) {
 		t.Fatal("snapshot config does not match capture config")
+	}
+
+	// A prepared image keeps only its touched pages resident.
+	mm := mustNew(t, cfg)
+	snapInit(t, mm)
+	prepared := mm.Snapshot()
+	if prepared.Bytes() >= prepared.DenseBytes() {
+		t.Fatalf("prepared snapshot is not sparse: resident %d >= dense %d",
+			prepared.Bytes(), prepared.DenseBytes())
+	}
+	extra := prepared.Bytes() - (cfg.VectorSpadBytes + cfg.MatrixSpadBytes)
+	if extra <= 0 || extra > 4*mem.PageBytes {
+		t.Fatalf("prepared snapshot resident main = %d bytes, want a handful of pages", extra)
+	}
+}
+
+// TestRestoreZeroesStaleDirtyPages pins the sparse-restore edge case: a
+// run that writes a page the snapshot does not store (an all-zero page
+// at capture time) must see it zeroed again after Restore.
+func TestRestoreZeroesStaleDirtyPages(t *testing.T) {
+	prog := mustAssemble(t, snapKernel)
+	m := mustNew(t, snapConfig())
+	snapInit(t, m)
+	m.LoadProgram(prog.Instructions)
+	snap := m.Snapshot()
+	// Dirty a far page that is all-zero in the snapshot.
+	const farAddr = 8 << 20
+	if err := m.WriteMainWord(farAddr, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastRestoreBytes() == 0 {
+		t.Fatal("restore after a dirtying write reported zero copy volume")
+	}
+	v, err := m.ReadMainWord(farAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("stale dirty page survived restore: got %#x, want 0", v)
+	}
+	// And the restored machine still runs bit-identically.
+	st, _, _ := snapRun(t, m)
+	fresh := mustNew(t, snapConfig())
+	snapInit(t, fresh)
+	fresh.LoadProgram(prog.Instructions)
+	wantSt, _, _ := snapRun(t, fresh)
+	if !reflect.DeepEqual(st, wantSt) {
+		t.Fatalf("post-restore stats = %+v, want %+v", st, wantSt)
 	}
 }
