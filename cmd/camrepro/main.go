@@ -60,6 +60,7 @@ func main() {
 	checkRuns := flag.Int("check-runs", 5, "timed iterations per row for -check-host (fewer than -host-runs: the gate compares ratios, not raw times)")
 	checkTol := flag.Float64("check-tol", bench.DefaultHostTolerance, "fractional tolerance for -check-host (ratios may drop, and warm allocations grow, by this much)")
 	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs (false = build a machine per run)")
+	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode; statistics are bit-identical either way)")
 	listing := flag.String("listing", "", "dump a baseline listing, e.g. x86:MLP (arches: x86, MIPS, GPU)")
 	source := flag.String("source", "", "dump the generated Cambricon assembly of a benchmark")
 	version := flag.Bool("version", false, "print the simulator version and exit")
@@ -90,6 +91,7 @@ func main() {
 
 	suite := bench.NewSuite(*seed)
 	suite.Warm = *warm
+	suite.Predecode = *predecode
 
 	if *hostJSON != "" {
 		if err := emitHostJSON(*seed, *hostRuns, *hostJSON); err != nil {

@@ -63,6 +63,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 8, "concurrent POST /run bound; excess requests get 503")
 	ledgerSize := flag.Int("ledger", 256, "runs retained by GET /runs")
 	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs")
+	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode)")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -76,7 +77,7 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := newServer(*seed, *warm, *maxInflight, *ledgerSize, logger)
+	srv := newServer(*seed, *warm, *predecode, *maxInflight, *ledgerSize, logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -119,7 +120,7 @@ type server struct {
 	ready  atomic.Bool
 }
 
-func newServer(seed uint64, warm bool, maxInflight, ledgerSize int, logger *slog.Logger) *server {
+func newServer(seed uint64, warm, predecode bool, maxInflight, ledgerSize int, logger *slog.Logger) *server {
 	if maxInflight <= 0 {
 		maxInflight = 1
 	}
@@ -129,6 +130,7 @@ func newServer(seed uint64, warm bool, maxInflight, ledgerSize int, logger *slog
 	reg := metrics.New()
 	suite := bench.NewSuite(seed)
 	suite.Warm = warm
+	suite.Predecode = predecode
 	suite.Metrics = reg
 	return &server{
 		suite:    suite,

@@ -18,7 +18,7 @@ import (
 func testServer(t *testing.T, maxInflight, ledgerSize int) (*server, *httptest.Server) {
 	t.Helper()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := newServer(7, true, maxInflight, ledgerSize, logger)
+	s := newServer(7, true, true, maxInflight, ledgerSize, logger)
 	s.warmup()
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
@@ -78,7 +78,7 @@ func scrape(t *testing.T, ts *httptest.Server) string {
 
 func TestHealthAndReadiness(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := newServer(7, true, 2, 8, logger)
+	s := newServer(7, true, true, 2, 8, logger)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -69,6 +70,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print run statistics as JSON")
 	maxCycles := flag.Int64("max-cycles", 0, "watchdog: fail the run once the simulated clock passes this budget (0 = off)")
 	warm := flag.Bool("warm", true, "with -benchmark all: reuse pooled, snapshot-restored machines across runs (false = build a machine per run)")
+	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode; statistics are bit-identical either way)")
+	dumpDecoded := flag.Bool("dump-decoded", false, "print the pre-decoded listing with fusion decisions instead of running")
 	binFlag := flag.Bool("bin", false, "treat the program argument as a binary instruction image (8 bytes per instruction, little-endian), not assembly text")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Var(&gprs, "gpr", "initialize a register, e.g. -gpr 1=64 (repeatable)")
@@ -108,18 +111,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "camsim: -trace/-profile/-profile-json need a single run; use -benchmark NAME (or camrepro -profile-json for the whole suite)")
 				os.Exit(2)
 			}
-			runAll(*seed, *workers, *jsonOut, *warm)
+			if *dumpDecoded {
+				fmt.Fprintln(os.Stderr, "camsim: -dump-decoded needs a single program; use -benchmark NAME")
+				os.Exit(2)
+			}
+			runAll(*seed, *workers, *jsonOut, *warm, *predecode)
 			return
 		}
-		obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, *benchmark)
 		p, err := codegen.ByName(*benchmark, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		if *dumpDecoded {
+			dumpDecodedProgram(p.Asm.Instructions)
+			return
+		}
+		obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, *benchmark)
 		if *verbose {
 			fmt.Print(p.Source)
 		}
-		stats, err := p.Execute(m)
+		stats, err := executeBenchmark(p, m, *predecode)
 		obs.finish(err, *topN)
 		if err != nil {
 			fatal(err)
@@ -182,7 +193,19 @@ func main() {
 			fatal(err)
 		}
 	}
-	m.LoadProgram(insts)
+	if *dumpDecoded {
+		dumpDecodedProgram(insts)
+		return
+	}
+	if *predecode {
+		dp, err := sim.Predecode(insts)
+		if err != nil {
+			fatal(err)
+		}
+		m.LoadDecoded(dp)
+	} else {
+		m.LoadProgram(insts)
+	}
 	obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, flag.Arg(0))
 	stats, err := m.Run()
 	obs.finish(err, *topN)
@@ -282,12 +305,49 @@ func (o *observer) finish(runErr error, topN int) {
 	}
 }
 
+// executeBenchmark runs one generated benchmark, through the pre-decoded
+// fused dispatch loop (the default) or the per-step decode path.
+// Statistics are bit-identical either way.
+func executeBenchmark(p *codegen.Program, m *sim.Machine, predecode bool) (sim.Stats, error) {
+	if !predecode {
+		return p.Execute(m)
+	}
+	if err := p.Init(m); err != nil {
+		return sim.Stats{}, err
+	}
+	dp, err := sim.Predecode(p.Asm.Instructions)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	m.LoadDecoded(dp)
+	return p.ExecutePreparedContext(context.Background(), m)
+}
+
+// dumpDecodedProgram prints the program's pre-decoded listing — encoded
+// words, operand roles and the fusion plan — to stdout.
+func dumpDecodedProgram(insts []core.Instruction) {
+	if err := writeDecodedListing(os.Stdout, insts); err != nil {
+		fatal(err)
+	}
+}
+
+// writeDecodedListing is the testable core of -dump-decoded: pre-decode,
+// plan fusion, and write the stable listing to w.
+func writeDecodedListing(w io.Writer, insts []core.Instruction) error {
+	dp, err := sim.Predecode(insts)
+	if err != nil {
+		return err
+	}
+	return dp.Dump(w)
+}
+
 // runAll executes every Table III benchmark through the shared suite's
 // parallel harness (bench.Suite.RunAll) and prints one summary line per
 // benchmark in deterministic table order.
-func runAll(seed uint64, workers int, jsonOut, warm bool) {
+func runAll(seed uint64, workers int, jsonOut, warm, predecode bool) {
 	s := bench.NewSuite(seed)
 	s.Warm = warm
+	s.Predecode = predecode
 	results, err := s.RunAll(context.Background(), workers)
 	if err != nil {
 		fatal(err)

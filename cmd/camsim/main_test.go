@@ -1,8 +1,51 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"cambricon/internal/asm"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestDumpDecodedGolden pins the -dump-decoded listing format: the
+// fixture program exercises all three fusion kinds (load->matvec,
+// matvec->act, vec-chain) plus unfused scalar/control tails, and the
+// listing — encoded words, operand roles, fusion markers, summary line —
+// must match testdata/dump_decoded.golden byte for byte. Regenerate with
+// `go test ./cmd/camsim -run TestDumpDecodedGolden -update` after a
+// deliberate format change.
+func TestDumpDecodedGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "dump_decoded.cam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeDecodedListing(&buf, prog.Instructions); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "dump_decoded.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-dump-decoded listing diverged from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
 
 func TestParsePair(t *testing.T) {
 	k, v, err := parsePair("3=64")

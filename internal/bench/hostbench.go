@@ -30,6 +30,15 @@ const HostSchema = "cambricon-bench-host/v1"
 // also the canonical smoke benchmark elsewhere in the repo.
 const hostBenchmark = "MLP"
 
+// dispatchBenchmark is the Table III benchmark the pre-decoded-dispatch
+// rows run. The dispatch layer (docs/PERF.md, Level 4) removes per-fetch
+// work — re-encoding for the injector hook, operand-role resolution,
+// event-buffer zeroing — so its win shows on loop-heavy benchmarks whose
+// campaigns execute many dynamic instructions per run; SOM is the
+// clearest such case (MLP, dominated by a handful of large DMAs, barely
+// dispatches at all and would measure memmove instead).
+const dispatchBenchmark = "SOM"
+
 // HostReport is the machine-readable host-throughput record
 // (conventionally BENCH_host.json).
 type HostReport struct {
@@ -41,9 +50,11 @@ type HostReport struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Seed is the benchmark generation seed; Benchmark the program the
-	// measurements ran.
-	Seed      uint64 `json:"seed"`
-	Benchmark string `json:"benchmark"`
+	// warm/cold measurements ran; DispatchBenchmark the program the
+	// pre-decoded-dispatch rows ran (empty in pre-dispatch reports).
+	Seed              uint64 `json:"seed"`
+	Benchmark         string `json:"benchmark"`
+	DispatchBenchmark string `json:"dispatch_benchmark,omitempty"`
 	// Entries holds one row per measurement, warm and cold variants.
 	Entries []HostEntry `json:"entries"`
 	// CampaignSpeedup and CampaignAllocRatio are the cold/warm ratios of
@@ -55,6 +66,11 @@ type HostReport struct {
 	CampaignAllocRatio float64 `json:"campaign_alloc_ratio_cold_over_warm"`
 	RestoreSpeedup     float64 `json:"restore_speedup_cold_over_warm"`
 	RestoreAllocRatio  float64 `json:"restore_alloc_ratio_cold_over_warm"`
+	// PredecodeSpeedup is the baseline/predecoded wall-time ratio of the
+	// campaign-dispatch rows: how many times faster a warm fault campaign
+	// over DispatchBenchmark runs with pre-decoded dispatch than with the
+	// per-step decode loop (zero in pre-dispatch reports).
+	PredecodeSpeedup float64 `json:"campaign_speedup_baseline_over_predecoded,omitempty"`
 }
 
 // HostEntry is one measurement row.
@@ -120,18 +136,24 @@ func hostMeasure(name string, runs int, prep, fn func() error) (HostEntry, error
 // generation, snapshot capture when warm), so callers run it once untimed
 // before measuring.
 func hostCampaignFn(s *Suite, sites int) (func() error, error) {
+	return hostCampaignFnFor(s, hostBenchmark, sites)
+}
+
+// hostCampaignFnFor is hostCampaignFn over an arbitrary Table III
+// benchmark (the dispatch rows run dispatchBenchmark instead).
+func hostCampaignFnFor(s *Suite, name string, sites int) (func() error, error) {
 	targets, err := s.FaultTargets()
 	if err != nil {
 		return nil, err
 	}
 	var target fault.Target
 	for _, t := range targets {
-		if t.Name() == hostBenchmark {
+		if t.Name() == name {
 			target = t
 		}
 	}
 	if target == nil {
-		return nil, fmt.Errorf("bench: host: no benchmark %q", hostBenchmark)
+		return nil, fmt.Errorf("bench: host: no benchmark %q", name)
 	}
 	c := fault.Campaign{Seed: s.Seed, Sites: sites, Workers: 1}
 	return func() error {
@@ -194,12 +216,13 @@ func RunHostBenchmarks(seed uint64, runs, sites int) (*HostReport, error) {
 		sites = 32
 	}
 	rep := &HostReport{
-		Schema:     HostSchema,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       seed,
-		Benchmark:  hostBenchmark,
+		Schema:            HostSchema,
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Seed:              seed,
+		Benchmark:         hostBenchmark,
+		DispatchBenchmark: dispatchBenchmark,
 	}
 
 	warmSuite := NewSuite(seed)
@@ -243,11 +266,41 @@ func RunHostBenchmarks(seed uint64, runs, sites int) (*HostReport, error) {
 		return nil, err
 	}
 
-	rep.Entries = []HostEntry{warmCamp, coldCamp, warmRest, coldRest}
+	// Pre-decoded dispatch (docs/PERF.md, Level 4): the same warm
+	// campaign over the loop-heavy dispatch benchmark, with and without
+	// pre-decoded programs. Both suites are warm, so the ratio isolates
+	// the dispatch layer.
+	baseSuite := NewSuite(seed)
+	baseSuite.Predecode = false
+	decRun, err := hostCampaignFnFor(warmSuite, dispatchBenchmark, sites)
+	if err != nil {
+		return nil, err
+	}
+	baseRun, err := hostCampaignFnFor(baseSuite, dispatchBenchmark, sites)
+	if err != nil {
+		return nil, err
+	}
+	if err := decRun(); err != nil {
+		return nil, err
+	}
+	if err := baseRun(); err != nil {
+		return nil, err
+	}
+	decCamp, err := hostMeasure("campaign-dispatch/predecoded", runs, nil, decRun)
+	if err != nil {
+		return nil, err
+	}
+	baseCamp, err := hostMeasure("campaign-dispatch/baseline", runs, nil, baseRun)
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Entries = []HostEntry{warmCamp, coldCamp, warmRest, coldRest, decCamp, baseCamp}
 	rep.CampaignSpeedup = ratio(coldCamp.NSPerRun, warmCamp.NSPerRun)
 	rep.CampaignAllocRatio = ratio(coldCamp.AllocsPerRun, warmCamp.AllocsPerRun)
 	rep.RestoreSpeedup = ratio(coldRest.NSPerRun, warmRest.NSPerRun)
 	rep.RestoreAllocRatio = ratio(coldRest.AllocsPerRun, warmRest.AllocsPerRun)
+	rep.PredecodeSpeedup = ratio(baseCamp.NSPerRun, decCamp.NSPerRun)
 	return rep, nil
 }
 

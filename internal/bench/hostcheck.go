@@ -36,6 +36,9 @@ var hostRatios = []struct {
 	{"campaign_alloc_ratio_cold_over_warm", func(r *HostReport) float64 { return r.CampaignAllocRatio }},
 	{"restore_speedup_cold_over_warm", func(r *HostReport) float64 { return r.RestoreSpeedup }},
 	{"restore_alloc_ratio_cold_over_warm", func(r *HostReport) float64 { return r.RestoreAllocRatio }},
+	// Pre-decoded dispatch (docs/PERF.md, Level 4). The `base <= 0` skip
+	// below keeps reports generated before the dispatch layer checkable.
+	{"campaign_speedup_baseline_over_predecoded", func(r *HostReport) float64 { return r.PredecodeSpeedup }},
 }
 
 // CheckHost compares a freshly measured HostReport against a committed
@@ -55,6 +58,12 @@ func CheckHost(baseline, fresh *HostReport, tol float64) []string {
 		regressions = append(regressions,
 			fmt.Sprintf("baseline measured %q but this run measured %q — not comparable",
 				baseline.Benchmark, fresh.Benchmark))
+		return regressions
+	}
+	if baseline.DispatchBenchmark != "" && baseline.DispatchBenchmark != fresh.DispatchBenchmark {
+		regressions = append(regressions,
+			fmt.Sprintf("baseline dispatch rows measured %q but this run measured %q — not comparable",
+				baseline.DispatchBenchmark, fresh.DispatchBenchmark))
 		return regressions
 	}
 	for _, m := range hostRatios {

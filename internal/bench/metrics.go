@@ -33,6 +33,10 @@ const (
 	MetricSnapDense     = "cambricon_snapshot_dense_bytes"
 	MetricWatchdogTrips = "cambricon_sim_watchdog_trips_total"
 	MetricCancellations = "cambricon_sim_cancellations_total"
+	MetricPredecoded    = "cambricon_bench_programs_predecoded_total"
+	MetricDecodeHits    = "cambricon_bench_decode_cache_hits_total"
+	MetricDecodeMisses  = "cambricon_bench_decode_cache_misses_total"
+	MetricFusedPairs    = "cambricon_bench_fused_pairs_total"
 )
 
 // suiteMetrics is the resolved bundle of suite instruments. A nil
@@ -49,6 +53,10 @@ type suiteMetrics struct {
 	poolMisses   *metrics.Counter
 	restores     *metrics.Counter
 	restoreBytes *metrics.Counter
+
+	predecodedN  *metrics.Counter
+	decodeHits   *metrics.Counter
+	decodeMisses *metrics.Counter
 
 	snapPrepared *metrics.Gauge
 	snapResident *metrics.Gauge
@@ -78,6 +86,9 @@ func newSuiteMetrics(reg *metrics.Registry) *suiteMetrics {
 		poolMisses:    reg.Counter(MetricPoolMisses, "machine acquisitions that built a fresh machine"),
 		restores:      reg.Counter(MetricRestores, "snapshot restores performed by the warm-start layer"),
 		restoreBytes:  reg.Counter(MetricRestoreBytes, "bytes copied by snapshot restores (dirty pages only on the warm path)"),
+		predecodedN:   reg.Counter(MetricPredecoded, "benchmark programs pre-decoded and fusion-planned"),
+		decodeHits:    reg.Counter(MetricDecodeHits, "decoded-program requests served from the suite's singleflight cache"),
+		decodeMisses:  reg.Counter(MetricDecodeMisses, "decoded-program requests that paid for a fresh pre-decode"),
 		snapPrepared:  reg.Gauge(MetricSnapPrepared, "prepared per-benchmark snapshots held"),
 		snapResident:  reg.Gauge(MetricSnapResident, "resident bytes of the prepared snapshots (page-sparse main memory)"),
 		snapDense:     reg.Gauge(MetricSnapDense, "bytes the prepared snapshots would occupy with dense main-memory images"),
@@ -126,6 +137,37 @@ func (sm *suiteMetrics) poolAcquired(reused bool) {
 		sm.poolHits.Inc()
 	} else {
 		sm.poolMisses.Inc()
+	}
+}
+
+func (sm *suiteMetrics) decodeCacheHit() {
+	if sm != nil {
+		sm.decodeHits.Inc()
+	}
+}
+
+// predecoded accounts one freshly pre-decoded program: the decode-cache
+// miss that paid for it, plus its static fusion plan broken out by pair
+// kind (docs/OBSERVABILITY.md, "Pre-decode and fusion").
+func (sm *suiteMetrics) predecoded(dp *sim.DecodedProgram) {
+	if sm == nil || dp == nil {
+		return
+	}
+	sm.predecodedN.Inc()
+	sm.decodeMisses.Inc()
+	f := dp.Fusion()
+	for _, p := range []struct {
+		kind sim.FuseKind
+		n    int
+	}{
+		{sim.FuseLoadMatVec, f.LoadMatVec},
+		{sim.FuseMatVecAct, f.MatVecAct},
+		{sim.FuseVecChain, f.VecChain},
+	} {
+		if p.n > 0 {
+			sm.reg.Counter(MetricFusedPairs, "statically fused instruction pairs, by kind",
+				metrics.L("kind", p.kind.String())).Add(int64(p.n))
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+package bench
+
+// Tests pinning the pre-decoded dispatch layer's contract (docs/PERF.md,
+// Level 4): simulated results are bit-identical with and without
+// pre-decode across every Table III workload, fault-campaign reports are
+// byte-identical, the decode cache singleflights across machines and
+// counts its traffic, and the warm decoded hot loop is allocation-free.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cambricon/internal/metrics"
+	"cambricon/internal/sim"
+)
+
+func predecodeOff(seed uint64) *Suite {
+	s := NewSuite(seed)
+	s.Predecode = false
+	return s
+}
+
+// TestPredecodeBitIdenticalTableIII runs every Table III workload through
+// both dispatch modes and requires identical statistics — cycles, stall
+// attribution, opcode histograms, everything — plus a passing output
+// verification on both sides. This is the acceptance check that the
+// dispatch layer is a host-time optimization only.
+func TestPredecodeBitIdenticalTableIII(t *testing.T) {
+	dec, base := NewSuite(7), predecodeOff(7)
+	progs, err := dec.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, p := range progs {
+		d, err := dec.Stats(p.Name)
+		if err != nil {
+			t.Fatalf("%s predecoded: %v", p.Name, err)
+		}
+		b, err := base.Stats(p.Name)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(d, b) {
+			t.Errorf("%s: stats diverge\npredecoded %+v\nbaseline   %+v", p.Name, d, b)
+		}
+		dp, err := sim.Predecode(p.Asm.Instructions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused += dp.Fusion().Total()
+	}
+	// The equivalence above is only meaningful if superinstructions
+	// actually fire somewhere in the suite.
+	if fused == 0 {
+		t.Error("no Table III workload fused any pairs; the fused path is untested")
+	}
+}
+
+// TestPredecodeCampaignReportsByteIdentical pins that fault campaigns —
+// golden run through the tight fused loop, faulted runs through the
+// observed slow loop — serialize byte-for-byte the same report with
+// pre-decode on and off.
+func TestPredecodeCampaignReportsByteIdentical(t *testing.T) {
+	dec := campaignBytes(t, NewSuite(7), 2)
+	base := campaignBytes(t, predecodeOff(7), 2)
+	if !bytes.Equal(dec, base) {
+		t.Fatalf("campaign reports diverge:\npredecoded:\n%s\nbaseline:\n%s", dec, base)
+	}
+}
+
+// TestPredecodeCacheSingleflight pins the decode cache: one miss (and
+// one pre-decoded program) per benchmark no matter how many machines run
+// it, hits for every reuse, and fused-pair counters published per kind.
+func TestPredecodeCacheSingleflight(t *testing.T) {
+	reg := metrics.New()
+	s := NewSuite(7)
+	s.Metrics = reg
+	if _, err := s.Stats("SOM"); err != nil {
+		t.Fatal(err)
+	}
+	// RunOnce bypasses the stats cache but not the decode cache: the
+	// snapshot already carries the decoded program, so this is a hit-free
+	// reuse; a third run through a fresh pooled machine is a hit.
+	prog, err := s.Program("SOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.decodedProgram(prog); err != nil { // explicit reuse: a hit
+		t.Fatal(err)
+	}
+	c := func(name string) uint64 { return reg.Counter(name, "").Value() }
+	if got := c(MetricPredecoded); got != 1 {
+		t.Fatalf("programs predecoded = %d, want 1", got)
+	}
+	if got := c(MetricDecodeMisses); got != 1 {
+		t.Fatalf("decode misses = %d, want 1", got)
+	}
+	if got := c(MetricDecodeHits); got != 1 {
+		t.Fatalf("decode hits = %d, want 1", got)
+	}
+	dp, err := sim.Predecode(prog.Asm.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var published uint64
+	for _, kind := range []string{"load->matvec", "matvec->act", "vec-chain"} {
+		published += reg.Counter(MetricFusedPairs, "", metrics.L("kind", kind)).Value()
+	}
+	if int(published) != dp.Fusion().Total() {
+		t.Fatalf("fused pairs published = %d, want %d", published, dp.Fusion().Total())
+	}
+}
+
+// TestPredecodedWarmRunAllocationFree pins the acceptance criterion that
+// the decoded hot loop allocates nothing: a warm iteration — snapshot
+// restore plus a full run through the tight fused dispatcher — performs
+// zero heap allocations.
+func TestPredecodedWarmRunAllocationFree(t *testing.T) {
+	s := NewSuite(7)
+	prog, err := s.Program(dispatchBenchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config
+	cfg.Seed = s.Seed ^ 0xcafe
+	snap, err := s.preparedSnapshot(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := m.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm decoded run allocates %v times per iteration, want 0", allocs)
+	}
+}

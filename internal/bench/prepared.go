@@ -124,6 +124,59 @@ type preparedEntry struct {
 	err  error
 }
 
+// decodedEntry is the singleflight cell for one benchmark's pre-decoded
+// program (docs/PERF.md, Level 4).
+type decodedEntry struct {
+	once sync.Once
+	dp   *sim.DecodedProgram
+	err  error
+}
+
+// decodedProgram pre-decodes (once per benchmark) the program's
+// instruction stream: operand roles, encoded words and the fusion plan
+// are computed here and shared — via the prepared snapshot — by every
+// pooled machine and fault-campaign worker that runs the benchmark.
+func (s *Suite) decodedProgram(prog *codegen.Program) (*sim.DecodedProgram, error) {
+	s.decMu.Lock()
+	if s.decoded == nil {
+		s.decoded = map[string]*decodedEntry{}
+	}
+	de, hit := s.decoded[prog.Name]
+	if de == nil {
+		de = &decodedEntry{}
+		s.decoded[prog.Name] = de
+	}
+	s.decMu.Unlock()
+	if hit {
+		// Served from (or blocked on) an existing singleflight entry: the
+		// caller did not pay for a decode of its own.
+		s.sm().decodeCacheHit()
+	}
+	de.once.Do(func() {
+		de.dp, de.err = sim.Predecode(prog.Asm.Instructions)
+		if de.err == nil {
+			s.sm().predecoded(de.dp)
+		}
+	})
+	return de.dp, de.err
+}
+
+// loadProgram loads prog onto m through the suite's decode policy:
+// pre-decoded (cached) when Predecode, the per-step decode path
+// otherwise. Simulated statistics are bit-identical either way.
+func (s *Suite) loadProgram(m *sim.Machine, prog *codegen.Program) error {
+	if !s.Predecode {
+		m.LoadProgram(prog.Asm.Instructions)
+		return nil
+	}
+	dp, err := s.decodedProgram(prog)
+	if err != nil {
+		return err
+	}
+	m.LoadDecoded(dp)
+	return nil
+}
+
 // preparedSnapshot builds (once per benchmark) the snapshot of a machine
 // that has the program's memory image written and its instruction stream
 // loaded — the state every run of that benchmark starts from.
@@ -149,7 +202,10 @@ func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Sn
 			pe.err = err
 			return
 		}
-		m.LoadProgram(prog.Asm.Instructions)
+		if err := s.loadProgram(m, prog); err != nil {
+			pe.err = err
+			return
+		}
 		pe.snap = m.Snapshot()
 		s.sm().snapshotPrepared(pe.snap)
 		s.pool.release(m)
@@ -174,7 +230,9 @@ func (s *Suite) preparedMachine(prog *codegen.Program, cfg sim.Config) (m *sim.M
 		if err := prog.Init(m); err != nil {
 			return nil, false, err
 		}
-		m.LoadProgram(prog.Asm.Instructions)
+		if err := s.loadProgram(m, prog); err != nil {
+			return nil, false, err
+		}
 		m.SetMetrics(sm.simMetrics())
 		return m, false, nil
 	}

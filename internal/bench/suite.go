@@ -34,6 +34,14 @@ type Suite struct {
 	// time. Simulated statistics are bit-identical either way; set false
 	// (or pass -warm=off to the CLIs) to force the historical cold path.
 	Warm bool
+	// Predecode enables the pre-decoded dispatch layer (docs/PERF.md,
+	// Level 4): each benchmark program is pre-decoded and fusion-planned
+	// once (singleflight, shared by warm snapshots, pooled machines and
+	// fault-campaign workers) and runs execute through the decoded
+	// interpreter loop. Simulated statistics are bit-identical either
+	// way; set false (or pass -predecode=false to the CLIs) to force the
+	// per-step decode path.
+	Predecode bool
 	// Metrics, when non-nil, receives service-level instrumentation
 	// (docs/OBSERVABILITY.md, "Service metrics"): run and cache counters,
 	// per-benchmark cycle/wall-time histograms, pool and snapshot-restore
@@ -56,6 +64,9 @@ type Suite struct {
 	pool     machinePool
 	prepMu   sync.Mutex
 	prepared map[string]*preparedEntry
+
+	decMu   sync.Mutex
+	decoded map[string]*decodedEntry
 }
 
 // statsEntry is the singleflight cell for one benchmark's simulation: the
@@ -67,9 +78,10 @@ type statsEntry struct {
 	err  error
 }
 
-// NewSuite builds a suite over the Table II machine, with warm-starts on.
+// NewSuite builds a suite over the Table II machine, with warm-starts and
+// pre-decoded dispatch on.
 func NewSuite(seed uint64) *Suite {
-	return &Suite{Seed: seed, Config: sim.DefaultConfig(), Warm: true, stats: map[string]*statsEntry{}}
+	return &Suite{Seed: seed, Config: sim.DefaultConfig(), Warm: true, Predecode: true, stats: map[string]*statsEntry{}}
 }
 
 // sm resolves the suite's metric bundle once (nil when no registry is

@@ -1,0 +1,57 @@
+package core
+
+import "fmt"
+
+// DecodedInst is one instruction in pre-decoded form: the instruction
+// itself plus everything the interpreter otherwise re-derives on every
+// dynamic execution — the encoded 64-bit word (fed to fault injectors
+// without a per-fetch Encode), the Fig. 11 type category, and the
+// source/destination GPR sets the timing model needs at issue and
+// write-back. A DecodedInst is immutable after PreDecode.
+type DecodedInst struct {
+	// Inst is the original instruction (diagnostics, disassembly, and
+	// the functional-execution switch still key off it).
+	Inst Instruction
+	// Word is Encode(Inst), computed once.
+	Word uint64
+	// Type caches Inst.Op.Type().
+	Type Type
+	// SrcRegs/NSrc cache Inst.ReadRegs: the GPR indices read at issue.
+	SrcRegs [6]uint8
+	NSrc    uint8
+	// DestReg/HasDest cache Inst.DestReg: the GPR written at write-back.
+	DestReg uint8
+	HasDest bool
+}
+
+// Src views the cached source-register set.
+func (d *DecodedInst) Src() []uint8 { return d.SrcRegs[:d.NSrc] }
+
+// PreDecode validates prog and returns its pre-decoded form. The work the
+// interpreter performs per dynamic instruction — validation, re-encoding
+// for the fault-injection fetch hook, operand-role resolution for the
+// pipeline model — is hoisted here and paid once per static instruction.
+// The returned slice aliases nothing in prog and must be recomputed if
+// prog is mutated (programs are immutable after assembly, so in practice
+// a program is pre-decoded exactly once).
+func PreDecode(prog []Instruction) ([]DecodedInst, error) {
+	dec := make([]DecodedInst, len(prog))
+	for pc, inst := range prog {
+		if err := inst.Validate(); err != nil {
+			return nil, fmt.Errorf("core: predecode pc=%d %v: %w", pc, inst, err)
+		}
+		d := &dec[pc]
+		d.Inst = inst
+		// Validate passed, so Encode cannot fail.
+		w, err := Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("core: predecode pc=%d %v: %w", pc, inst, err)
+		}
+		d.Word = w
+		d.Type = inst.Op.Type()
+		src := inst.ReadRegs(d.SrcRegs[:0])
+		d.NSrc = uint8(len(src))
+		d.DestReg, d.HasDest = inst.DestReg()
+	}
+	return dec, nil
+}

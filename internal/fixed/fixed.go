@@ -187,6 +187,9 @@ func ToBytes(ns []Num, dst []byte) {
 	if len(dst) < 2*len(ns) {
 		panic("fixed: ToBytes destination too small")
 	}
+	// Reslicing to the exact extent lets the compiler drop the
+	// per-element bounds checks and widen the stores.
+	dst = dst[:2*len(ns)]
 	for i, n := range ns {
 		u := uint16(n)
 		dst[2*i] = byte(u)
@@ -207,6 +210,7 @@ func FromBytesInto(src []byte, dst []Num) {
 	if len(src) < 2*len(dst) {
 		panic("fixed: FromBytesInto source too small")
 	}
+	src = src[:2*len(dst)]
 	for i := range dst {
 		dst[i] = Num(uint16(src[2*i]) | uint16(src[2*i+1])<<8)
 	}

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"cambricon/internal/core"
@@ -463,6 +465,210 @@ func compareRegion(t *testing.T, trial int, name string, m *Machine,
 					trial, name, base+2*i, got[i], ref[i])
 			}
 		}
+	}
+}
+
+// comparePaths runs one program through the per-step decode loop and the
+// pre-decoded fused dispatch loop under identical configurations and
+// fails the test unless every architectural bit and every statistic
+// agrees. A third machine runs the decoded program with a (never-fired)
+// watchdog armed, which steers it down the observed slow loop — so one
+// call covers both decoded dispatchers against the baseline.
+func comparePaths(t *testing.T, label string, cfg Config, prog []core.Instruction,
+	setup func(set func(r uint8, v int32))) {
+	t.Helper()
+	base := mustNew(t, cfg)
+	tight := mustNew(t, cfg)
+	slowCfg := cfg
+	slowCfg.MaxCycles = 1 << 40 // arms the watchdog without ever tripping it
+	slow := mustNew(t, slowCfg)
+	if setup != nil {
+		setup(func(r uint8, v int32) {
+			base.SetGPR(r, uint32(v))
+			tight.SetGPR(r, uint32(v))
+			slow.SetGPR(r, uint32(v))
+		})
+	}
+	dp, err := Predecode(prog)
+	if err != nil {
+		t.Fatalf("%s: predecode: %v", label, err)
+	}
+	base.LoadProgram(prog)
+	tight.LoadDecoded(dp)
+	slow.LoadDecoded(dp)
+
+	wantStats, wantErr := base.Run()
+	for _, alt := range []struct {
+		name string
+		m    *Machine
+	}{{"tight", tight}, {"slow", slow}} {
+		gotStats, gotErr := alt.m.Run()
+		if (wantErr == nil) != (gotErr == nil) ||
+			(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+			t.Fatalf("%s/%s: errors diverge: baseline %v, predecoded %v",
+				label, alt.name, wantErr, gotErr)
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Fatalf("%s/%s: stats diverge:\nbaseline   %+v\npredecoded %+v",
+				label, alt.name, wantStats, gotStats)
+		}
+		for r := 0; r < core.NumGPRs; r++ {
+			if base.GPR(uint8(r)) != alt.m.GPR(uint8(r)) {
+				t.Fatalf("%s/%s: $%d = %d, baseline %d", label, alt.name, r,
+					int32(alt.m.GPR(uint8(r))), int32(base.GPR(uint8(r))))
+			}
+		}
+		compareMachineSpaces(t, label+"/"+alt.name, base, alt.m)
+	}
+}
+
+// compareMachineSpaces checks every byte of both scratchpads and the
+// first 64 KB of main memory between two machines.
+func compareMachineSpaces(t *testing.T, label string, want, got *Machine) {
+	t.Helper()
+	spaces := []struct {
+		name  string
+		bytes int
+		read  func(m *Machine, a, n int) ([]fixed.Num, error)
+	}{
+		{"vspad", core.VectorSpadBytes, (*Machine).ReadVectorSpad},
+		{"mspad", core.MatrixSpadBytes, (*Machine).ReadMatrixSpad},
+		{"main", 64 << 10, (*Machine).ReadMainNums},
+	}
+	const chunk = 4096
+	for _, sp := range spaces {
+		for base := 0; base < sp.bytes; base += 2 * chunk {
+			w, err := sp.read(want, base, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := sp.read(got, base, chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("%s: %s[%d] = %v, baseline %v",
+						label, sp.name, base+2*i, g[i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredecodedISATour runs the 43-instruction ISA tour through the
+// baseline and both pre-decoded dispatchers and demands bit-identical
+// results. The tour's vector section contains back-to-back vector ops
+// and an MMV, so the fusion plan is non-trivial — superinstruction
+// execution, not just flat decoded dispatch, is under test.
+func TestPredecodedISATour(t *testing.T) {
+	p := mustAssemble(t, tourSrc)
+	dp, err := Predecode(p.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Fusion().Total() == 0 {
+		t.Fatal("ISA tour fused no pairs; the superinstruction path is untested")
+	}
+	comparePaths(t, "isa-tour", DefaultConfig(), p.Instructions, nil)
+}
+
+// TestPredecodedDifferentialCorpus replays the random straight-line
+// corpus of TestDifferentialAgainstReferenceInterpreter through the
+// pre-decoded dispatchers. The baseline loop is already proven against
+// the naive reference interpreter above, so agreement here extends the
+// differential chain to the fused dispatch loops.
+func TestPredecodedDifferentialCorpus(t *testing.T) {
+	const (
+		trials  = 60
+		instLen = 200
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1000))
+		seed := rng.Uint64() | 1
+
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.MainMemBytes = 1 << 20
+
+		// Draw the register setup before the program, in the same order
+		// as the reference-interpreter test, so the rng stream — and
+		// therefore the corpus — is identical between the two tests.
+		type regInit struct {
+			r uint8
+			v int32
+		}
+		var inits []regInit
+		for i := 0; i < 4; i++ {
+			inits = append(inits, regInit{uint8(dpSizeReg + i), int32(rng.Intn(64) + 1)})
+		}
+		for i := 0; i < 8; i++ {
+			inits = append(inits, regInit{uint8(dpVReg + i), int32(rng.Intn(8192) * 2)})
+		}
+		for i := 0; i < 8; i++ {
+			inits = append(inits, regInit{uint8(dpMReg + i), int32(rng.Intn(16384) * 2)})
+		}
+		for i := 0; i < 4; i++ {
+			inits = append(inits, regInit{uint8(dpBaseReg + i), int32(rng.Intn(8192) * 2)})
+		}
+		for i := 0; i < 16; i++ {
+			inits = append(inits, regInit{uint8(dpValReg + i), int32(rng.Uint32()>>16) - 1<<15})
+		}
+		prog := make([]core.Instruction, instLen)
+		for i := range prog {
+			prog[i] = randDiffInst(rng)
+		}
+		comparePaths(t, fmt.Sprintf("corpus-%d", trial), cfg, prog,
+			func(set func(r uint8, v int32)) {
+				for _, in := range inits {
+					set(in.r, in.v)
+				}
+			})
+	}
+}
+
+// TestPredecodedControlFlow runs random counter-controlled loops through
+// all three dispatchers. Backward branches land on arbitrary body
+// instructions, so this is the test that catches a fusion plan pairing
+// across a branch target (a jump into the middle of a superinstruction
+// must still execute the consumer half exactly once).
+func TestPredecodedControlFlow(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 7700))
+		cfg := DefaultConfig()
+		cfg.Seed = rng.Uint64() | 1
+		cfg.MainMemBytes = 1 << 20
+
+		iters := rng.Intn(6) + 2
+		bodyLen := rng.Intn(12) + 3
+		prog := make([]core.Instruction, 0, bodyLen+2)
+		for i := 0; i < bodyLen; i++ {
+			prog = append(prog, randDiffInst(rng))
+		}
+		prog = append(prog,
+			core.NewRI(core.SADD, -1, 62, 62),
+			core.NewRI(core.CB, int32(-(bodyLen+1)), 62),
+		)
+		comparePaths(t, fmt.Sprintf("loop-%d", trial), cfg, prog,
+			func(set func(r uint8, v int32)) {
+				for i := 0; i < 4; i++ {
+					set(uint8(dpSizeReg+i), int32(rng.Intn(32)+1))
+				}
+				for i := 0; i < 8; i++ {
+					set(uint8(dpVReg+i), int32(rng.Intn(4096)*2))
+				}
+				for i := 0; i < 8; i++ {
+					set(uint8(dpMReg+i), int32(rng.Intn(4096)*2))
+				}
+				for i := 0; i < 4; i++ {
+					set(uint8(dpBaseReg+i), int32(rng.Intn(4096)*2))
+				}
+				for i := 0; i < 16; i++ {
+					set(uint8(dpValReg+i), int32(rng.Intn(1<<16))-1<<15)
+				}
+				set(62, int32(iters))
+			})
 	}
 }
 

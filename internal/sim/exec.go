@@ -62,9 +62,39 @@ func (e *effect) touch(sp space, addr, n int, write bool) {
 // acc views the access set.
 func (e *effect) acc() []access { return e.accessBuf[:e.nAccess] }
 
+// reset clears the effect for reuse. accessBuf is deliberately left
+// dirty: it is only ever read through acc(), which views [:nAccess], so
+// zeroing its 96 bytes per dynamic instruction would be pure overhead —
+// the reason the decoded loops call reset instead of assigning effect{}.
+func (e *effect) reset() {
+	e.fu = 0
+	e.execCycles = 0
+	e.nAccess = 0
+	e.branchTaken = false
+	e.branchOffset = 0
+	e.isDMA = false
+	e.dmaBytes = 0
+}
+
 // overlapsConflicting reports whether two instructions' access sets contain
 // a pair in the same space, overlapping, with at least one write — the
 // paper's memory-dependence rule (footnote 2).
+// accessMasks summarizes an access set as two space bitmasks: bit sp set
+// in wmask when the set writes space sp, in amask when it touches it at
+// all. overlapsConflicting(a, b) can only hold when a's write mask meets
+// b's access mask or vice versa, so the masks are a cheap pre-filter for
+// the memory-queue dependence scan.
+func accessMasks(a []access) (wmask, amask uint8) {
+	for _, x := range a {
+		bit := uint8(1) << x.sp
+		amask |= bit
+		if x.write {
+			wmask |= bit
+		}
+	}
+	return wmask, amask
+}
+
 func overlapsConflicting(a, b []access) bool {
 	for _, x := range a {
 		for _, y := range b {
@@ -171,10 +201,32 @@ func (m *Machine) corruptDMA(data []byte) {
 	}
 }
 
+// vecView resolves a vector-scratchpad input operand. On the baseline
+// path (and everywhere outside a fused pair) it is Scratchpad.NumsView
+// plus one length check; during the consumer half of a fused pair a view
+// of exactly the region the producer just wrote resolves to the
+// producer's still-live output buffer, which holds bit-identical data
+// (the scratchpad write is never skipped).
+func (m *Machine) vecView(addr, n int, spill *[]fixed.Num) ([]fixed.Num, error) {
+	if len(m.fusedSrc) > 0 && addr == m.fusedAddr && n == len(m.fusedSrc) {
+		return m.fusedSrc, nil
+	}
+	return m.vspad.NumsView(addr, n, spill)
+}
+
 // exec functionally executes inst against the architectural state and
-// returns its timing effect.
+// returns its timing effect. It is the baseline interpreter's entry
+// point; the pre-decoded path calls execInto directly to avoid the
+// by-value effect copy.
 func (m *Machine) exec(inst core.Instruction) (effect, error) {
 	var e effect
+	err := m.execInto(inst, &e)
+	return e, err
+}
+
+// execInto is exec writing its timing effect into a caller-owned buffer
+// (*e must be zero on entry).
+func (m *Machine) execInto(inst core.Instruction, e *effect) error {
 	switch inst.Op {
 	case core.JUMP:
 		e.fu = fuScalar
@@ -191,18 +243,18 @@ func (m *Machine) exec(inst core.Instruction) (effect, error) {
 		}
 
 	case core.VLOAD, core.MLOAD:
-		return m.execLoadStore(inst, true)
+		return m.execLoadStore(inst, e, true)
 	case core.VSTORE, core.MSTORE:
-		return m.execLoadStore(inst, false)
+		return m.execLoadStore(inst, e, false)
 	case core.VMOVE, core.MMOVE:
-		return m.execMove(inst)
+		return m.execMove(inst, e)
 	case core.SLOAD:
 		e.fu = fuScalarMem
 		e.execCycles = 2 // L1 hit
 		addr := m.regAddr(inst.R[1]) + int(inst.Imm)
 		v, err := m.main.ReadWord(addr)
 		if err != nil {
-			return e, err
+			return err
 		}
 		m.gpr[inst.R[0]] = v
 		e.touch(spaceMain, addr, 4, false)
@@ -211,7 +263,7 @@ func (m *Machine) exec(inst core.Instruction) (effect, error) {
 		e.execCycles = 2
 		addr := m.regAddr(inst.R[1]) + int(inst.Imm)
 		if err := m.main.WriteWord(addr, m.gpr[inst.R[0]]); err != nil {
-			return e, err
+			return err
 		}
 		e.touch(spaceMain, addr, 4, true)
 	case core.SMOVE:
@@ -221,27 +273,27 @@ func (m *Machine) exec(inst core.Instruction) (effect, error) {
 		m.gpr[inst.R[0]] = uint32(m.tailInt(inst, 1))
 
 	case core.MMV, core.VMM:
-		return m.execMatVec(inst)
+		return m.execMatVec(inst, e)
 	case core.MMS:
-		return m.execMMS(inst)
+		return m.execMMS(inst, e)
 	case core.OP:
-		return m.execOuter(inst)
+		return m.execOuter(inst, e)
 	case core.MAM, core.MSM:
-		return m.execMatElem(inst)
+		return m.execMatElem(inst, e)
 
 	case core.VAV, core.VSV, core.VMV, core.VDV,
 		core.VGT, core.VE, core.VAND, core.VOR, core.VGTM:
-		return m.execVecBinary(inst)
+		return m.execVecBinary(inst, e)
 	case core.VAS:
-		return m.execVAS(inst)
+		return m.execVAS(inst, e)
 	case core.VEXP, core.VLOG, core.VNOT:
-		return m.execVecUnary(inst)
+		return m.execVecUnary(inst, e)
 	case core.VDOT:
-		return m.execVDOT(inst)
+		return m.execVDOT(inst, e)
 	case core.RV:
-		return m.execRV(inst)
+		return m.execRV(inst, e)
 	case core.VMAX, core.VMIN:
-		return m.execVReduce(inst)
+		return m.execVReduce(inst, e)
 
 	case core.SADD, core.SSUB, core.SMUL, core.SDIV,
 		core.SGT, core.SE, core.SAND:
@@ -261,7 +313,7 @@ func (m *Machine) exec(inst core.Instruction) (effect, error) {
 		case core.SDIV:
 			e.execCycles = int64(m.cfg.DivBeatCycles)
 			if b == 0 {
-				return e, fmt.Errorf("scalar division by zero")
+				return fmt.Errorf("scalar division by zero")
 			}
 			r = a / b
 		case core.SGT:
@@ -293,15 +345,14 @@ func (m *Machine) exec(inst core.Instruction) (effect, error) {
 		m.gpr[inst.R[0]] = uint32(int32(r))
 
 	default:
-		return e, fmt.Errorf("unimplemented opcode %v", inst.Op)
+		return fmt.Errorf("unimplemented opcode %v", inst.Op)
 	}
-	return e, nil
+	return nil
 }
 
 // execLoadStore handles VLOAD/VSTORE/MLOAD/MSTORE: a DMA transfer between
 // main memory and a scratchpad.
-func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error) {
-	var e effect
+func (m *Machine) execLoadStore(inst core.Instruction, e *effect, load bool) error {
 	sp, pad := spaceVec, m.vspad
 	e.fu = fuVector
 	if inst.Op == core.MLOAD || inst.Op == core.MSTORE {
@@ -310,7 +361,7 @@ func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error
 	}
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	spadAddr := m.regAddr(inst.R[0])
 	mainAddr := m.regAddr(inst.R[2]) + int(inst.Imm)
@@ -318,21 +369,21 @@ func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error
 	data := scratchBytes(&m.bufBytes, bytes)
 	if load {
 		if err := m.main.ReadBytesInto(mainAddr, data); err != nil {
-			return e, err
+			return err
 		}
 		m.corruptDMA(data)
 		if err := pad.WriteBytes(spadAddr, data); err != nil {
-			return e, err
+			return err
 		}
 		e.touch(spaceMain, mainAddr, bytes, false)
 		e.touch(sp, spadAddr, bytes, true)
 	} else {
 		if err := pad.ReadBytesInto(spadAddr, data); err != nil {
-			return e, err
+			return err
 		}
 		m.corruptDMA(data)
 		if err := m.main.WriteBytes(mainAddr, data); err != nil {
-			return e, err
+			return err
 		}
 		e.touch(sp, spadAddr, bytes, false)
 		e.touch(spaceMain, mainAddr, bytes, true)
@@ -343,12 +394,11 @@ func (m *Machine) execLoadStore(inst core.Instruction, load bool) (effect, error
 	e.dmaBytes = bytes
 	m.stats.DMABytes += int64(bytes)
 	m.stats.SpadBytes += int64(bytes)
-	return e, nil
+	return nil
 }
 
 // execMove handles VMOVE/MMOVE: an on-chip copy within one scratchpad.
-func (m *Machine) execMove(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execMove(inst core.Instruction, e *effect) error {
 	sp, pad := spaceVec, m.vspad
 	e.fu = fuVector
 	if inst.Op == core.MMOVE {
@@ -357,16 +407,16 @@ func (m *Machine) execMove(inst core.Instruction) (effect, error) {
 	}
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst, src := m.regAddr(inst.R[0]), m.regAddr(inst.R[2])
 	bytes := fixed.Bytes(n)
 	data := scratchBytes(&m.bufBytes, bytes)
 	if err := pad.ReadBytesInto(src, data); err != nil {
-		return e, err
+		return err
 	}
 	if err := pad.WriteBytes(dst, data); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(sp, src, bytes, false)
 	e.touch(sp, dst, bytes, true)
@@ -376,31 +426,30 @@ func (m *Machine) execMove(inst core.Instruction) (effect, error) {
 		e.execCycles = m.matElemCycles(n)
 	}
 	m.stats.SpadBytes += 2 * int64(bytes)
-	return e, nil
+	return nil
 }
 
 // execMatVec handles MMV (Vout = M x Vin) and VMM (Vout = Vin x M). Both
 // read the matrix row-major from the matrix scratchpad; VMM contracts over
 // rows instead of columns, which is what makes the transpose-free backward
 // pass possible (Section III-A).
-func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execMatVec(inst core.Instruction, e *effect) error {
 	e.fu = fuMatrix
 	outN, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	inN, err := m.regSize(inst.R[4])
 	if err != nil {
-		return e, err
+		return err
 	}
 	matAddr := m.regAddr(inst.R[2])
 	vinAddr := m.regAddr(inst.R[3])
 	voutAddr := m.regAddr(inst.R[0])
 
-	vin, err := m.vspad.NumsView(vinAddr, inN, &m.bufA)
+	vin, err := m.vecView(vinAddr, inN, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
 	var rows, cols int
 	if inst.Op == core.MMV {
@@ -410,7 +459,7 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 	}
 	mat, err := m.mspad.NumsView(matAddr, rows*cols, &m.bufMat)
 	if err != nil {
-		return e, err
+		return err
 	}
 	out := scratch(&m.bufOut, outN)
 	if inst.Op == core.MMV {
@@ -440,7 +489,7 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.vspad.WriteNums(voutAddr, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceMat, matAddr, fixed.Bytes(rows*cols), false)
 	e.touch(spaceVec, vinAddr, fixed.Bytes(inN), false)
@@ -448,22 +497,21 @@ func (m *Machine) execMatVec(inst core.Instruction) (effect, error) {
 	e.execCycles = m.matCycles(rows, cols)
 	m.stats.MACOps += int64(rows) * int64(cols)
 	m.stats.SpadBytes += int64(fixed.Bytes(rows*cols + inN + outN))
-	return e, nil
+	return nil
 }
 
 // execMMS handles matrix-mult-scalar.
-func (m *Machine) execMMS(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execMMS(inst core.Instruction, e *effect) error {
 	e.fu = fuMatrix
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst, src := m.regAddr(inst.R[0]), m.regAddr(inst.R[2])
 	s := fixed.Num(m.tailInt(inst, 3))
 	in, err := m.mspad.NumsView(src, n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
 	out := scratch(&m.bufOut, n)
 	for i, v := range in {
@@ -471,36 +519,35 @@ func (m *Machine) execMMS(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.mspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceMat, src, fixed.Bytes(n), false)
 	e.touch(spaceMat, dst, fixed.Bytes(n), true)
 	e.execCycles = m.matElemCycles(n)
 	m.stats.MACOps += int64(n)
 	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execOuter handles OP: Mout[i][j] = Vin0[i] * Vin1[j].
-func (m *Machine) execOuter(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execOuter(inst core.Instruction, e *effect) error {
 	e.fu = fuMatrix
 	rows, err := m.regSize(inst.R[2])
 	if err != nil {
-		return e, err
+		return err
 	}
 	cols, err := m.regSize(inst.R[4])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst := m.regAddr(inst.R[0])
-	v0, err := m.vspad.NumsView(m.regAddr(inst.R[1]), rows, &m.bufA)
+	v0, err := m.vecView(m.regAddr(inst.R[1]), rows, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
-	v1, err := m.vspad.NumsView(m.regAddr(inst.R[3]), cols, &m.bufB)
+	v1, err := m.vecView(m.regAddr(inst.R[3]), cols, &m.bufB)
 	if err != nil {
-		return e, err
+		return err
 	}
 	out := scratch(&m.bufMat, rows*cols)
 	for i := 0; i < rows; i++ {
@@ -510,7 +557,7 @@ func (m *Machine) execOuter(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.mspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceVec, m.regAddr(inst.R[1]), fixed.Bytes(rows), false)
 	e.touch(spaceVec, m.regAddr(inst.R[3]), fixed.Bytes(cols), false)
@@ -518,25 +565,24 @@ func (m *Machine) execOuter(inst core.Instruction) (effect, error) {
 	e.execCycles = m.matCycles(rows, cols)
 	m.stats.MACOps += int64(rows) * int64(cols)
 	m.stats.SpadBytes += int64(fixed.Bytes(rows*cols + rows + cols))
-	return e, nil
+	return nil
 }
 
 // execMatElem handles MAM/MSM: element-wise matrix add/subtract.
-func (m *Machine) execMatElem(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execMatElem(inst core.Instruction, e *effect) error {
 	e.fu = fuMatrix
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst := m.regAddr(inst.R[0])
 	a, err := m.mspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
 	b, err := m.mspad.NumsView(m.regAddr(inst.R[3]), n, &m.bufB)
 	if err != nil {
-		return e, err
+		return err
 	}
 	out := scratch(&m.bufOut, n)
 	for i := range out {
@@ -548,7 +594,7 @@ func (m *Machine) execMatElem(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitMatrix, out)
 	if err := m.mspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceMat, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
 	e.touch(spaceMat, m.regAddr(inst.R[3]), fixed.Bytes(n), false)
@@ -556,47 +602,65 @@ func (m *Machine) execMatElem(inst core.Instruction) (effect, error) {
 	e.execCycles = m.matElemCycles(n)
 	m.stats.MACOps += int64(n)
 	m.stats.SpadBytes += int64(3 * fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execVecBinary handles all element-wise two-vector operations.
-func (m *Machine) execVecBinary(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execVecBinary(inst core.Instruction, e *effect) error {
 	e.fu = fuVector
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst := m.regAddr(inst.R[0])
-	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	a, err := m.vecView(m.regAddr(inst.R[2]), n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
-	b, err := m.vspad.NumsView(m.regAddr(inst.R[3]), n, &m.bufB)
+	b, err := m.vecView(m.regAddr(inst.R[3]), n, &m.bufB)
 	if err != nil {
-		return e, err
+		return err
 	}
 	out := scratch(&m.bufOut, n)
 	beatCost := 1
-	for i := range out {
-		switch inst.Op {
-		case core.VAV:
+	// One switch per instruction, not per element: the per-opcode loops
+	// keep the lane arithmetic branch-free on the hot path.
+	switch inst.Op {
+	case core.VAV:
+		for i := range out {
 			out[i] = fixed.Add(a[i], b[i])
-		case core.VSV:
+		}
+	case core.VSV:
+		for i := range out {
 			out[i] = fixed.Sub(a[i], b[i])
-		case core.VMV:
+		}
+	case core.VMV:
+		for i := range out {
 			out[i] = fixed.Mul(a[i], b[i])
-		case core.VDV:
+		}
+	case core.VDV:
+		for i := range out {
 			out[i] = fixed.Div(a[i], b[i])
-		case core.VGT:
+		}
+		beatCost = m.cfg.DivBeatCycles
+	case core.VGT:
+		for i := range out {
 			out[i] = boolNum(a[i] > b[i])
-		case core.VE:
+		}
+	case core.VE:
+		for i := range out {
 			out[i] = boolNum(a[i] == b[i])
-		case core.VAND:
+		}
+	case core.VAND:
+		for i := range out {
 			out[i] = boolNum(a[i] != 0 && b[i] != 0)
-		case core.VOR:
+		}
+	case core.VOR:
+		for i := range out {
 			out[i] = boolNum(a[i] != 0 || b[i] != 0)
-		case core.VGTM:
+		}
+	case core.VGTM:
+		for i := range out {
 			if a[i] > b[i] {
 				out[i] = a[i]
 			} else {
@@ -604,12 +668,9 @@ func (m *Machine) execVecBinary(inst core.Instruction) (effect, error) {
 			}
 		}
 	}
-	if inst.Op == core.VDV {
-		beatCost = m.cfg.DivBeatCycles
-	}
 	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
 	e.touch(spaceVec, m.regAddr(inst.R[3]), fixed.Bytes(n), false)
@@ -617,21 +678,20 @@ func (m *Machine) execVecBinary(inst core.Instruction) (effect, error) {
 	e.execCycles = m.vecCycles(n, beatCost, e.acc())
 	m.stats.VectorElems += int64(n)
 	m.stats.SpadBytes += int64(3 * fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execVAS handles vector-add-scalar.
-func (m *Machine) execVAS(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execVAS(inst core.Instruction, e *effect) error {
 	e.fu = fuVector
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst := m.regAddr(inst.R[0])
-	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	a, err := m.vecView(m.regAddr(inst.R[2]), n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
 	s := fixed.Num(m.tailInt(inst, 3))
 	out := scratch(&m.bufOut, n)
@@ -640,28 +700,27 @@ func (m *Machine) execVAS(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
 	e.touch(spaceVec, dst, fixed.Bytes(n), true)
 	e.execCycles = m.vecCycles(n, 1, e.acc())
 	m.stats.VectorElems += int64(n)
 	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execVecUnary handles VEXP/VLOG/VNOT.
-func (m *Machine) execVecUnary(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execVecUnary(inst core.Instruction, e *effect) error {
 	e.fu = fuVector
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst := m.regAddr(inst.R[0])
-	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	a, err := m.vecView(m.regAddr(inst.R[2]), n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
 	out := scratch(&m.bufOut, n)
 	beatCost := 1
@@ -685,31 +744,30 @@ func (m *Machine) execVecUnary(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
 	e.touch(spaceVec, dst, fixed.Bytes(n), true)
 	e.execCycles = m.vecCycles(n, beatCost, e.acc())
 	m.stats.VectorElems += int64(n)
 	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execVDOT handles the dot product, writing its scalar result to a GPR.
-func (m *Machine) execVDOT(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execVDOT(inst core.Instruction, e *effect) error {
 	e.fu = fuVector
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
-	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	a, err := m.vecView(m.regAddr(inst.R[2]), n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
-	b, err := m.vspad.NumsView(m.regAddr(inst.R[3]), n, &m.bufB)
+	b, err := m.vecView(m.regAddr(inst.R[3]), n, &m.bufB)
 	if err != nil {
-		return e, err
+		return err
 	}
 	m.gpr[inst.R[0]] = uint32(int32(fixed.Dot(a, b)))
 	e.touch(spaceVec, m.regAddr(inst.R[2]), fixed.Bytes(n), false)
@@ -717,17 +775,16 @@ func (m *Machine) execVDOT(inst core.Instruction) (effect, error) {
 	e.execCycles = m.vecCycles(n, 1, e.acc()) + reduceCycles(m.cfg.VectorLanes)
 	m.stats.VectorElems += int64(n)
 	m.stats.SpadBytes += int64(2 * fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execRV handles the random-vector instruction: uniform fixed-point values
 // over [0, 1) from the machine's deterministic PRNG.
-func (m *Machine) execRV(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execRV(inst core.Instruction, e *effect) error {
 	e.fu = fuVector
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	dst := m.regAddr(inst.R[0])
 	out := scratch(&m.bufOut, n)
@@ -736,29 +793,28 @@ func (m *Machine) execRV(inst core.Instruction) (effect, error) {
 	}
 	m.applyStuck(fault.UnitVector, out)
 	if err := m.vspad.WriteNums(dst, out); err != nil {
-		return e, err
+		return err
 	}
 	e.touch(spaceVec, dst, fixed.Bytes(n), true)
 	e.execCycles = m.vecCycles(n, 1, e.acc())
 	m.stats.VectorElems += int64(n)
 	m.stats.SpadBytes += int64(fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // execVReduce handles VMAX/VMIN, writing the extreme element to a GPR.
-func (m *Machine) execVReduce(inst core.Instruction) (effect, error) {
-	var e effect
+func (m *Machine) execVReduce(inst core.Instruction, e *effect) error {
 	e.fu = fuVector
 	n, err := m.regSize(inst.R[1])
 	if err != nil {
-		return e, err
+		return err
 	}
 	if n == 0 {
-		return e, fmt.Errorf("%v of an empty vector", inst.Op)
+		return fmt.Errorf("%v of an empty vector", inst.Op)
 	}
-	a, err := m.vspad.NumsView(m.regAddr(inst.R[2]), n, &m.bufA)
+	a, err := m.vecView(m.regAddr(inst.R[2]), n, &m.bufA)
 	if err != nil {
-		return e, err
+		return err
 	}
 	best := a[0]
 	for _, v := range a[1:] {
@@ -771,7 +827,7 @@ func (m *Machine) execVReduce(inst core.Instruction) (effect, error) {
 	e.execCycles = m.vecCycles(n, 1, e.acc()) + reduceCycles(m.cfg.VectorLanes)
 	m.stats.VectorElems += int64(n)
 	m.stats.SpadBytes += int64(fixed.Bytes(n))
-	return e, nil
+	return nil
 }
 
 // reduceCycles is the cost of the lane-reduction tree.

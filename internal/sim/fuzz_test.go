@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -58,5 +59,67 @@ func FuzzRunDecodedProgram(f *testing.F) {
 		}
 		// Any other error (runtime fault, watchdog) is an acceptable
 		// structured outcome for a fuzzed program.
+	})
+}
+
+// FuzzPredecodedEquivalence feeds arbitrary binary images through both
+// interpreters — the per-step decode loop and the pre-decoded fused
+// dispatch loop — and requires identical outcomes: same statistics, same
+// cycles, same registers, and the same error (or clean termination) for
+// every program the decoder accepts. The watchdog is armed, so the
+// decoded side runs the observed slow loop, the path fault campaigns
+// take; TestPredecoded* in differential_test.go covers the tight loop.
+func FuzzPredecodedEquivalence(f *testing.F) {
+	f.Add(fuzzSeedImage(f, "\tSMOVE $1, #5\n"))
+	f.Add(fuzzSeedImage(f, "\tSMOVE $1, #3\nspin:\tSADD $1, $1, #-1\n\tCB #spin, $1\n"))
+	f.Add(fuzzSeedImage(f, "spin:\tJUMP #spin\n")) // watchdog on both paths
+	f.Add(fuzzSeedImage(f, "\tSMOVE $0, #4\n\tSMOVE $1, #0\n\tVLOAD $1, $0, #100\n\tVAV $1, $0, $1, $1\n\tVSTORE $1, $0, #200\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 1 << 16
+	f.Fuzz(func(t *testing.T, img []byte) {
+		if len(img) > 512*core.WordBytes {
+			return
+		}
+		prog, err := core.DecodeProgram(img)
+		if err != nil {
+			return
+		}
+		base, err := New(cfg)
+		if err != nil {
+			t.Fatalf("default config rejected: %v", err)
+		}
+		base.LoadProgram(prog)
+		wantStats, wantErr := base.Run()
+
+		dp, perr := Predecode(prog)
+		if perr != nil {
+			// Predecode front-loads the per-run validation; anything it
+			// rejects must also fail the baseline run.
+			if wantErr == nil {
+				t.Fatalf("predecode rejected (%v) but the baseline ran clean", perr)
+			}
+			return
+		}
+		dec, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.LoadDecoded(dp)
+		gotStats, gotErr := dec.Run()
+		if (wantErr == nil) != (gotErr == nil) ||
+			(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+			t.Fatalf("errors diverge: baseline %v, predecoded %v", wantErr, gotErr)
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Fatalf("stats diverge:\nbaseline   %+v\npredecoded %+v", wantStats, gotStats)
+		}
+		for r := 0; r < core.NumGPRs; r++ {
+			if base.GPR(uint8(r)) != dec.GPR(uint8(r)) {
+				t.Fatalf("$%d = %d, baseline %d", r,
+					int32(dec.GPR(uint8(r))), int32(base.GPR(uint8(r))))
+			}
+		}
 	})
 }

@@ -31,6 +31,23 @@ type Machine struct {
 	pipe  pipeline
 	trace io.Writer
 
+	// dec is the installed pre-decoded program (nil = baseline
+	// interpretation). LoadDecoded sets it, LoadProgram clears it, and
+	// Restore propagates whatever the snapshot carried.
+	dec *DecodedProgram
+	// eff is the pre-decoded loop's reusable effect buffer (the baseline
+	// loop stack-allocates its own).
+	eff effect
+	// fusedSrc/fusedAddr arm the fused-pair read short-circuit: while
+	// non-empty, vector-scratchpad operand views of exactly
+	// [fusedAddr, len(fusedSrc)) resolve to fusedSrc — the vector the
+	// fused producer just wrote there — instead of re-reading the
+	// scratchpad. bufFuse is the second output buffer that keeps a fused
+	// consumer from clobbering the intermediate it is reading.
+	fusedSrc  []fixed.Num
+	fusedAddr int
+	bufFuse   []fixed.Num
+
 	// tracer receives the observability event stream (nil = untraced;
 	// the hot path then makes no trace calls and allocates nothing). ev
 	// is the single reusable event buffer handed to the tracer. fobs is
@@ -105,9 +122,12 @@ func (m *Machine) Reset() {
 	m.pipe.init(&m.cfg, &m.stats)
 }
 
-// LoadProgram installs the program to run.
+// LoadProgram installs the program to run through the baseline
+// interpreter, clearing any previously installed pre-decoded form (see
+// LoadDecoded).
 func (m *Machine) LoadProgram(prog []core.Instruction) {
 	m.prog = prog
+	m.dec = nil
 	m.pc = 0
 }
 
@@ -366,6 +386,12 @@ func (m *Machine) Run() (Stats, error) {
 // runaway loops).
 func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 	m.pc = 0
+	if m.dec != nil {
+		// Pre-decoded dispatch: the program was validated by Predecode,
+		// and the decoded loops produce bit-identical statistics, cycles,
+		// traces and fault behaviour to the baseline loop below.
+		return m.runDecoded(ctx)
+	}
 	// Pre-validate the program once: Run accepts handcrafted instruction
 	// slices (not just assembler output), and execution indexes register
 	// files and formats by field values, so malformed instructions must

@@ -23,6 +23,7 @@ type Snapshot struct {
 	pc   int
 	rng  uint64
 	prog []core.Instruction
+	dec  *DecodedProgram
 
 	vspad, mspad []byte
 	main         *mem.SparseImage
@@ -60,6 +61,7 @@ func (m *Machine) Snapshot() *Snapshot {
 		pc:    m.pc,
 		rng:   m.rng,
 		prog:  m.prog,
+		dec:   m.dec,
 		vspad: m.vspad.Image(),
 		mspad: m.mspad.Image(),
 		main:  m.main.SparseImage(),
@@ -114,6 +116,7 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.pc = s.pc
 	m.rng = s.rng
 	m.prog = s.prog
+	m.dec = s.dec
 	m.stats = Stats{}
 	m.pipe.init(&m.cfg, &m.stats)
 	return nil

@@ -15,6 +15,10 @@ type pipeline struct {
 	stats *Stats
 
 	count int64 // dynamic instruction index
+	// iqPos/robPos are count modulo the respective ring sizes, maintained
+	// incrementally so the per-instruction ring accesses avoid int64
+	// division.
+	iqPos, robPos int
 
 	// Fetch bandwidth and branch redirect.
 	fetchCycle int64
@@ -36,10 +40,16 @@ type pipeline struct {
 	commitSlot  int
 	lastCommit  int64
 
-	// Memory queue ring (memory-touching instructions only).
-	memCount int64
-	mq       []mqEntry
-	mqRetire []int64
+	// Memory queue ring (memory-touching instructions only). mqPos is
+	// memCount modulo the ring size; mqMaxDone is an upper bound on the
+	// done time of every entry ever inserted, letting the dependence scan
+	// prove "no entry can move the dependence time" without touching the
+	// ring.
+	memCount  int64
+	mqPos     int
+	mqMaxDone int64
+	mq        []mqEntry
+	mqRetire  []int64
 
 	// Functional-unit availability. The scalar unit and L1 port are
 	// pipelined (one new op per cycle); the vector and matrix units are
@@ -56,11 +66,16 @@ type pipeline struct {
 // mqEntry is one in-flight memory-queue entry. The access set is a fixed
 // array (no instruction touches more than four regions, see effect), so
 // recording an entry and scanning the queue for dependences never
-// allocates.
+// allocates. wmask/amask summarize the set (bit i set when space i has a
+// written / any access): two entries can only conflict when one's write
+// mask intersects the other's access mask, so the dependence scan skips
+// the region-overlap test for the common disjoint-space case.
 type mqEntry struct {
 	done   int64
 	accBuf [4]access
 	nAcc   int
+	wmask  uint8
+	amask  uint8
 }
 
 // acc views the entry's access set.
@@ -83,12 +98,14 @@ func (p *pipeline) init(cfg *Config, stats *Stats) {
 	p.cfg = cfg
 	p.stats = stats
 	p.count = 0
+	p.iqPos, p.robPos = 0, 0
 	p.fetchCycle, p.fetchSlot, p.redirect = 0, 0, 0
 	p.iqIssued = resizeInt64(p.iqIssued, cfg.IssueQueueDepth)
 	p.issueCycle, p.issueSlot, p.lastIssueTime = 0, 0, 0
 	p.robCommit = resizeInt64(p.robCommit, cfg.ROBDepth)
 	p.commitCycle, p.commitSlot, p.lastCommit = 0, 0, 0
 	p.memCount = 0
+	p.mqPos, p.mqMaxDone = 0, 0
 	if cap(p.mq) < cfg.MemQueueDepth {
 		p.mq = make([]mqEntry, cfg.MemQueueDepth)
 	} else {
@@ -100,13 +117,6 @@ func (p *pipeline) init(cfg *Config, stats *Stats) {
 	p.mqRetire = resizeInt64(p.mqRetire, cfg.MemQueueDepth)
 	p.scalarNext, p.l1Next, p.vectorFree, p.matrixFree = 0, 0, 0, 0
 	p.regReady = [core.NumGPRs]int64{}
-}
-
-// attrSeg is one interval of an instruction's critical path, labeled
-// with what the instruction was doing (or waiting on) during it.
-type attrSeg struct {
-	cause trace.Cause
-	a, b  int64 // half-open [a, b)
 }
 
 // advance threads one executed instruction through the timing model and
@@ -123,8 +133,28 @@ type attrSeg struct {
 // same timestamps and attribution are recorded for the tracer; passing
 // nil adds no work beyond the always-on statistics.
 func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent) int64 {
+	var srcBuf [6]uint8
+	src := inst.ReadRegs(srcBuf[:0])
+	dst, hasDst := inst.DestReg()
+	return p.advanceWith(src, dst, hasDst, e, ev)
+}
+
+// advanceWith is advance with the instruction's source and destination
+// register sets supplied by the caller. The baseline interpreter derives
+// them from the instruction on every dynamic step (the advance wrapper
+// above); the pre-decoded path passes the sets cached at decode time.
+// Both paths share this one body, so their timing is identical by
+// construction.
+func (p *pipeline) advanceWith(src []uint8, dst uint8, hasDst bool, e *effect, ev *trace.InstEvent) int64 {
 	i := p.count
 	p.count++
+	iqPos, robPos := p.iqPos, p.robPos
+	if p.iqPos++; p.iqPos == len(p.iqIssued) {
+		p.iqPos = 0
+	}
+	if p.robPos++; p.robPos == len(p.robCommit) {
+		p.robPos = 0
+	}
 	width := p.cfg.IssueWidth
 	prevCommit := p.lastCommit
 
@@ -140,7 +170,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 		fetchCause = trace.CauseFrontend
 	}
 	if i >= int64(len(p.iqIssued)) {
-		if t := p.iqIssued[i%int64(len(p.iqIssued))]; t > f {
+		if t := p.iqIssued[iqPos]; t > f {
 			f = t
 			fetchCause = trace.CauseIQFull
 		}
@@ -167,9 +197,8 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 
 	// Issue: in order, after source registers are read from the scalar
 	// register file, with ROB and memory-queue space available.
-	var srcBuf [6]uint8
 	rr := s0
-	for _, r := range inst.ReadRegs(srcBuf[:0]) {
+	for _, r := range src {
 		if p.regReady[r] > rr {
 			rr = p.regReady[r]
 		}
@@ -177,7 +206,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 	p.stats.RegStallCycles += rr - s0
 	sROB := rr
 	if i >= int64(len(p.robCommit)) {
-		if t := p.robCommit[i%int64(len(p.robCommit))]; t > sROB {
+		if t := p.robCommit[robPos]; t > sROB {
 			p.stats.ROBFullStallCycles += t - sROB
 			sROB = t
 		}
@@ -185,7 +214,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 	isMem := e.fu == fuVector || e.fu == fuMatrix || e.fu == fuScalarMem
 	sMQ := sROB
 	if isMem && p.memCount >= int64(len(p.mqRetire)) {
-		if t := p.mqRetire[p.memCount%int64(len(p.mqRetire))]; t > sMQ {
+		if t := p.mqRetire[p.mqPos]; t > sMQ {
 			p.stats.MemQueueFullStallCycles += t - sMQ
 			sMQ = t
 		}
@@ -204,7 +233,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 		p.issueSlot = 0
 	}
 	p.lastIssueTime = s
-	p.iqIssued[i%int64(len(p.iqIssued))] = s
+	p.iqIssued[iqPos] = s
 
 	// Execute. regReadEnd closes the fixed post-issue pipeline stages
 	// (register read, and the AGU for memory-touching instructions),
@@ -228,14 +257,29 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 		entry := s + 2 // register read + AGU
 		regReadEnd = entry
 		dep := entry
-		lo := p.memCount - int64(len(p.mq))
-		if lo < 0 {
-			lo = 0
-		}
-		for k := lo; k < p.memCount; k++ {
-			ent := &p.mq[k%int64(len(p.mq))]
-			if ent.done > dep && overlapsConflicting(ent.acc(), e.acc()) {
-				dep = ent.done
+		// Scan the in-flight window for overlapping earlier accesses.
+		// Entries whose done time does not exceed the entry time cannot
+		// move the dependence point, so when the queue-wide done bound is
+		// already behind there is nothing to scan.
+		if p.mqMaxDone > dep {
+			wmask, amask := accessMasks(e.acc())
+			span := p.memCount
+			if span > int64(len(p.mq)) {
+				span = int64(len(p.mq))
+			}
+			pos := p.mqPos - int(span)
+			if pos < 0 {
+				pos += len(p.mq)
+			}
+			for k := int64(0); k < span; k++ {
+				ent := &p.mq[pos]
+				if pos++; pos == len(p.mq) {
+					pos = 0
+				}
+				if ent.done > dep && ent.wmask&amask|ent.amask&wmask != 0 &&
+					overlapsConflicting(ent.acc(), e.acc()) {
+					dep = ent.done
+				}
 			}
 		}
 		p.stats.MemDepStallCycles += dep - entry
@@ -267,23 +311,34 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 			p.l1Next = start + 1
 		}
 		// Record the memory-queue entry; retirement is in order.
-		idx := p.memCount % int64(len(p.mq))
+		idx := p.mqPos
 		ent := &p.mq[idx]
 		ent.done = done
-		ent.accBuf = e.accessBuf
+		copy(ent.accBuf[:e.nAccess], e.accessBuf[:e.nAccess])
 		ent.nAcc = e.nAccess
+		ent.wmask, ent.amask = accessMasks(ent.acc())
+		if done > p.mqMaxDone {
+			p.mqMaxDone = done
+		}
 		retire := done
 		if p.memCount > 0 {
-			if prev := p.mqRetire[(p.memCount-1)%int64(len(p.mqRetire))]; prev > retire {
+			prevIdx := idx - 1
+			if prevIdx < 0 {
+				prevIdx = len(p.mqRetire) - 1
+			}
+			if prev := p.mqRetire[prevIdx]; prev > retire {
 				retire = prev
 			}
 		}
 		p.mqRetire[idx] = retire
 		p.memCount++
+		if p.mqPos++; p.mqPos == len(p.mq) {
+			p.mqPos = 0
+		}
 	}
 
 	// Write back.
-	if dst, ok := inst.DestReg(); ok {
+	if hasDst {
 		p.regReady[dst] = done + 1
 	}
 
@@ -305,7 +360,7 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 		p.commitSlot = 0
 	}
 	p.lastCommit = c
-	p.robCommit[i%int64(len(p.robCommit))] = c
+	p.robCommit[robPos] = c
 
 	// Branch redirect.
 	if e.branchTaken {
@@ -315,55 +370,45 @@ func (p *pipeline) advance(inst core.Instruction, e *effect, ev *trace.InstEvent
 		}
 	}
 
-	// Stall attribution: clip the critical-path segments to the commit
-	// window [prevCommit, c). The segment boundaries are monotone
-	// (f <= s0 <= rr <= sROB <= sMQ <= s <= regReadEnd <= depEnd <=
-	// start <= done+1 <= c), so the clipped segments are disjoint and
-	// any window cycles they leave uncovered precede the fetch — those
-	// are charged to whatever gated the fetch.
-	segs := [10]attrSeg{
-		{trace.CauseFrontend, f, s0},            // fetch + decode + in-order issue
-		{trace.CauseRegDep, s0, rr},             // source-register wait
-		{trace.CauseROBFull, rr, sROB},          // reorder-buffer wait
-		{trace.CauseMemQueueFull, sROB, sMQ},    // memory-queue-space wait
-		{trace.CauseFrontend, sMQ, s},           // issue bandwidth
-		{trace.CauseCompute, s, regReadEnd},     // register read + AGU
-		{trace.CauseMemDep, regReadEnd, depEnd}, // memory-dependence wait
-		{trace.CauseFUBusy, depEnd, start},      // functional-unit wait
-		{trace.CauseCompute, start, done + 1},   // execution + write-back
-		{trace.CauseCommit, done + 1, c},        // in-order / bandwidth commit wait
-	}
-	gap := c - prevCommit
-	var covered int64
-	for _, sg := range segs {
-		lo, hi := sg.a, sg.b
-		if lo < prevCommit {
-			lo = prevCommit
+	// Stall attribution: walk the critical path's commit window
+	// [prevCommit, c). The path's segment boundaries are monotone and
+	// contiguous (f <= s0 <= rr <= sROB <= sMQ <= s <= regReadEnd <=
+	// depEnd <= start <= done+1 <= c), so advancing a cursor from
+	// prevCommit boundary to boundary charges every window cycle to
+	// exactly one cause; cycles before the fetch are charged to whatever
+	// gated the fetch. Commit windows telescope across the run, which is
+	// why the per-cause totals sum to exactly Stats.Cycles.
+	w := prevCommit
+	charge := func(cause trace.Cause, b int64) {
+		if b > c {
+			b = c
 		}
-		if hi > c {
-			hi = c
-		}
-		if hi > lo {
-			p.stats.Stalls[sg.cause] += hi - lo
-			covered += hi - lo
+		if b > w {
+			p.stats.Stalls[cause] += b - w
 			if ev != nil {
-				ev.Attr[sg.cause] += hi - lo
+				ev.Attr[cause] += b - w
 			}
+			w = b
 		}
 	}
-	if rest := gap - covered; rest > 0 {
-		p.stats.Stalls[fetchCause] += rest
-		if ev != nil {
-			ev.Attr[fetchCause] += rest
-		}
-	}
+	charge(fetchCause, f)                  // pre-fetch wait
+	charge(trace.CauseFrontend, s0)        // fetch + decode + in-order issue
+	charge(trace.CauseRegDep, rr)          // source-register wait
+	charge(trace.CauseROBFull, sROB)       // reorder-buffer wait
+	charge(trace.CauseMemQueueFull, sMQ)   // memory-queue-space wait
+	charge(trace.CauseFrontend, s)         // issue bandwidth
+	charge(trace.CauseCompute, regReadEnd) // register read + AGU
+	charge(trace.CauseMemDep, depEnd)      // memory-dependence wait
+	charge(trace.CauseFUBusy, start)       // functional-unit wait
+	charge(trace.CauseCompute, done+1)     // execution + write-back
+	charge(trace.CauseCommit, c)           // in-order / bandwidth commit wait
 
 	if ev != nil {
 		ev.Fetch, ev.Decode, ev.Issue = f, d, s
 		ev.ExecStart, ev.ExecDone, ev.Commit = start, done, c
 		ev.ExecCycles = e.execCycles
 		ev.FU = trace.FU(e.fu)
-		ev.Gap = gap
+		ev.Gap = c - prevCommit
 		ev.RegWait = rr - s0
 		ev.ROBWait = sROB - rr
 		ev.MemQueueWait = sMQ - sROB
