@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode check-host fault-json
+.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace check-host fault-json
 
-ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode check-host
+ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace check-host
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -93,6 +93,36 @@ smoke-predecode:
 		diff /tmp/cambricon-smoke-predec.json /tmp/cambricon-smoke-base.json; exit 1; }
 	@rm -f /tmp/cambricon-smoke-predec.json /tmp/cambricon-smoke-base.json
 	@echo "smoke-predecode: ok"
+
+# Request-tracing smoke run: start camserve, send a W3C traceparent
+# through POST /run, and assert the trace is joined end to end — the
+# response continues the caller's trace id, the flight recorder serves
+# the run's debug bundle with its span timeline, and the Chrome export
+# is a loadable trace (docs/OBSERVABILITY.md, "Request tracing & the
+# flight recorder").
+smoke-reqtrace:
+	@$(GO) build -o /tmp/cambricon-smoke-reqtrace-srv ./cmd/camserve
+	@/tmp/cambricon-smoke-reqtrace-srv -addr 127.0.0.1:18932 -log-format json >/dev/null 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18932/readyz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	tp='00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01'; \
+	curl -fsS -X POST -H "traceparent: $$tp" -d '{"benchmark":"MLP"}' \
+		http://127.0.0.1:18932/run > /tmp/cambricon-smoke-rt-run.json || { echo "smoke-reqtrace: /run failed"; exit 1; }; \
+	grep -q '"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"' /tmp/cambricon-smoke-rt-run.json || { \
+		echo "smoke-reqtrace: run did not join the caller's trace"; cat /tmp/cambricon-smoke-rt-run.json; exit 1; }; \
+	curl -fsS http://127.0.0.1:18932/runs/1 > /tmp/cambricon-smoke-rt-dbg.json || { echo "smoke-reqtrace: /runs/1 failed"; exit 1; }; \
+	grep -q '"sim.run"' /tmp/cambricon-smoke-rt-dbg.json || { echo "smoke-reqtrace: bundle missing sim.run span"; exit 1; }; \
+	grep -q '"stall_breakdown"' /tmp/cambricon-smoke-rt-dbg.json || { echo "smoke-reqtrace: bundle missing stall breakdown"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18932/runs/1/trace > /tmp/cambricon-smoke-rt-trace.json || { echo "smoke-reqtrace: /runs/1/trace failed"; exit 1; }; \
+	grep -q '"traceEvents"' /tmp/cambricon-smoke-rt-trace.json || { echo "smoke-reqtrace: not a Chrome trace"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18932/metrics | grep -q '^cambricon_go_goroutines ' || { echo "smoke-reqtrace: runtime metrics missing"; exit 1; }; \
+	rm -f /tmp/cambricon-smoke-rt-run.json /tmp/cambricon-smoke-rt-dbg.json /tmp/cambricon-smoke-rt-trace.json; \
+	echo "smoke-reqtrace: ok"
+	@rm -f /tmp/cambricon-smoke-reqtrace-srv
 
 # Host-benchmark regression gate: re-measure the warm-start layer and
 # fail if the host-portable signals (cold/warm ratios, warm-row

@@ -5,22 +5,35 @@
 // Prometheus text format, and GET /runs is the in-memory ledger of
 // recent runs.
 //
+// Every request is traced end to end (docs/OBSERVABILITY.md, "Request
+// tracing & the flight recorder"): camserve joins the caller's W3C
+// `traceparent` (or mints a root), records a span per phase — semaphore
+// wait, pool acquire, snapshot restore, simulation, JSON encode — and
+// keeps the finished timeline in a bounded flight recorder, queryable
+// per run id as a JSON debug bundle or a Chrome/Perfetto trace.
+//
 // Usage:
 //
 //	camserve                    # listen on :8080
 //	camserve -addr :9090        # another port
 //	camserve -max-inflight 8    # concurrent /run bound (excess -> 503)
-//	camserve -ledger 256        # runs retained by GET /runs
+//	camserve -ledger 256        # runs retained by GET /runs and the flight recorder
 //	camserve -seed 7            # benchmark generation seed
 //	camserve -warm=false        # disable machine pooling / warm-starts
+//	camserve -log-format json   # structured access logs (default text)
+//	camserve -debug-addr :6060  # opt-in net/http/pprof listener
 //
 // Endpoints:
 //
-//	GET  /metrics   Prometheus text exposition (version 0.0.4)
-//	GET  /healthz   liveness (200 once the listener is up)
-//	GET  /readyz    readiness (200 once programs are generated)
-//	POST /run       {"benchmark":"MLP"} -> one simulation, JSON result
-//	GET  /runs      recent runs, newest first
+//	GET  /metrics          Prometheus text exposition (version 0.0.4,
+//	                       simulator + Go runtime families)
+//	GET  /healthz          liveness (200 once the listener is up)
+//	GET  /readyz           readiness (200 once programs are generated)
+//	POST /run              {"benchmark":"MLP"} -> one simulation, JSON result
+//	GET  /runs             recent runs, newest first
+//	GET  /runs/{id}        per-run debug bundle: span timeline, CPI-stack
+//	                       stall breakdown, restore bytes, trace id
+//	GET  /runs/{id}/trace  the span timeline as Chrome Trace Event JSON
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight runs
 // finish, new connections are refused.
@@ -34,8 +47,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,11 +60,14 @@ import (
 	"cambricon"
 	"cambricon/internal/bench"
 	"cambricon/internal/metrics"
+	"cambricon/internal/reqtrace"
+	"cambricon/internal/trace"
 )
 
 // Metric names owned by the HTTP layer (the suite's own instruments are
 // the cambricon_bench_*/cambricon_pool_*/cambricon_snapshot_* families,
-// see internal/bench).
+// see internal/bench; the Go runtime families are cambricon_go_*, see
+// internal/metrics).
 const (
 	metricRequests  = "cambricon_serve_requests_total"
 	metricRejected  = "cambricon_serve_busy_rejections_total"
@@ -61,9 +79,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Uint64("seed", 7, "benchmark generation seed")
 	maxInflight := flag.Int("max-inflight", 8, "concurrent POST /run bound; excess requests get 503")
-	ledgerSize := flag.Int("ledger", 256, "runs retained by GET /runs")
+	ledgerSize := flag.Int("ledger", 256, "runs retained by GET /runs and the /runs/{id} flight recorder")
 	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs")
 	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode)")
+	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -75,8 +95,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "camserve: unexpected arguments %q (all inputs are flags)\n", flag.Args())
 		os.Exit(2)
 	}
-
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger, err := buildLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camserve: %v\n", err)
+		os.Exit(2)
+	}
 	srv := newServer(*seed, *warm, *predecode, *maxInflight, *ledgerSize, logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -86,6 +109,14 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	go srv.warmup()
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("pprof debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugHandler()); err != nil {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 	logger.Info("camserve listening", "addr", *addr, "version", cambricon.Version)
 
 	select {
@@ -103,12 +134,39 @@ func main() {
 	}
 }
 
-// server wires the benchmark suite, its metrics registry and the run
-// ledger behind the HTTP handlers.
+// buildLogger selects the slog handler for the access log: "text" (the
+// default, human-oriented) or "json" (one object per line, the shape
+// log aggregators ingest without a parse rule).
+func buildLogger(w *os.File, format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// debugHandler serves the net/http/pprof endpoints on a private mux, so
+// profiling never rides the public listener and nothing registers on
+// http.DefaultServeMux.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// server wires the benchmark suite, its metrics registry, the run
+// ledger and the flight recorder behind the HTTP handlers.
 type server struct {
-	suite  *bench.Suite
-	reg    *metrics.Registry
-	logger *slog.Logger
+	suite   *bench.Suite
+	reg     *metrics.Registry
+	runtime *metrics.RuntimeBridge
+	logger  *slog.Logger
 
 	// sem bounds concurrent /run simulations; a full channel is the 503
 	// signal, never a queue — the client owns its retry policy.
@@ -117,6 +175,9 @@ type server struct {
 	rejected *metrics.Counter
 
 	ledger *runLedger
+	// flight retains the per-run debug bundles GET /runs/{id} and
+	// /runs/{id}/trace serve, bounded to the same depth as the ledger.
+	flight *reqtrace.Store[*runDebug]
 	ready  atomic.Bool
 }
 
@@ -135,11 +196,13 @@ func newServer(seed uint64, warm, predecode bool, maxInflight, ledgerSize int, l
 	return &server{
 		suite:    suite,
 		reg:      reg,
+		runtime:  metrics.NewRuntimeBridge(reg),
 		logger:   logger,
 		sem:      make(chan struct{}, maxInflight),
 		inFlight: reg.Gauge(metricInFlight, "POST /run simulations currently executing"),
 		rejected: reg.Counter(metricRejected, "POST /run requests rejected because max-inflight was reached"),
 		ledger:   newRunLedger(ledgerSize),
+		flight:   reqtrace.NewStore[*runDebug](ledgerSize),
 	}
 }
 
@@ -163,22 +226,34 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleRunByID)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	return s.logRequests(mux)
 }
 
-// logRequests is the slog access-log middleware; it also feeds the
-// per-path request counter.
+// logRequests is the tracing + slog access-log middleware: it joins (or
+// mints) the request's W3C trace via the traceparent header, attaches a
+// recorder to the context for the handlers to span, echoes the outgoing
+// traceparent on the response, feeds the per-path request counter, and
+// logs every request with its trace id so log lines join against
+// GET /runs/{id}.
 func (s *server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		tp, _ := reqtrace.ParseTraceparent(r.Header.Get("traceparent"))
+		rec := reqtrace.NewRecorder("request", tp)
+		rec.AnnotateStr(reqtrace.Root, "method", r.Method)
+		rec.AnnotateStr(reqtrace.Root, "path", r.URL.Path)
+		w.Header().Set("traceparent", rec.Traceparent())
+		srec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(srec, r.WithContext(reqtrace.With(r.Context(), rec)))
 		path := r.URL.Path
 		s.reg.Counter(metricRequests, "HTTP requests served, by path and status",
-			metrics.L("path", path), metrics.L("code", fmt.Sprint(rec.status))).Inc()
+			metrics.L("path", path), metrics.L("code", fmt.Sprint(srec.status))).Inc()
 		s.logger.Info("request",
-			"method", r.Method, "path", path, "status", rec.status,
-			"dur", time.Since(start).Round(time.Microsecond))
+			"method", r.Method, "path", path, "status", srec.status,
+			"dur", time.Since(start).Round(time.Microsecond),
+			"trace_id", rec.TraceID())
 	})
 }
 
@@ -193,6 +268,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.runtime.Collect()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.logger.Error("metrics write", "err", err)
@@ -219,6 +295,7 @@ type runRequest struct {
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rec := reqtrace.From(r.Context())
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -232,12 +309,25 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Every validated request gets a ledger identity, including the ones
+	// the semaphore bounces — a 503 is an outcome worth debugging too.
+	row := s.ledger.begin(req.Benchmark)
+	row.TraceID = rec.TraceID()
+	rec.AnnotateInt(reqtrace.Root, "run_id", row.ID)
+	rec.AnnotateStr(reqtrace.Root, "benchmark", req.Benchmark)
+
+	sp := rec.Start(reqtrace.Root, "sem.acquire")
 	select {
 	case s.sem <- struct{}{}:
+		rec.End(sp)
 	default:
+		rec.AnnotateBool(sp, "rejected", true)
+		rec.End(sp)
 		s.rejected.Inc()
+		row.Status = "rejected"
+		row.HTTPStatus = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
-		writeJSONError(w, http.StatusServiceUnavailable,
+		s.finishRun(w, rec, row, nil,
 			fmt.Sprintf("at capacity (%d runs in flight)", cap(s.sem)))
 		return
 	}
@@ -245,35 +335,87 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
-	rec := s.ledger.begin(req.Benchmark)
 	start := time.Now()
 	st, err := s.suite.RunOnce(r.Context(), req.Benchmark)
-	rec.WallSeconds = time.Since(start).Seconds()
+	row.WallSeconds = time.Since(start).Seconds()
 	if err != nil {
-		rec.Status = "error"
-		rec.Error = err.Error()
-		s.ledger.finish(rec)
-		status := http.StatusInternalServerError
+		row.Status = "error"
+		row.Error = err.Error()
+		row.HTTPStatus = http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client went away mid-run; 499-style, but stay standard.
-			status = http.StatusServiceUnavailable
+			row.HTTPStatus = http.StatusServiceUnavailable
 		}
-		writeJSONError(w, status, err.Error())
+		s.finishRun(w, rec, row, nil, err.Error())
 		return
 	}
-	rec.Status = "ok"
-	rec.Cycles = st.Cycles
-	rec.Instructions = st.Instructions
-	s.ledger.finish(rec)
+	row.Status = "ok"
+	row.HTTPStatus = http.StatusOK
+	row.Cycles = st.Cycles
+	row.Instructions = st.Instructions
+	s.finishRun(w, rec, row, &st.Stalls, "")
+}
+
+// finishRun is the single exit of the /run attempt path: it writes the
+// response inside an "encode.json" span, commits the ledger row, and
+// files the finished span bundle in the flight recorder under the run's
+// id so GET /runs/{id} can replay the request.
+func (s *server) finishRun(w http.ResponseWriter, rec *reqtrace.Recorder, row runRecord, stalls *trace.Breakdown, errMsg string) {
+	rec.AnnotateStr(reqtrace.Root, "status", row.Status)
+	sp := rec.Start(reqtrace.Root, "encode.json")
+	if errMsg != "" {
+		writeJSONError(w, row.HTTPStatus, errMsg)
+	} else {
+		writeJSON(w, row.HTTPStatus, row)
+	}
+	rec.End(sp)
+	s.ledger.finish(row)
 	s.reg.Counter(metricRunsTotal, "runs recorded in the ledger, by status",
-		metrics.L("status", rec.Status)).Inc()
-	writeJSON(w, http.StatusOK, rec)
+		metrics.L("status", row.Status)).Inc()
+	bundle := rec.Finish()
+	d := &runDebug{runRecord: row, Stalls: stalls, Trace: bundle}
+	if b, ok := bundle.IntAttr("snapshot.restore", "bytes"); ok {
+		d.RestoreBytes = b
+	}
+	if c, ok := bundle.StrAttr("decode.lookup", "cache"); ok {
+		d.DecodeCache = c
+	}
+	s.flight.Put(strconv.FormatInt(row.ID, 10), d)
 }
 
 func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Runs []runRecord `json:"runs"`
 	}{Runs: s.ledger.list()})
+}
+
+// handleRunByID serves the flight-recorder debug bundle of one run:
+// ledger row, CPI-stack stall breakdown, restore/decode activity, and
+// the full span timeline.
+func (s *server) handleRunByID(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.flight.Get(r.PathValue("id"))
+	if !ok {
+		writeJSONError(w, http.StatusNotFound,
+			fmt.Sprintf("no run %q in the flight recorder", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// handleRunTrace exports one run's span timeline as Chrome Trace Event
+// JSON — the same format camsim -trace emits for simulated pipelines —
+// loadable in ui.perfetto.dev or chrome://tracing.
+func (s *server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.flight.Get(r.PathValue("id"))
+	if !ok {
+		writeJSONError(w, http.StatusNotFound,
+			fmt.Sprintf("no run %q in the flight recorder", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := d.Trace.WriteChrome(w); err != nil {
+		s.logger.Error("trace write", "err", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -298,10 +440,31 @@ type runRecord struct {
 	Benchmark    string  `json:"benchmark"`
 	Start        string  `json:"start"`
 	Status       string  `json:"status"`
+	HTTPStatus   int     `json:"http_status"`
+	TraceID      string  `json:"trace_id,omitempty"`
 	Cycles       int64   `json:"cycles,omitempty"`
 	Instructions int64   `json:"instructions,omitempty"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	Error        string  `json:"error,omitempty"`
+}
+
+// runDebug is the GET /runs/{id} body: the ledger row joined with the
+// run's simulator stall attribution and its wall-clock span timeline.
+type runDebug struct {
+	runRecord
+	// Stalls is the attributed CPI stack of the simulated run (absent on
+	// rejected/failed requests): where the simulated cycles went, while
+	// Trace says where the host wall time went.
+	Stalls *trace.Breakdown `json:"stall_breakdown,omitempty"`
+	// RestoreBytes is the dirty-page volume the warm-start restore
+	// copied for this run (0 when the run built a machine cold).
+	RestoreBytes int64 `json:"restore_bytes"`
+	// DecodeCache is the decode-cache outcome ("hit"/"miss") when this
+	// request performed the lookup; steady-state warm runs load the
+	// pre-decoded program via the snapshot and never look up.
+	DecodeCache string `json:"decode_cache,omitempty"`
+	// Trace is the span timeline (reqtrace bundle) of the request.
+	Trace *reqtrace.Bundle `json:"trace"`
 }
 
 // runLedger is a fixed-size ring of completed runs, newest first on

@@ -6,6 +6,7 @@ package bench
 // experiments run.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -65,7 +66,7 @@ func (t *faultTarget) RunBuf(inj fault.Injector, maxCycles int64, buf []byte) (o
 	cfg := t.suite.Config
 	cfg.Seed = t.suite.Seed ^ 0xcafe
 	cfg.MaxCycles = maxCycles
-	m, pooled, err := t.suite.preparedMachine(t.prog, cfg)
+	m, pooled, err := t.suite.preparedMachine(context.Background(), t.prog, cfg)
 	if err != nil {
 		obs.Err = err
 		return obs

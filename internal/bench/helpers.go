@@ -23,7 +23,7 @@ func codegenLogisticTraining(seed uint64) (*codegen.Program, error) {
 func runProgram(s *Suite, p *codegen.Program) (sim.Stats, error) {
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	m, pooled, err := s.preparedMachine(p, cfg)
+	m, pooled, err := s.preparedMachine(context.Background(), p, cfg)
 	if err != nil {
 		return sim.Stats{}, err
 	}

@@ -174,7 +174,7 @@ func hostRestoreFns(s *Suite) (prep, warm, cold func() error, err error) {
 	}
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	snap, err := s.preparedSnapshot(p, cfg)
+	snap, err := s.preparedSnapshot(context.Background(), p, cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}

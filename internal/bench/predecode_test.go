@@ -8,6 +8,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestPredecodeCacheSingleflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.decodedProgram(prog); err != nil { // explicit reuse: a hit
+	if _, err := s.decodedProgram(context.Background(), prog); err != nil { // explicit reuse: a hit
 		t.Fatal(err)
 	}
 	c := func(name string) uint64 { return reg.Counter(name, "").Value() }
@@ -125,7 +126,7 @@ func TestPredecodedWarmRunAllocationFree(t *testing.T) {
 	}
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	snap, err := s.preparedSnapshot(prog, cfg)
+	snap, err := s.preparedSnapshot(context.Background(), prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

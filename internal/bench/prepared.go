@@ -8,10 +8,12 @@ package bench
 // the escape hatch that forces the historical cold behaviour.
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"cambricon/internal/codegen"
+	"cambricon/internal/reqtrace"
 	"cambricon/internal/sim"
 )
 
@@ -135,8 +137,13 @@ type decodedEntry struct {
 // decodedProgram pre-decodes (once per benchmark) the program's
 // instruction stream: operand roles, encoded words and the fusion plan
 // are computed here and shared — via the prepared snapshot — by every
-// pooled machine and fault-campaign worker that runs the benchmark.
-func (s *Suite) decodedProgram(prog *codegen.Program) (*sim.DecodedProgram, error) {
+// pooled machine and fault-campaign worker that runs the benchmark. A
+// request recorder on ctx gets a "decode.lookup" span with the cache
+// outcome.
+func (s *Suite) decodedProgram(ctx context.Context, prog *codegen.Program) (*sim.DecodedProgram, error) {
+	rec := reqtrace.From(ctx)
+	sp := rec.Start(reqtrace.Root, "decode.lookup")
+	defer rec.End(sp)
 	s.decMu.Lock()
 	if s.decoded == nil {
 		s.decoded = map[string]*decodedEntry{}
@@ -152,6 +159,11 @@ func (s *Suite) decodedProgram(prog *codegen.Program) (*sim.DecodedProgram, erro
 		// caller did not pay for a decode of its own.
 		s.sm().decodeCacheHit()
 	}
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	rec.AnnotateStr(sp, "cache", outcome)
 	de.once.Do(func() {
 		de.dp, de.err = sim.Predecode(prog.Asm.Instructions)
 		if de.err == nil {
@@ -164,12 +176,12 @@ func (s *Suite) decodedProgram(prog *codegen.Program) (*sim.DecodedProgram, erro
 // loadProgram loads prog onto m through the suite's decode policy:
 // pre-decoded (cached) when Predecode, the per-step decode path
 // otherwise. Simulated statistics are bit-identical either way.
-func (s *Suite) loadProgram(m *sim.Machine, prog *codegen.Program) error {
+func (s *Suite) loadProgram(ctx context.Context, m *sim.Machine, prog *codegen.Program) error {
 	if !s.Predecode {
 		m.LoadProgram(prog.Asm.Instructions)
 		return nil
 	}
-	dp, err := s.decodedProgram(prog)
+	dp, err := s.decodedProgram(ctx, prog)
 	if err != nil {
 		return err
 	}
@@ -179,8 +191,10 @@ func (s *Suite) loadProgram(m *sim.Machine, prog *codegen.Program) error {
 
 // preparedSnapshot builds (once per benchmark) the snapshot of a machine
 // that has the program's memory image written and its instruction stream
-// loaded — the state every run of that benchmark starts from.
-func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Snapshot, error) {
+// loaded — the state every run of that benchmark starts from. The
+// requester that pays for the build gets a "snapshot.prepare" span; the
+// singleflight winners that merely wait record nothing.
+func (s *Suite) preparedSnapshot(ctx context.Context, prog *codegen.Program, cfg sim.Config) (*sim.Snapshot, error) {
 	s.prepMu.Lock()
 	if s.prepared == nil {
 		s.prepared = map[string]*preparedEntry{}
@@ -192,6 +206,9 @@ func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Sn
 	}
 	s.prepMu.Unlock()
 	pe.once.Do(func() {
+		rec := reqtrace.From(ctx)
+		sp := rec.Start(reqtrace.Root, "snapshot.prepare")
+		defer rec.End(sp)
 		m, reused, err := s.pool.acquirePristine(poolKey(cfg))
 		if err != nil {
 			pe.err = err
@@ -202,12 +219,13 @@ func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Sn
 			pe.err = err
 			return
 		}
-		if err := s.loadProgram(m, prog); err != nil {
+		if err := s.loadProgram(ctx, m, prog); err != nil {
 			pe.err = err
 			return
 		}
 		pe.snap = m.Snapshot()
 		s.sm().snapshotPrepared(pe.snap)
+		rec.AnnotateInt(sp, "resident_bytes", int64(pe.snap.Bytes()))
 		s.pool.release(m)
 	})
 	return pe.snap, pe.err
@@ -220,36 +238,53 @@ func (s *Suite) preparedSnapshot(prog *codegen.Program, cfg sim.Config) (*sim.Sn
 // and replay the image, the historical behaviour, with pooled=false.
 // Both produce bit-identical run statistics. (The pooled flag, rather
 // than a release closure, keeps the per-run hot path allocation-free.)
-func (s *Suite) preparedMachine(prog *codegen.Program, cfg sim.Config) (m *sim.Machine, pooled bool, err error) {
+// A request recorder on ctx gets per-phase spans: machine.build /
+// program.init on the cold path, pool.acquire / snapshot.restore on the
+// warm path (docs/OBSERVABILITY.md, "Request tracing").
+func (s *Suite) preparedMachine(ctx context.Context, prog *codegen.Program, cfg sim.Config) (m *sim.Machine, pooled bool, err error) {
 	sm := s.sm()
+	rec := reqtrace.From(ctx)
 	if !s.Warm {
+		sp := rec.Start(reqtrace.Root, "machine.build")
 		m, err := sim.New(cfg)
+		rec.End(sp)
 		if err != nil {
 			return nil, false, err
 		}
-		if err := prog.Init(m); err != nil {
+		sp = rec.Start(reqtrace.Root, "program.init")
+		err = prog.Init(m)
+		rec.End(sp)
+		if err != nil {
 			return nil, false, err
 		}
-		if err := s.loadProgram(m, prog); err != nil {
+		if err := s.loadProgram(ctx, m, prog); err != nil {
 			return nil, false, err
 		}
 		m.SetMetrics(sm.simMetrics())
 		return m, false, nil
 	}
-	snap, err := s.preparedSnapshot(prog, cfg)
+	snap, err := s.preparedSnapshot(ctx, prog, cfg)
 	if err != nil {
 		return nil, false, err
 	}
+	sp := rec.Start(reqtrace.Root, "pool.acquire")
 	m, reused, err := s.pool.acquire(cfg)
+	rec.AnnotateBool(sp, "reused", reused)
+	rec.End(sp)
 	if err != nil {
 		return nil, false, err
 	}
 	sm.poolAcquired(reused)
-	if err := m.Restore(snap); err != nil {
+	sp = rec.Start(reqtrace.Root, "snapshot.restore")
+	err = m.Restore(snap)
+	if err != nil {
 		// A restore mismatch means the machine does not belong to this
 		// snapshot's configuration; drop it rather than re-pooling.
+		rec.End(sp)
 		return nil, false, err
 	}
+	rec.AnnotateInt(sp, "bytes", int64(m.LastRestoreBytes()))
+	rec.End(sp)
 	sm.restored(m.LastRestoreBytes())
 	m.SetMetrics(sm.simMetrics())
 	return m, true, nil

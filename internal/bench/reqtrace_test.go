@@ -1,0 +1,137 @@
+package bench
+
+// Tests pinning the request-tracing contract (docs/OBSERVABILITY.md,
+// "Request tracing & the flight recorder"): with no recorder on the
+// context the warm request path allocates nothing and simulated
+// statistics are bit-identical to a recorded run; with a recorder
+// attached the span tree covers the documented phases.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cambricon/internal/reqtrace"
+	"cambricon/internal/sim"
+	"cambricon/internal/trace"
+)
+
+// TestRunOnceBitIdenticalWithRecorder: attaching a request recorder must
+// not perturb the simulation — same Stats, bit for bit, recorded or not.
+func TestRunOnceBitIdenticalWithRecorder(t *testing.T) {
+	s := NewSuite(7)
+	plain, err := s.RunOnce(context.Background(), "MLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := reqtrace.NewRecorder("request", reqtrace.Traceparent{})
+	ctx := reqtrace.With(context.Background(), rec)
+	traced, err := s.RunOnce(ctx, "MLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("stats diverge with a recorder attached:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+// TestRunOnceSpanTimeline: a recorded warm run produces the documented
+// span tree — pool.acquire, snapshot.restore and sim.run under the
+// request root — with the sim.run span carrying the cycle counts and
+// the full CPI-stack stall attribution, summing (with compute) to
+// exactly the cycle total like Stats.CheckConsistency guarantees.
+func TestRunOnceSpanTimeline(t *testing.T) {
+	s := NewSuite(7)
+	// First run pays snapshot preparation; the second is the steady-state
+	// warm request whose timeline we assert.
+	if _, err := s.RunOnce(context.Background(), "MLP"); err != nil {
+		t.Fatal(err)
+	}
+	rec := reqtrace.NewRecorder("request", reqtrace.Traceparent{})
+	ctx := reqtrace.With(context.Background(), rec)
+	st, err := s.RunOnce(ctx, "MLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Finish()
+	for _, want := range []string{"pool.acquire", "snapshot.restore", "sim.run"} {
+		found := false
+		for i := range b.Spans {
+			if b.Spans[i].Name == want {
+				found = true
+				if b.Spans[i].Parent != 0 {
+					t.Fatalf("span %s parent = %d, want 0 (root)", want, b.Spans[i].Parent)
+				}
+				if b.Spans[i].End < b.Spans[i].Start {
+					t.Fatalf("span %s ends before it starts: %+v", want, b.Spans[i])
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("span %q missing from warm-run timeline: %+v", want, b.Spans)
+		}
+	}
+	if cycles, ok := b.IntAttr("sim.run", "cycles"); !ok || cycles != st.Cycles {
+		t.Fatalf("sim.run cycles attr = %d, %v; want %d", cycles, ok, st.Cycles)
+	}
+	if bytes, ok := b.IntAttr("snapshot.restore", "bytes"); !ok || bytes <= 0 {
+		t.Fatalf("snapshot.restore bytes attr = %d, %v; want > 0", bytes, ok)
+	}
+	var attributed int64
+	for _, c := range trace.Causes() {
+		v, ok := b.IntAttr("sim.run", "stall."+c.String())
+		if !ok {
+			t.Fatalf("sim.run missing stall attr for cause %v", c)
+		}
+		attributed += v
+	}
+	if attributed != st.Cycles {
+		t.Fatalf("span stall attrs sum to %d, want exactly Cycles=%d", attributed, st.Cycles)
+	}
+}
+
+// TestWarmRequestPathNoRecorderAllocationFree pins the acceptance
+// criterion: the instrumented warm request path — the decode-cache
+// lookup with its span hooks, the snapshot restore, and a full decoded
+// run — performs zero heap allocations when the context carries no
+// recorder, exactly like the tracer/injector/metrics nil contracts.
+// (A fixed machine stands in for the pool: under the race detector
+// sync.Pool drops entries at random, so the pool itself cannot be in a
+// 0-alloc loop; preparedMachine's own hooks are the same nil-recorder
+// Start/Annotate/End calls exercised here and pinned alloc-free by
+// reqtrace's TestNilRecorderIsFree.)
+func TestWarmRequestPathNoRecorderAllocationFree(t *testing.T) {
+	s := NewSuite(7)
+	prog, err := s.Program(dispatchBenchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config
+	cfg.Seed = s.Seed ^ 0xcafe
+	ctx := context.Background()
+	snap, err := s.preparedSnapshot(ctx, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if dp, err := s.decodedProgram(ctx, prog); err != nil || dp == nil {
+			t.Fatalf("decodedProgram: %v", err)
+		}
+		if err := m.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm request path allocates %v times per run without a recorder, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"cambricon/internal/baseline/dadiannao"
 	"cambricon/internal/codegen"
 	"cambricon/internal/metrics"
+	"cambricon/internal/reqtrace"
 	"cambricon/internal/sim"
 	"cambricon/internal/trace"
 	"cambricon/internal/workload"
@@ -160,7 +161,11 @@ func (s *Suite) StatsCtx(ctx context.Context, name string) (sim.Stats, error) {
 // runBenchmark simulates one benchmark on a prepared machine (pooled and
 // snapshot-restored when Warm, freshly built otherwise). A panic anywhere
 // in generation or simulation is recovered into the returned error so one
-// poisoned benchmark cannot take down a whole campaign.
+// poisoned benchmark cannot take down a whole campaign. A request
+// recorder on ctx (reqtrace.With) gets the per-phase span tree — machine
+// preparation inside preparedMachine, then a "sim.run" span annotated
+// with the run's cycle counts and its CPI-stack stall attribution — at
+// zero cost when no recorder is attached.
 func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, err error) {
 	sm := s.sm()
 	sm.runStarted()
@@ -177,12 +182,33 @@ func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, er
 	}
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	m, pooled, err := s.preparedMachine(p, cfg)
+	m, pooled, err := s.preparedMachine(ctx, p, cfg)
 	if err != nil {
 		return sim.Stats{}, err
 	}
 	defer s.releaseMachine(m, pooled)
-	return p.ExecutePreparedContext(ctx, m)
+	rec := reqtrace.From(ctx)
+	sp := rec.Start(reqtrace.Root, "sim.run")
+	st, err = p.ExecutePreparedContext(ctx, m)
+	annotateRun(rec, sp, &st)
+	rec.End(sp)
+	return st, err
+}
+
+// annotateRun links the sim-side span to the run's simulated outcome:
+// total cycles and instructions, plus the attributed CPI stack from
+// internal/trace (one attribute per stall cause, in cause order), so a
+// span timeline explains simulated time as well as wall time. A nil
+// recorder makes this free.
+func annotateRun(rec *reqtrace.Recorder, sp reqtrace.SpanRef, st *sim.Stats) {
+	if rec == nil {
+		return
+	}
+	rec.AnnotateInt(sp, "cycles", st.Cycles)
+	rec.AnnotateInt(sp, "instructions", st.Instructions)
+	for _, c := range trace.Causes() {
+		rec.AnnotateInt(sp, "stall."+c.String(), st.Stalls[c])
+	}
 }
 
 // RunOnce executes one benchmark simulation unconditionally — no
@@ -206,7 +232,7 @@ func (s *Suite) Profile(name string) (*trace.Report, error) {
 	}
 	cfg := s.Config
 	cfg.Seed = s.Seed ^ 0xcafe
-	m, pooled, err := s.preparedMachine(p, cfg)
+	m, pooled, err := s.preparedMachine(context.Background(), p, cfg)
 	if err != nil {
 		return nil, err
 	}

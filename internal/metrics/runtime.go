@@ -1,0 +1,146 @@
+package metrics
+
+// This file is the Go-runtime bridge (docs/OBSERVABILITY.md, "Runtime
+// metrics"): a fixed sample set read from runtime/metrics on demand and
+// republished through the registry, so a Prometheus scrape of camserve
+// covers the host process — goroutines, heap, GC — and not just the
+// simulator. Collection is pull-driven: the HTTP handler calls Collect
+// right before encoding, so the samples are as fresh as the scrape and
+// idle daemons pay nothing.
+
+import (
+	rm "runtime/metrics"
+)
+
+// Runtime metric names exported by the bridge.
+const (
+	MetricGoGoroutines = "cambricon_go_goroutines"
+	MetricGoHeapBytes  = "cambricon_go_heap_objects_bytes"
+	MetricGoMemBytes   = "cambricon_go_mem_total_bytes"
+	MetricGoGCCycles   = "cambricon_go_gc_cycles_total"
+	MetricGoGCPauses   = "cambricon_go_gc_pauses_total"
+	MetricGoGCPauseNS  = "cambricon_go_gc_pause_nanoseconds_total"
+)
+
+// runtime/metrics sample names behind the bridge (all present since Go
+// 1.16; unknown names degrade to KindBad and are skipped, so the bridge
+// never breaks on a runtime that drops one).
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapBytes  = "/memory/classes/heap/objects:bytes"
+	sampleMemBytes   = "/memory/classes/total:bytes"
+	sampleGCCycles   = "/gc/cycles/total:gc-cycles"
+	sampleGCPauses   = "/gc/pauses:seconds"
+)
+
+// RuntimeBridge republishes Go runtime telemetry into a Registry. Build
+// one with NewRuntimeBridge and call Collect before each scrape. A nil
+// bridge (no registry attached) collects nothing — the usual nil-is-free
+// contract.
+type RuntimeBridge struct {
+	samples []rm.Sample
+
+	goroutines *Gauge
+	heapBytes  *Gauge
+	memBytes   *Gauge
+
+	// Counters only move forward, so cumulative runtime totals are
+	// republished as deltas against the previous collection.
+	gcCycles, gcPauses, gcPauseNS *Counter
+	lastCycles, lastPauses        uint64
+	lastPauseNS                   int64
+}
+
+// NewRuntimeBridge registers the bridge's instruments on reg. A nil
+// registry yields a nil bridge.
+func NewRuntimeBridge(reg *Registry) *RuntimeBridge {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeBridge{
+		samples: []rm.Sample{
+			{Name: sampleGoroutines},
+			{Name: sampleHeapBytes},
+			{Name: sampleMemBytes},
+			{Name: sampleGCCycles},
+			{Name: sampleGCPauses},
+		},
+		goroutines: reg.Gauge(MetricGoGoroutines, "live goroutines in the daemon process"),
+		heapBytes:  reg.Gauge(MetricGoHeapBytes, "bytes of live heap objects"),
+		memBytes:   reg.Gauge(MetricGoMemBytes, "total bytes of memory mapped by the Go runtime"),
+		gcCycles:   reg.Counter(MetricGoGCCycles, "completed GC cycles"),
+		gcPauses:   reg.Counter(MetricGoGCPauses, "stop-the-world GC pauses observed"),
+		gcPauseNS:  reg.Counter(MetricGoGCPauseNS, "approximate cumulative stop-the-world GC pause time in nanoseconds (histogram-bucket midpoints)"),
+	}
+}
+
+// Collect reads the sample set and updates the registry. Safe for
+// concurrent use only in the sense a scrape path needs: concurrent
+// Collects may double-publish a delta window, but values never go
+// backwards. A nil bridge is a no-op.
+func (b *RuntimeBridge) Collect() {
+	if b == nil {
+		return
+	}
+	rm.Read(b.samples)
+	for i := range b.samples {
+		s := &b.samples[i]
+		switch s.Name {
+		case sampleGoroutines:
+			if s.Value.Kind() == rm.KindUint64 {
+				b.goroutines.Set(int64(s.Value.Uint64()))
+			}
+		case sampleHeapBytes:
+			if s.Value.Kind() == rm.KindUint64 {
+				b.heapBytes.Set(int64(s.Value.Uint64()))
+			}
+		case sampleMemBytes:
+			if s.Value.Kind() == rm.KindUint64 {
+				b.memBytes.Set(int64(s.Value.Uint64()))
+			}
+		case sampleGCCycles:
+			if s.Value.Kind() == rm.KindUint64 {
+				v := s.Value.Uint64()
+				b.gcCycles.Add(int64(v - b.lastCycles))
+				b.lastCycles = v
+			}
+		case sampleGCPauses:
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				pauses, pauseNS := summarizePauses(s.Value.Float64Histogram())
+				b.gcPauses.Add(int64(pauses - b.lastPauses))
+				b.gcPauseNS.Add(pauseNS - b.lastPauseNS)
+				b.lastPauses, b.lastPauseNS = pauses, pauseNS
+			}
+		}
+	}
+}
+
+// summarizePauses collapses the runtime's cumulative pause-time
+// histogram into a pause count and an approximate total (each bucket's
+// count at its midpoint; the runtime's buckets are tight enough at
+// pause scale that the midpoint error is a few percent). Open-ended
+// edge buckets fall back to their finite boundary.
+func summarizePauses(h *rm.Float64Histogram) (count uint64, totalNS int64) {
+	if h == nil {
+		return 0, 0
+	}
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		count += n
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if isInf(lo) {
+			mid = hi
+		} else if isInf(hi) {
+			mid = lo
+		}
+		total += float64(n) * mid
+	}
+	return count, int64(total * 1e9)
+}
+
+// isInf avoids importing math for one check.
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeBridgeCollect(t *testing.T) {
+	reg := New()
+	b := NewRuntimeBridge(reg)
+	runtime.GC() // guarantee at least one GC cycle and pause exist
+	b.Collect()
+
+	if got := reg.Gauge(MetricGoGoroutines, "").Value(); got < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", got)
+	}
+	if got := reg.Gauge(MetricGoHeapBytes, "").Value(); got <= 0 {
+		t.Fatalf("heap bytes = %d, want > 0", got)
+	}
+	if got := reg.Gauge(MetricGoMemBytes, "").Value(); got <= 0 {
+		t.Fatalf("mem bytes = %d, want > 0", got)
+	}
+	if got := reg.Counter(MetricGoGCCycles, "").Value(); got < 1 {
+		t.Fatalf("gc cycles = %d, want >= 1", got)
+	}
+	if got := reg.Counter(MetricGoGCPauses, "").Value(); got < 1 {
+		t.Fatalf("gc pauses = %d, want >= 1", got)
+	}
+
+	// Counters are republished as deltas: a second collection must not
+	// re-add the cumulative totals.
+	cycles := reg.Counter(MetricGoGCCycles, "").Value()
+	b.Collect()
+	after := reg.Counter(MetricGoGCCycles, "").Value()
+	if after < cycles || after > cycles+16 {
+		t.Fatalf("gc cycles jumped %d -> %d across one collection; delta accounting broken", cycles, after)
+	}
+
+	// The bridge's families encode into the scrape page.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	for _, name := range []string{
+		MetricGoGoroutines, MetricGoHeapBytes, MetricGoMemBytes,
+		MetricGoGCCycles, MetricGoGCPauses, MetricGoGCPauseNS,
+	} {
+		if !strings.Contains(page, name+" ") {
+			t.Fatalf("scrape page missing %s:\n%s", name, page)
+		}
+	}
+}
+
+// TestRuntimeBridgeNilIsFree pins the nil contract: a nil registry
+// yields a nil bridge, and a nil bridge collects nothing.
+func TestRuntimeBridgeNilIsFree(t *testing.T) {
+	if b := NewRuntimeBridge(nil); b != nil {
+		t.Fatal("NewRuntimeBridge(nil) should be nil")
+	}
+	var b *RuntimeBridge
+	allocs := testing.AllocsPerRun(10, func() { b.Collect() })
+	if allocs != 0 {
+		t.Fatalf("nil bridge Collect allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,59 @@
+package reqtrace
+
+import "sync"
+
+// Store is the bounded in-memory flight recorder backing GET /runs/{id}:
+// a fixed-capacity ring of values keyed by string id, evicting the
+// oldest entry when full. V is whatever the service keeps per request —
+// camserve stores its ledger-row-plus-Bundle debug records. Safe for
+// concurrent use; the zero value is not usable, call NewStore.
+type Store[V any] struct {
+	mu   sync.Mutex
+	m    map[string]V
+	keys []string // insertion ring; keys[head] is the next eviction victim
+	head int
+	n    int
+}
+
+// NewStore builds a store retaining the latest capacity entries
+// (minimum 1).
+func NewStore[V any](capacity int) *Store[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store[V]{m: make(map[string]V, capacity), keys: make([]string, capacity)}
+}
+
+// Put inserts (or replaces) id's value, evicting the oldest distinct id
+// when the store is full.
+func (s *Store[V]) Put(id string, v V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[id]; exists {
+		s.m[id] = v
+		return
+	}
+	if s.n == len(s.keys) {
+		delete(s.m, s.keys[s.head])
+	} else {
+		s.n++
+	}
+	s.keys[s.head] = id
+	s.head = (s.head + 1) % len(s.keys)
+	s.m[id] = v
+}
+
+// Get returns id's value, reporting whether it is (still) retained.
+func (s *Store[V]) Get(id string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[id]
+	return v, ok
+}
+
+// Len returns the number of retained entries.
+func (s *Store[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
