@@ -5,14 +5,15 @@
 # smoke run of the observability layer (docs/OBSERVABILITY.md), a
 # fault-campaign smoke run of the robustness layer (docs/ROBUSTNESS.md),
 # an end-to-end camserve smoke run (start the daemon, drive one /run,
-# scrape /metrics), and the host-benchmark regression gate against
-# BENCH_host.json.
+# scrape /metrics), a kill-and-restart crash-recovery smoke run over the
+# durable run ledger (docs/ROBUSTNESS.md, "Serving-layer robustness"),
+# and the host-benchmark regression gate against BENCH_host.json.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace check-host fault-json
+.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash check-host fault-json
 
-ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace check-host
+ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash check-host
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -123,6 +124,48 @@ smoke-reqtrace:
 	rm -f /tmp/cambricon-smoke-rt-run.json /tmp/cambricon-smoke-rt-dbg.json /tmp/cambricon-smoke-rt-trace.json; \
 	echo "smoke-reqtrace: ok"
 	@rm -f /tmp/cambricon-smoke-reqtrace-srv
+
+# Crash-recovery smoke run: the kill-and-restart criterion against a
+# real process (docs/ROBUSTNESS.md, "Serving-layer robustness"). Start
+# camserve with a durable WAL and a chaos spec that stalls every
+# simulation, SIGKILL it while a run is in flight (its accepted/running
+# events are already durable), restart over the same WAL, and assert
+# GET /runs serves the recovered history with the in-flight run
+# surfaced as interrupted — then prove the restarted daemon still runs.
+# The ledger package is also re-checked under the race detector.
+smoke-crash:
+	$(GO) test -race -count=1 ./internal/ledger
+	@$(GO) build -o /tmp/cambricon-smoke-crash-srv ./cmd/camserve
+	@rm -rf /tmp/cambricon-smoke-crash-wal; \
+	/tmp/cambricon-smoke-crash-srv -addr 127.0.0.1:18933 -wal /tmp/cambricon-smoke-crash-wal -chaos 'run-delay=30s:1' >/dev/null 2>&1 & \
+	pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18933/readyz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	curl -fsS -X POST -d '{"benchmark":"MLP"}' http://127.0.0.1:18933/run >/dev/null 2>&1 & \
+	sleep 2; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	/tmp/cambricon-smoke-crash-srv -addr 127.0.0.1:18934 -wal /tmp/cambricon-smoke-crash-wal >/dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18934/readyz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://127.0.0.1:18934/runs > /tmp/cambricon-smoke-crash-runs.json || { echo "smoke-crash: /runs failed after restart"; exit 1; }; \
+	grep -q '"status": "interrupted"' /tmp/cambricon-smoke-crash-runs.json || { \
+		echo "smoke-crash: no interrupted row after kill-and-restart"; cat /tmp/cambricon-smoke-crash-runs.json; exit 1; }; \
+	grep -q '"recovered": true' /tmp/cambricon-smoke-crash-runs.json || { \
+		echo "smoke-crash: recovered rows not marked"; cat /tmp/cambricon-smoke-crash-runs.json; exit 1; }; \
+	curl -fsS -X POST -d '{"benchmark":"MLP"}' http://127.0.0.1:18934/run > /tmp/cambricon-smoke-crash-run2.json || { \
+		echo "smoke-crash: /run failed after restart"; exit 1; }; \
+	grep -q '"status": "ok"' /tmp/cambricon-smoke-crash-run2.json || { \
+		echo "smoke-crash: post-restart run failed"; cat /tmp/cambricon-smoke-crash-run2.json; exit 1; }; \
+	kill $$pid 2>/dev/null; \
+	rm -rf /tmp/cambricon-smoke-crash-wal /tmp/cambricon-smoke-crash-runs.json /tmp/cambricon-smoke-crash-run2.json; \
+	echo "smoke-crash: ok"
+	@rm -f /tmp/cambricon-smoke-crash-srv
 
 # Host-benchmark regression gate: re-measure the warm-start layer and
 # fail if the host-portable signals (cold/warm ratios, warm-row

@@ -2,41 +2,56 @@
 // simulation service (docs/OBSERVABILITY.md, "Service metrics"): every
 // POST /run is one real simulation on a pooled, snapshot-restored
 // machine, the aggregate behaviour streams out of GET /metrics in
-// Prometheus text format, and GET /runs is the in-memory ledger of
-// recent runs.
+// Prometheus text format, and GET /runs is the run ledger.
+//
+// The ledger is crash-safe (docs/ROBUSTNESS.md, "Serving-layer
+// robustness"): with -wal set, every run's lifecycle — accepted →
+// running → ok/failed/rejected/timeout — is appended to a CRC-checked
+// write-ahead log, so a restarted daemon serves its history back and
+// surfaces runs that were in flight at the crash as `interrupted`.
+// In front of the run path sits admission control: a bounded
+// per-benchmark queue with per-request deadlines (the -run-timeout
+// default, tightened by a client `Request-Timeout` header), jittered
+// `Retry-After` hints on shed load, and per-request panic isolation —
+// a panicking simulation costs one 500 and a `failed` ledger row, not
+// the daemon. Shutdown drains in-flight runs under -drain-timeout and
+// records whatever could not finish as `aborted`.
 //
 // Every request is traced end to end (docs/OBSERVABILITY.md, "Request
 // tracing & the flight recorder"): camserve joins the caller's W3C
-// `traceparent` (or mints a root), records a span per phase — semaphore
-// wait, pool acquire, snapshot restore, simulation, JSON encode — and
-// keeps the finished timeline in a bounded flight recorder, queryable
-// per run id as a JSON debug bundle or a Chrome/Perfetto trace.
+// `traceparent` (or mints a root), records a span per phase — queue
+// wait, pool acquire, snapshot restore, simulation, WAL append, JSON
+// encode — and keeps the finished timeline in a bounded flight
+// recorder, queryable per run id as a JSON debug bundle or a
+// Chrome/Perfetto trace.
 //
 // Usage:
 //
-//	camserve                    # listen on :8080
+//	camserve                    # listen on :8080, in-memory ledger
+//	camserve -wal /var/lib/cam  # durable, crash-recoverable run ledger
 //	camserve -addr :9090        # another port
-//	camserve -max-inflight 8    # concurrent /run bound (excess -> 503)
+//	camserve -max-inflight 8    # concurrent run slots
+//	camserve -queue-depth 16    # queued waiters per benchmark (0 = shed immediately)
+//	camserve -run-timeout 60s   # default per-request deadline
+//	camserve -drain-timeout 30s # graceful-shutdown drain budget
 //	camserve -ledger 256        # runs retained by GET /runs and the flight recorder
 //	camserve -seed 7            # benchmark generation seed
 //	camserve -warm=false        # disable machine pooling / warm-starts
+//	camserve -chaos 'restore-fail=0.1,panic=0.05'  # service-path fault injection
 //	camserve -log-format json   # structured access logs (default text)
 //	camserve -debug-addr :6060  # opt-in net/http/pprof listener
 //
 // Endpoints:
 //
 //	GET  /metrics          Prometheus text exposition (version 0.0.4,
-//	                       simulator + Go runtime families)
+//	                       simulator + ledger + Go runtime families)
 //	GET  /healthz          liveness (200 once the listener is up)
 //	GET  /readyz           readiness (200 once programs are generated)
 //	POST /run              {"benchmark":"MLP"} -> one simulation, JSON result
-//	GET  /runs             recent runs, newest first
+//	GET  /runs             retained runs, newest first (incl. recovered rows)
 //	GET  /runs/{id}        per-run debug bundle: span timeline, CPI-stack
 //	                       stall breakdown, restore bytes, trace id
 //	GET  /runs/{id}/trace  the span timeline as Chrome Trace Event JSON
-//
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight runs
-// finish, new connections are refused.
 package main
 
 import (
@@ -46,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,18 +75,21 @@ import (
 
 	"cambricon"
 	"cambricon/internal/bench"
+	"cambricon/internal/chaos"
+	"cambricon/internal/ledger"
 	"cambricon/internal/metrics"
 	"cambricon/internal/reqtrace"
+	"cambricon/internal/sim"
 	"cambricon/internal/trace"
 )
 
 // Metric names owned by the HTTP layer (the suite's own instruments are
 // the cambricon_bench_*/cambricon_pool_*/cambricon_snapshot_* families,
-// see internal/bench; the Go runtime families are cambricon_go_*, see
-// internal/metrics).
+// see internal/bench; the ledger's are cambricon_ledger_*, see
+// internal/ledger; admission's are in admission.go; the Go runtime
+// families are cambricon_go_*, see internal/metrics).
 const (
 	metricRequests  = "cambricon_serve_requests_total"
-	metricRejected  = "cambricon_serve_busy_rejections_total"
 	metricInFlight  = "cambricon_serve_runs_in_flight"
 	metricRunsTotal = "cambricon_serve_ledger_runs_total"
 )
@@ -78,8 +97,15 @@ const (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Uint64("seed", 7, "benchmark generation seed")
-	maxInflight := flag.Int("max-inflight", 8, "concurrent POST /run bound; excess requests get 503")
+	maxInflight := flag.Int("max-inflight", 8, "concurrent POST /run run slots")
+	queueDepth := flag.Int("queue-depth", 16, "queued POST /run waiters per benchmark; excess sheds with 503 (0 disables queueing)")
+	runTimeout := flag.Duration("run-timeout", 60*time.Second, "default per-request deadline; a client Request-Timeout header may tighten it")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining in-flight runs; the rest are recorded as aborted")
 	ledgerSize := flag.Int("ledger", 256, "runs retained by GET /runs and the /runs/{id} flight recorder")
+	walDir := flag.String("wal", "", "run-ledger WAL directory for crash-safe history; empty keeps the ledger in memory only")
+	walSync := flag.Bool("wal-sync", false, "fsync every WAL append (survive power loss, not just crashes)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 1<<20, "WAL segment rotation threshold in bytes")
+	chaosSpec := flag.String("chaos", "", "service-path chaos spec, e.g. 'seed=7,restore-fail=0.1,panic=0.05,wal-tear=3' (docs/ROBUSTNESS.md)")
 	warm := flag.Bool("warm", true, "reuse pooled, snapshot-restored machines across runs")
 	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode)")
 	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
@@ -100,7 +126,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "camserve: %v\n", err)
 		os.Exit(2)
 	}
-	srv := newServer(*seed, *warm, *predecode, *maxInflight, *ledgerSize, logger)
+	srv, err := newServer(serverConfig{
+		seed:            *seed,
+		warm:            *warm,
+		predecode:       *predecode,
+		maxInflight:     *maxInflight,
+		queueDepth:      *queueDepth,
+		ledgerSize:      *ledgerSize,
+		runTimeout:      *runTimeout,
+		drainTimeout:    *drainTimeout,
+		walDir:          *walDir,
+		walSync:         *walSync,
+		walSegmentBytes: *walSegBytes,
+		chaosSpec:       *chaosSpec,
+	}, logger)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "camserve: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -125,11 +168,17 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logger.Info("shutting down", "grace", "30s")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	logger.Info("shutting down", "drain", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		logger.Error("shutdown", "err", err)
+	// Drain order: stop admitting (queued waiters shed fast), let the
+	// HTTP server wait for in-flight handlers, then record whatever is
+	// still running as aborted and seal the WAL.
+	srv.adm.startDrain()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	aborted := srv.finalize(shutCtx)
+	if shutErr != nil {
+		logger.Error("shutdown incomplete", "err", shutErr, "aborted_runs", aborted)
 		os.Exit(1)
 	}
 }
@@ -160,50 +209,117 @@ func debugHandler() http.Handler {
 	return mux
 }
 
-// server wires the benchmark suite, its metrics registry, the run
-// ledger and the flight recorder behind the HTTP handlers.
+// serverConfig is everything newServer needs; main fills it from flags,
+// tests construct it directly.
+type serverConfig struct {
+	seed            uint64
+	warm            bool
+	predecode       bool
+	maxInflight     int
+	queueDepth      int
+	ledgerSize      int
+	runTimeout      time.Duration
+	drainTimeout    time.Duration
+	walDir          string
+	walSync         bool
+	walSegmentBytes int64
+	chaosSpec       string
+}
+
+// server wires the benchmark suite, its metrics registry, the durable
+// run ledger, admission control and the flight recorder behind the HTTP
+// handlers.
 type server struct {
+	cfg     serverConfig
 	suite   *bench.Suite
 	reg     *metrics.Registry
 	runtime *metrics.RuntimeBridge
 	logger  *slog.Logger
 
-	// sem bounds concurrent /run simulations; a full channel is the 503
-	// signal, never a queue — the client owns its retry policy.
-	sem      chan struct{}
+	// adm bounds concurrent runs and the per-benchmark wait queues;
+	// everything it sheds is a fast 503 with a jittered Retry-After.
+	adm      *admission
 	inFlight *metrics.Gauge
-	rejected *metrics.Counter
 
-	ledger *runLedger
+	// ledger is the durable (or, without -wal, in-memory) run history
+	// behind GET /runs; recovery summarizes what boot replayed.
+	ledger    *ledger.Ledger
+	recovery  ledger.Recovery
+	configKey string
+
+	// inflight tracks the rows of currently executing runs so shutdown
+	// can record un-drained work as aborted instead of dropping it.
+	inflight sync.Map
+	runWG    sync.WaitGroup
+
 	// flight retains the per-run debug bundles GET /runs/{id} and
 	// /runs/{id}/trace serve, bounded to the same depth as the ledger.
 	flight *reqtrace.Store[*runDebug]
 	ready  atomic.Bool
+
+	// retry seeds the jittered Retry-After hints so shed clients spread
+	// their retries instead of stampeding back in lockstep.
+	retryMu sync.Mutex
+	retry   *rand.Rand
 }
 
-func newServer(seed uint64, warm, predecode bool, maxInflight, ledgerSize int, logger *slog.Logger) *server {
-	if maxInflight <= 0 {
-		maxInflight = 1
+func newServer(cfg serverConfig, logger *slog.Logger) (*server, error) {
+	if cfg.maxInflight <= 0 {
+		cfg.maxInflight = 1
 	}
-	if ledgerSize <= 0 {
-		ledgerSize = 1
+	if cfg.ledgerSize <= 0 {
+		cfg.ledgerSize = 1
+	}
+	if cfg.runTimeout <= 0 {
+		cfg.runTimeout = 60 * time.Second
 	}
 	reg := metrics.New()
-	suite := bench.NewSuite(seed)
-	suite.Warm = warm
-	suite.Predecode = predecode
-	suite.Metrics = reg
-	return &server{
-		suite:    suite,
-		reg:      reg,
-		runtime:  metrics.NewRuntimeBridge(reg),
-		logger:   logger,
-		sem:      make(chan struct{}, maxInflight),
-		inFlight: reg.Gauge(metricInFlight, "POST /run simulations currently executing"),
-		rejected: reg.Counter(metricRejected, "POST /run requests rejected because max-inflight was reached"),
-		ledger:   newRunLedger(ledgerSize),
-		flight:   reqtrace.NewStore[*runDebug](ledgerSize),
+	ch, err := chaos.Parse(cfg.chaosSpec)
+	if err != nil {
+		return nil, err
 	}
+	ch.SetMetrics(reg)
+	led, recovery, err := ledger.Open(ledger.Options{
+		Dir:          cfg.walDir,
+		SegmentBytes: cfg.walSegmentBytes,
+		Retain:       cfg.ledgerSize,
+		Sync:         cfg.walSync,
+		Metrics:      reg,
+		Logger:       logger,
+		Chaos:        ch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	suite := bench.NewSuite(cfg.seed)
+	suite.Warm = cfg.warm
+	suite.Predecode = cfg.predecode
+	suite.Metrics = reg
+	suite.Chaos = ch
+	s := &server{
+		cfg:       cfg,
+		suite:     suite,
+		reg:       reg,
+		runtime:   metrics.NewRuntimeBridge(reg),
+		logger:    logger,
+		adm:       newAdmission(cfg.maxInflight, cfg.queueDepth, reg),
+		inFlight:  reg.Gauge(metricInFlight, "POST /run simulations currently executing"),
+		ledger:    led,
+		recovery:  recovery,
+		configKey: suite.ConfigKey(),
+		flight:    reqtrace.NewStore[*runDebug](cfg.ledgerSize),
+		retry:     rand.New(rand.NewPCG(cfg.seed, 0x52657472)),
+	}
+	if ch != nil {
+		logger.Warn("chaos enabled", "spec", cfg.chaosSpec, "seed", ch.Seed())
+	}
+	if recovery.Rows > 0 || recovery.TornTail {
+		logger.Info("ledger recovered",
+			"rows", recovery.Rows, "interrupted", recovery.Interrupted,
+			"events", recovery.Events, "segments", recovery.Segments,
+			"torn_tail", recovery.TornTail)
+	}
+	return s, nil
 }
 
 // warmup pays the one-time program-generation cost off the request path
@@ -219,6 +335,34 @@ func (s *server) warmup() {
 	s.logger.Info("ready", "benchmarks", "generated")
 }
 
+// finalize waits (within ctx) for in-flight runs to drain, records any
+// still-running request in the ledger as aborted instead of dropping it
+// silently, and seals the WAL. It returns the aborted-run count.
+func (s *server) finalize(ctx context.Context) int {
+	done := make(chan struct{})
+	go func() { s.runWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	n := 0
+	s.inflight.Range(func(_, v any) bool {
+		row := v.(ledger.Row)
+		row.Status = ledger.StatusAborted
+		row.Error = "camserve shut down before the run finished"
+		s.append(context.Background(), row)
+		n++
+		return true
+	})
+	if n > 0 {
+		s.logger.Warn("drain deadline expired; still-running requests recorded as aborted", "count", n)
+	}
+	if err := s.ledger.Close(); err != nil {
+		s.logger.Error("ledger close", "err", err)
+	}
+	return n
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -228,7 +372,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRunByID)
 	mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
-	return s.logRequests(mux)
+	return s.logRequests(s.recoverPanics(mux))
 }
 
 // logRequests is the tracing + slog access-log middleware: it joins (or
@@ -254,6 +398,24 @@ func (s *server) logRequests(next http.Handler) http.Handler {
 			"method", r.Method, "path", path, "status", srec.status,
 			"dur", time.Since(start).Round(time.Microsecond),
 			"trace_id", rec.TraceID())
+	})
+}
+
+// recoverPanics is the handler-level isolation boundary: a panicking
+// handler is a bug, but it must cost one 500, not the daemon. (The run
+// path has a second, tighter guard so a panicking simulation also gets
+// a failed ledger row; this one catches everything else.)
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logger.Error("handler panic", "path", r.URL.Path, "panic", fmt.Sprint(rec))
+				// Best-effort: if the handler already wrote a header this
+				// write is a no-op on the status.
+				writeJSONError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 
@@ -294,6 +456,61 @@ type runRequest struct {
 	Benchmark string `json:"benchmark"`
 }
 
+// runRecord is one ledger row (and the POST /run success body) — the
+// durable shape lives in internal/ledger.
+type runRecord = ledger.Row
+
+// requestTimeout resolves the run deadline: the -run-timeout default,
+// tightened (never extended) by a client `Request-Timeout` header given
+// as a Go duration ("2s", "500ms") or a plain number of seconds.
+func (s *server) requestTimeout(r *http.Request) time.Duration {
+	d := s.cfg.runTimeout
+	h := strings.TrimSpace(r.Header.Get("Request-Timeout"))
+	if h == "" {
+		return d
+	}
+	var v time.Duration
+	if dur, err := time.ParseDuration(h); err == nil && dur > 0 {
+		v = dur
+	} else if secs, err := strconv.ParseFloat(h, 64); err == nil && secs > 0 {
+		v = time.Duration(secs * float64(time.Second))
+	} else {
+		return d
+	}
+	if v < d {
+		return v
+	}
+	return d
+}
+
+// retryAfter returns a jittered Retry-After hint in whole seconds
+// (1..4), drawn from a seeded stream.
+func (s *server) retryAfter() int {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return 1 + s.retry.IntN(4)
+}
+
+// append records row in the ledger. Persistence failures are logged by
+// the ledger and must not fail the request — the daemon keeps serving
+// with degraded durability.
+func (s *server) append(ctx context.Context, row ledger.Row) {
+	_ = s.ledger.Append(ctx, row)
+}
+
+// runGuarded is the per-request panic isolation boundary around the
+// simulation: a panic anywhere below (the suite has its own recover,
+// this one backstops the wiring above it) becomes this run's error —
+// one 500 and a failed ledger row, never a dead daemon.
+func (s *server) runGuarded(ctx context.Context, name string) (st sim.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("run panic: %v", r)
+		}
+	}()
+	return s.suite.RunOnce(ctx, name)
+}
+
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	rec := reqtrace.From(r.Context())
 	var req runRequest
@@ -309,57 +526,109 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// Every validated request gets a ledger identity, including the ones
-	// the semaphore bounces — a 503 is an outcome worth debugging too.
-	row := s.ledger.begin(req.Benchmark)
-	row.TraceID = rec.TraceID()
+	// Every validated request gets a durable ledger identity, including
+	// the ones admission sheds — a 503 is an outcome worth debugging too.
+	row := ledger.Row{
+		ID:        s.ledger.NewID(),
+		Benchmark: req.Benchmark,
+		ConfigKey: s.configKey,
+		TraceID:   rec.TraceID(),
+		Start:     time.Now().UTC().Format(time.RFC3339Nano),
+		Status:    ledger.StatusAccepted,
+	}
 	rec.AnnotateInt(reqtrace.Root, "run_id", row.ID)
 	rec.AnnotateStr(reqtrace.Root, "benchmark", req.Benchmark)
+	s.append(r.Context(), row)
 
-	sp := rec.Start(reqtrace.Root, "sem.acquire")
-	select {
-	case s.sem <- struct{}{}:
-		rec.End(sp)
-	default:
+	// One deadline covers queueing and the simulation.
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
+	defer cancel()
+
+	sp := rec.Start(reqtrace.Root, "queue.wait")
+	verdict := s.adm.acquire(ctx, req.Benchmark)
+	rec.AnnotateStr(sp, "verdict", verdict.String())
+	if verdict != admitted {
 		rec.AnnotateBool(sp, "rejected", true)
-		rec.End(sp)
-		s.rejected.Inc()
-		row.Status = "rejected"
+	}
+	rec.End(sp)
+	switch verdict {
+	case admitted:
+	case admitQueueFull, admitDraining:
+		s.reg.Counter(metricSheds, "POST /run requests shed by admission control, by benchmark and reason",
+			metrics.L("benchmark", req.Benchmark), metrics.L("reason", verdict.String())).Inc()
+		row.Status = ledger.StatusRejected
 		row.HTTPStatus = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
-		s.finishRun(w, rec, row, nil,
-			fmt.Sprintf("at capacity (%d runs in flight)", cap(s.sem)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		row.Error = fmt.Sprintf("at capacity (%d runs in flight, %s)", cap(s.adm.slots), verdict)
+		s.finishRun(w, rec, row, nil, row.Error)
+		return
+	case admitTimeout:
+		row.Status = ledger.StatusTimeout
+		row.HTTPStatus = http.StatusGatewayTimeout
+		row.Error = "deadline expired while queued"
+		s.finishRun(w, rec, row, nil, row.Error)
+		return
+	case admitCanceled:
+		row.Status = ledger.StatusCanceled
+		row.HTTPStatus = http.StatusServiceUnavailable
+		row.Error = "client went away while queued"
+		s.finishRun(w, rec, row, nil, row.Error)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.adm.release()
+	s.runWG.Add(1)
+	defer s.runWG.Done()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
+	row.Status = ledger.StatusRunning
+	s.inflight.Store(row.ID, row)
+	defer s.inflight.Delete(row.ID)
+	s.append(ctx, row)
+
 	start := time.Now()
-	st, err := s.suite.RunOnce(r.Context(), req.Benchmark)
+	st, err := s.runGuarded(ctx, req.Benchmark)
 	row.WallSeconds = time.Since(start).Seconds()
 	if err != nil {
-		row.Status = "error"
-		row.Error = err.Error()
-		row.HTTPStatus = http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			row.Status = ledger.StatusTimeout
+			row.HTTPStatus = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
 			// The client went away mid-run; 499-style, but stay standard.
+			row.Status = ledger.StatusCanceled
 			row.HTTPStatus = http.StatusServiceUnavailable
+		default:
+			row.Status = ledger.StatusFailed
+			row.HTTPStatus = http.StatusInternalServerError
 		}
+		row.Error = err.Error()
 		s.finishRun(w, rec, row, nil, err.Error())
 		return
 	}
-	row.Status = "ok"
+	row.Status = ledger.StatusOK
 	row.HTTPStatus = http.StatusOK
 	row.Cycles = st.Cycles
 	row.Instructions = st.Instructions
+	row.StatsDigest = statsDigest(&st)
 	s.finishRun(w, rec, row, &st.Stalls, "")
 }
 
+// statsDigest renders the cross-restart outcome digest of one run: the
+// cycle and instruction totals plus the CPI stack, in cause order.
+func statsDigest(st *sim.Stats) string {
+	stalls := make([]int64, 0, len(trace.Causes()))
+	for _, c := range trace.Causes() {
+		stalls = append(stalls, st.Stalls[c])
+	}
+	return ledger.StatsDigest(st.Cycles, st.Instructions, stalls)
+}
+
 // finishRun is the single exit of the /run attempt path: it writes the
-// response inside an "encode.json" span, commits the ledger row, and
-// files the finished span bundle in the flight recorder under the run's
-// id so GET /runs/{id} can replay the request.
+// response inside an "encode.json" span, appends the terminal ledger
+// row (a "wal.append" span when durable), and files the finished span
+// bundle in the flight recorder under the run's id so GET /runs/{id}
+// can replay the request.
 func (s *server) finishRun(w http.ResponseWriter, rec *reqtrace.Recorder, row runRecord, stalls *trace.Breakdown, errMsg string) {
 	rec.AnnotateStr(reqtrace.Root, "status", row.Status)
 	sp := rec.Start(reqtrace.Root, "encode.json")
@@ -369,7 +638,7 @@ func (s *server) finishRun(w http.ResponseWriter, rec *reqtrace.Recorder, row ru
 		writeJSON(w, row.HTTPStatus, row)
 	}
 	rec.End(sp)
-	s.ledger.finish(row)
+	s.append(reqtrace.With(context.Background(), rec), row)
 	s.reg.Counter(metricRunsTotal, "runs recorded in the ledger, by status",
 		metrics.L("status", row.Status)).Inc()
 	bundle := rec.Finish()
@@ -386,7 +655,7 @@ func (s *server) finishRun(w http.ResponseWriter, rec *reqtrace.Recorder, row ru
 func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Runs []runRecord `json:"runs"`
-	}{Runs: s.ledger.list()})
+	}{Runs: s.ledger.List()})
 }
 
 // handleRunByID serves the flight-recorder debug bundle of one run:
@@ -434,20 +703,6 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	}{Error: strings.TrimPrefix(msg, "bench: ")})
 }
 
-// runRecord is one ledger row (and the POST /run success body).
-type runRecord struct {
-	ID           int64   `json:"id"`
-	Benchmark    string  `json:"benchmark"`
-	Start        string  `json:"start"`
-	Status       string  `json:"status"`
-	HTTPStatus   int     `json:"http_status"`
-	TraceID      string  `json:"trace_id,omitempty"`
-	Cycles       int64   `json:"cycles,omitempty"`
-	Instructions int64   `json:"instructions,omitempty"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	Error        string  `json:"error,omitempty"`
-}
-
 // runDebug is the GET /runs/{id} body: the ledger row joined with the
 // run's simulator stall attribution and its wall-clock span timeline.
 type runDebug struct {
@@ -465,54 +720,4 @@ type runDebug struct {
 	DecodeCache string `json:"decode_cache,omitempty"`
 	// Trace is the span timeline (reqtrace bundle) of the request.
 	Trace *reqtrace.Bundle `json:"trace"`
-}
-
-// runLedger is a fixed-size ring of completed runs, newest first on
-// read. Records enter only on finish, so a reader never sees a
-// half-filled row.
-type runLedger struct {
-	mu     sync.Mutex
-	nextID int64
-	ring   []runRecord
-	n      int // rows filled, up to len(ring)
-	head   int // next write position
-}
-
-func newRunLedger(size int) *runLedger {
-	return &runLedger{ring: make([]runRecord, size)}
-}
-
-// begin stamps identity and start time; the caller fills the outcome and
-// hands the record to finish.
-func (l *runLedger) begin(benchmark string) runRecord {
-	l.mu.Lock()
-	l.nextID++
-	id := l.nextID
-	l.mu.Unlock()
-	return runRecord{
-		ID:        id,
-		Benchmark: benchmark,
-		Start:     time.Now().UTC().Format(time.RFC3339Nano),
-	}
-}
-
-func (l *runLedger) finish(rec runRecord) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.ring[l.head] = rec
-	l.head = (l.head + 1) % len(l.ring)
-	if l.n < len(l.ring) {
-		l.n++
-	}
-}
-
-// list returns the retained runs, newest first.
-func (l *runLedger) list() []runRecord {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]runRecord, 0, l.n)
-	for i := 1; i <= l.n; i++ {
-		out = append(out, l.ring[(l.head-i+len(l.ring))%len(l.ring)])
-	}
-	return out
 }

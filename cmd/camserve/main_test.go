@@ -13,12 +13,25 @@ import (
 	"testing"
 )
 
-// testServer builds a server over a discarding logger and runs warmup
-// synchronously so /readyz is deterministic in tests.
+// testServer builds a memory-only server over a discarding logger and
+// runs warmup synchronously so /readyz is deterministic in tests. Queue
+// depth 0 keeps the historical semantics: no free slot means an
+// immediate 503.
 func testServer(t *testing.T, maxInflight, ledgerSize int) (*server, *httptest.Server) {
 	t.Helper()
+	return testServerCfg(t, serverConfig{
+		seed: 7, warm: true, predecode: true,
+		maxInflight: maxInflight, ledgerSize: ledgerSize,
+	})
+}
+
+func testServerCfg(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := newServer(7, true, true, maxInflight, ledgerSize, logger)
+	s, err := newServer(cfg, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.warmup()
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
@@ -59,6 +72,24 @@ func metricValue(t *testing.T, page, name string) float64 {
 	return 0
 }
 
+// labeledMetricValue digs one labelled sample out of a Prometheus text
+// page; series is the full prefix, e.g. `name{a="b",c="d"}`.
+func labeledMetricValue(t *testing.T, page, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found in page:\n%s", series, page)
+	return 0
+}
+
 func scrape(t *testing.T, ts *httptest.Server) string {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -78,7 +109,10 @@ func scrape(t *testing.T, ts *httptest.Server) string {
 
 func TestHealthAndReadiness(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := newServer(7, true, true, 2, 8, logger)
+	s, err := newServer(serverConfig{seed: 7, warm: true, predecode: true, maxInflight: 2, ledgerSize: 8}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -150,23 +184,49 @@ func TestRunEndpoint(t *testing.T) {
 
 func TestRunSaturationReturns503(t *testing.T) {
 	s, ts := testServer(t, 1, 8)
-	// Occupy the single slot; the next request must bounce, not queue.
-	s.sem <- struct{}{}
+	// Occupy the single slot; with queue depth 0 the next request must
+	// bounce immediately, not queue.
+	s.adm.slots <- struct{}{}
 	resp, _ := postRun(t, ts, "MLP")
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated POST /run = %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("503 missing Retry-After")
 	}
-	<-s.sem
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 5 {
+		t.Fatalf("Retry-After = %q, want a jittered 1..5 whole-second hint", ra)
+	}
+	<-s.adm.slots
 	resp, _ = postRun(t, ts, "MLP")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /run after slot freed = %d", resp.StatusCode)
 	}
 	page := scrape(t, ts)
-	if got := metricValue(t, page, metricRejected); got != 1 {
-		t.Fatalf("%s = %v, want 1", metricRejected, got)
+	if got := labeledMetricValue(t, page, metricSheds+`{benchmark="MLP",reason="queue-full"}`); got != 1 {
+		t.Fatalf("%s{MLP,queue-full} = %v, want 1", metricSheds, got)
+	}
+}
+
+// TestRetryAfterJitter: the Retry-After hint on shed load is drawn from
+// a seeded stream over 1..4, not a constant — repeated sheds must see
+// more than one value so clients spread their retries.
+func TestRetryAfterJitter(t *testing.T) {
+	s, ts := testServer(t, 1, 64)
+	s.adm.slots <- struct{}{}
+	defer func() { <-s.adm.slots }()
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		resp, _ := postRun(t, ts, "MLP")
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("shed %d = %d, want 503", i, resp.StatusCode)
+		}
+		seen[resp.Header.Get("Retry-After")] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 sheds produced Retry-After values %v; want jitter, not a constant", seen)
 	}
 }
 

@@ -149,12 +149,12 @@ func TestTraceparentMintedWhenAbsentOrMalformed(t *testing.T) {
 
 // TestRejectedRunRecordsSpan: a 503 capacity bounce is a first-class
 // observable outcome — the ledger row says rejected/503 and the flight
-// recorder holds a sem.acquire span flagged rejected.
+// recorder holds a queue.wait span carrying the shed verdict.
 func TestRejectedRunRecordsSpan(t *testing.T) {
 	s, ts := testServer(t, 1, 8)
-	s.sem <- struct{}{} // occupy the only slot
+	s.adm.slots <- struct{}{} // occupy the only slot
 	resp, _ := postRun(t, ts, "MLP")
-	<-s.sem
+	<-s.adm.slots
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated POST /run = %d, want 503", resp.StatusCode)
 	}
@@ -165,20 +165,27 @@ func TestRejectedRunRecordsSpan(t *testing.T) {
 	if d.Status != "rejected" || d.HTTPStatus != http.StatusServiceUnavailable {
 		t.Fatalf("rejected row = %+v, want status=rejected http_status=503", d.runRecord)
 	}
-	sp := findSpan(d.Trace, "sem.acquire")
+	sp := findSpan(d.Trace, "queue.wait")
 	if sp == nil {
-		t.Fatalf("no sem.acquire span in rejected bundle: %+v", d.Trace)
+		t.Fatalf("no queue.wait span in rejected bundle: %+v", d.Trace)
 	}
-	rejected := false
+	var rejected bool
+	var verdict string
 	for _, a := range sp.Attrs {
-		if a.Key == "rejected" {
+		switch a.Key {
+		case "rejected":
 			if b, ok := a.Value.(bool); ok && b {
 				rejected = true
 			}
+		case "verdict":
+			verdict, _ = a.Value.(string)
 		}
 	}
 	if !rejected {
-		t.Fatalf("sem.acquire span %+v missing rejected=true attr", sp)
+		t.Fatalf("queue.wait span %+v missing rejected=true attr", sp)
+	}
+	if verdict != "queue-full" {
+		t.Fatalf("queue.wait verdict = %q, want queue-full", verdict)
 	}
 	if d.Stalls != nil {
 		t.Fatalf("rejected run has a stall breakdown %+v; nothing was simulated", d.Stalls)
@@ -215,7 +222,7 @@ func TestRunDebugBundle(t *testing.T) {
 	if d.RestoreBytes <= 0 {
 		t.Fatalf("warm run restore_bytes = %d, want > 0", d.RestoreBytes)
 	}
-	for _, want := range []string{"sem.acquire", "pool.acquire", "snapshot.restore", "sim.run", "encode.json"} {
+	for _, want := range []string{"queue.wait", "pool.acquire", "snapshot.restore", "sim.run", "wal.append", "encode.json"} {
 		if findSpan(d.Trace, want) == nil {
 			t.Fatalf("span %q missing from bundle: %+v", want, d.Trace.Spans)
 		}
@@ -291,7 +298,7 @@ func TestRunTraceChromeExport(t *testing.T) {
 		}
 	}
 	if complete < 3 {
-		t.Fatalf("only %d complete (X) events in trace, want at least request+sem.acquire+sim.run", complete)
+		t.Fatalf("only %d complete (X) events in trace, want at least request+queue.wait+sim.run", complete)
 	}
 	for _, want := range []string{"request", "sim.run"} {
 		if !names[want] {
@@ -315,7 +322,10 @@ func TestRunTraceChromeExport(t *testing.T) {
 func TestAccessLogCarriesTraceID(t *testing.T) {
 	var buf bytes.Buffer
 	logger := slog.New(slog.NewJSONHandler(&buf, nil))
-	s := newServer(7, true, true, 2, 8, logger)
+	s, err := newServer(serverConfig{seed: 7, warm: true, predecode: true, maxInflight: 2, ledgerSize: 8}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.warmup()
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()

@@ -1,0 +1,70 @@
+package bench
+
+// Chaos-vs-suite tests (docs/ROBUSTNESS.md): injected service-path
+// failures surface as ordinary per-run errors — never panics escaping
+// the suite, never a poisoned machine pool.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cambricon/internal/chaos"
+)
+
+func TestChaosRestoreFailureIsAnErrorAndPoolSurvives(t *testing.T) {
+	s := NewSuite(7)
+	ch, err := chaos.Parse("restore-fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Chaos = ch
+	// Two failing runs in a row: each must return the injected error.
+	for i := 0; i < 2; i++ {
+		if _, err := s.RunOnce(context.Background(), "MLP"); !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("run %d with restore-fail=1: err = %v, want ErrInjected", i, err)
+		}
+	}
+	// Chaos off: the pooled machine the failed restores handed back must
+	// still be usable — an injected restore failure must not poison it.
+	s.Chaos = nil
+	st, err := s.RunOnce(context.Background(), "MLP")
+	if err != nil {
+		t.Fatalf("run after chaos off: %v", err)
+	}
+	if st.Cycles <= 0 {
+		t.Fatalf("run after chaos off produced %d cycles", st.Cycles)
+	}
+	// And the stats are the canonical ones: a chaos-free suite agrees.
+	clean := NewSuite(7)
+	want, err := clean.Stats("MLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != want.Cycles || st.Instructions != want.Instructions {
+		t.Fatalf("post-chaos run (%d cycles, %d instr) != clean run (%d, %d); the pool was poisoned",
+			st.Cycles, st.Instructions, want.Cycles, want.Instructions)
+	}
+}
+
+func TestChaosPanicIsRecoveredIntoRunError(t *testing.T) {
+	s := NewSuite(7)
+	ch, err := chaos.Parse("panic=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Chaos = ch
+	_, err = s.RunOnce(context.Background(), "MLP")
+	if err == nil {
+		t.Fatal("panic=1 run returned nil error")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want the recovered panic surfaced", err)
+	}
+	// The suite survives: with chaos off the next run succeeds.
+	s.Chaos = nil
+	if _, err := s.RunOnce(context.Background(), "MLP"); err != nil {
+		t.Fatalf("run after recovered panic: %v", err)
+	}
+}

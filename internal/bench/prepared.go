@@ -268,6 +268,7 @@ func (s *Suite) preparedMachine(ctx context.Context, prog *codegen.Program, cfg 
 		return nil, false, err
 	}
 	sp := rec.Start(reqtrace.Root, "pool.acquire")
+	s.Chaos.PoolAcquire()
 	m, reused, err := s.pool.acquire(cfg)
 	rec.AnnotateBool(sp, "reused", reused)
 	rec.End(sp)
@@ -276,6 +277,14 @@ func (s *Suite) preparedMachine(ctx context.Context, prog *codegen.Program, cfg 
 	}
 	sm.poolAcquired(reused)
 	sp = rec.Start(reqtrace.Root, "snapshot.restore")
+	if cerr := s.Chaos.SnapshotRestore(); cerr != nil {
+		// An injected restore failure must not poison the pool: the
+		// machine was never restored, and every pool user restores
+		// before running, so re-pooling it as-is is safe.
+		rec.End(sp)
+		s.pool.release(m)
+		return nil, false, cerr
+	}
 	err = m.Restore(snap)
 	if err != nil {
 		// A restore mismatch means the machine does not belong to this

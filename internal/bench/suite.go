@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
 	"cambricon/internal/baseline/dadiannao"
+	"cambricon/internal/chaos"
 	"cambricon/internal/codegen"
 	"cambricon/internal/metrics"
 	"cambricon/internal/reqtrace"
@@ -43,6 +45,16 @@ type Suite struct {
 	// way; set false (or pass -predecode=false to the CLIs) to force the
 	// per-step decode path.
 	Predecode bool
+	// Chaos, when non-nil, injects operational failures into the
+	// service path (docs/ROBUSTNESS.md, "Chaos for the service path"):
+	// failing/delayed snapshot restores, slow pool acquires, and runs
+	// that panic — each recovered into an ordinary error by the run
+	// path's existing isolation. nil (the default) injects nothing; the
+	// hooks are nil-receiver no-ops, so the hot paths stay
+	// allocation-free with bit-identical simulated statistics, the same
+	// contract trace.Tracer and metrics.Registry honour. Set before the
+	// first run.
+	Chaos *chaos.Chaos
 	// Metrics, when non-nil, receives service-level instrumentation
 	// (docs/OBSERVABILITY.md, "Service metrics"): run and cache counters,
 	// per-benchmark cycle/wall-time histograms, pool and snapshot-restore
@@ -187,6 +199,10 @@ func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, er
 		return sim.Stats{}, err
 	}
 	defer s.releaseMachine(m, pooled)
+	// Chaos may stall here or panic in the run's place; the deferred
+	// recover above turns an injected panic into this run's error
+	// without touching the daemon or the other in-flight runs.
+	s.Chaos.BeforeRun()
 	rec := reqtrace.From(ctx)
 	sp := rec.Start(reqtrace.Root, "sim.run")
 	st, err = p.ExecutePreparedContext(ctx, m)
@@ -209,6 +225,16 @@ func annotateRun(rec *reqtrace.Recorder, sp reqtrace.SpanRef, st *sim.Stats) {
 	for _, c := range trace.Causes() {
 		rec.AnnotateInt(sp, "stall."+c.String(), st.Stalls[c])
 	}
+}
+
+// ConfigKey returns a short stable digest of the suite's architectural
+// configuration and seed — the identity a durable run ledger stamps on
+// every row, so recovered history is attributable to the exact machine
+// that produced it across restarts and config changes.
+func (s *Suite) ConfigKey() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|seed=%d", s.Config, s.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // RunOnce executes one benchmark simulation unconditionally — no

@@ -1,0 +1,169 @@
+package ledger
+
+// This file is the on-disk record format of the run ledger: framed,
+// CRC-checked records inside numbered segment files. The decoder is the
+// crash-safety boundary — whatever bytes a torn write, a bit flip or a
+// fuzzer leaves behind, replay must stop cleanly at the first bad
+// record and never panic (FuzzLedgerReplay pins this).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	// fileMagic opens every segment file; a file without it is not a
+	// ledger segment and replays as empty.
+	fileMagic = "CAMWAL1\n"
+	// recMagic opens every record frame. It doubles as a resync guard:
+	// a torn tail followed by later garbage cannot masquerade as a
+	// record without also forging the magic, the length and the CRC.
+	recMagic uint32 = 0x52c4b71c
+	// recHeaderBytes is the fixed frame header: magic, payload length,
+	// payload CRC-32 (IEEE), each little-endian uint32.
+	recHeaderBytes = 12
+	// maxRecordBytes bounds a single record so replay never trusts a
+	// corrupted length field into allocating or scanning gigabytes.
+	maxRecordBytes = 1 << 20
+)
+
+// Decoder stop conditions. errTorn marks an incomplete record at the
+// end of the data (the expected shape after a crash mid-write); the
+// others mark corruption.
+var (
+	errTorn     = errors.New("ledger: torn record (truncated mid-write)")
+	errBadMagic = errors.New("ledger: bad record magic")
+	errBadLen   = errors.New("ledger: implausible record length")
+	errBadCRC   = errors.New("ledger: record CRC mismatch")
+)
+
+// event is one WAL entry: a full snapshot of a run row at a lifecycle
+// transition. Seq is globally monotonic; replay applies events
+// newest-seq-wins, which keeps recovery correct even when compaction
+// leaves overlapping segments behind.
+type event struct {
+	Seq  uint64 `json:"seq"`
+	Time string `json:"time"`
+	Row  Row    `json:"row"`
+}
+
+// encodeRecord appends one framed record holding payload to buf.
+func encodeRecord(buf, payload []byte) []byte {
+	var hdr [recHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], recMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// decodeRecord reads the record starting at data[off]. It returns the
+// payload and the offset of the next record, or an error classifying
+// why decoding stopped: io-style end (off == len(data)) is reported as
+// ok=false with err == nil; anything else is torn or corrupt.
+func decodeRecord(data []byte, off int) (payload []byte, next int, err error) {
+	if off >= len(data) {
+		return nil, off, nil // clean end
+	}
+	if len(data)-off < recHeaderBytes {
+		return nil, off, errTorn
+	}
+	if binary.LittleEndian.Uint32(data[off:off+4]) != recMagic {
+		return nil, off, errBadMagic
+	}
+	n := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+	if n > maxRecordBytes {
+		return nil, off, errBadLen
+	}
+	if len(data)-off-recHeaderBytes < n {
+		return nil, off, errTorn
+	}
+	payload = data[off+recHeaderBytes : off+recHeaderBytes+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+8:off+12]) {
+		return nil, off, errBadCRC
+	}
+	return payload, off + recHeaderBytes + n, nil
+}
+
+// replaySegment decodes one segment image. It returns every event up to
+// the first bad record, the byte length of the good prefix (a valid
+// truncation point: file header plus whole records), and the error that
+// stopped the scan (nil on a clean end-of-data). A missing or wrong
+// file header yields no events and goodLen 0.
+func replaySegment(data []byte) (events []event, goodLen int, err error) {
+	if len(data) < len(fileMagic) {
+		return nil, 0, errTorn
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, 0, errBadMagic
+	}
+	off := len(fileMagic)
+	for {
+		payload, next, derr := decodeRecord(data, off)
+		if derr != nil {
+			return events, off, derr
+		}
+		if next == off {
+			return events, off, nil // clean end
+		}
+		var ev event
+		if uerr := json.Unmarshal(payload, &ev); uerr != nil {
+			// A record that frames correctly but does not decode is
+			// corruption, not a format evolution we can skip safely.
+			return events, off, fmt.Errorf("ledger: undecodable record: %w", uerr)
+		}
+		events = append(events, ev)
+		off = next
+	}
+}
+
+// segmentName renders the canonical file name of segment seq.
+func segmentName(seq int64) string {
+	return fmt.Sprintf("wal-%08d.wal", seq)
+}
+
+// segmentRef is one discovered segment file.
+type segmentRef struct {
+	seq  int64
+	path string
+}
+
+// listSegments finds the ledger segments under dir, ascending by
+// sequence number. Files that do not match the naming scheme are
+// ignored (they are not ours to interpret or delete).
+func listSegments(dir string) ([]segmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentRef
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var seq int64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.wal", &seq); err != nil {
+			continue
+		}
+		if e.Name() != segmentName(seq) {
+			continue
+		}
+		segs = append(segs, segmentRef{seq: seq, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
