@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"cambricon/internal/metrics"
@@ -297,6 +298,19 @@ func (c *Campaign) runTarget(ctx context.Context, t Target, factor int64, worker
 
 	bt, buffered := t.(BufferedTarget)
 
+	// Dispatch sites in ascending dynamic-index order (ties broken by
+	// site index) while every result is still written to its site-order
+	// slot: the report bytes are unchanged, and targets that fast-forward
+	// from interval checkpoints see monotone fault indices instead of
+	// random seeks — each worker's restore point only ever moves forward.
+	order := make([]int, len(sites))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return sites[order[a]].At < sites[order[b]].At
+	})
+
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -309,7 +323,8 @@ func (c *Campaign) runTarget(ctx context.Context, t Target, factor int64, worker
 			// past its run.
 			inj := New(Fault{})
 			var buf []byte
-			for i := range jobs {
+			for j := range jobs {
+				i := order[j]
 				inj.Retarget(sites[i])
 				var obs Observation
 				if buffered {

@@ -260,3 +260,50 @@ func TestCampaignUsesBufferedTarget(t *testing.T) {
 		t.Fatal("buffered and plain campaign reports differ")
 	}
 }
+
+// TestCampaignDispatchOrderInvisible pins that the At-sorted dispatch
+// order runTarget uses is invisible in the report: record i carries
+// exactly site i of the seeded generation order (not the sorted order),
+// and the marshaled report is byte-identical across worker counts. The
+// guard assertion first proves the generated sites are not already
+// At-sorted, so the test would catch a dispatch order leaking through.
+func TestCampaignDispatchOrderInvisible(t *testing.T) {
+	const seed, n = 5, 25
+	tgt := &scriptedTarget{name: "fake"}
+	golden := tgt.Run(nil, 0)
+	sites := Sites(BenchSeed(seed, tgt.name), n, golden.Geometry)
+	sorted := true
+	for i := 1; i < len(sites); i++ {
+		if sites[i].At < sites[i-1].At {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Fatal("generated sites are already At-sorted; pick a different seed to make this test meaningful")
+	}
+
+	render := func(workers int) (*Report, []byte) {
+		t.Helper()
+		c := &Campaign{Seed: seed, Sites: n, Workers: workers}
+		rep, err := c.Run(context.Background(), []Target{&scriptedTarget{name: "fake"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rep, buf.Bytes()
+	}
+	repA, bytesA := render(1)
+	_, bytesB := render(8)
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatal("report bytes differ across worker counts")
+	}
+	for i, rec := range repA.Benchmarks[0].Runs {
+		if rec.Fault != sites[i] {
+			t.Fatalf("run %d records site %+v, want generation-order site %+v", i, rec.Fault, sites[i])
+		}
+	}
+}
