@@ -7,13 +7,15 @@
 # an end-to-end camserve smoke run (start the daemon, drive one /run,
 # scrape /metrics), a kill-and-restart crash-recovery smoke run over the
 # durable run ledger (docs/ROBUSTNESS.md, "Serving-layer robustness"),
-# and the host-benchmark regression gate against BENCH_host.json.
+# a checkpoint/resume smoke run of the mid-run snapshot layer
+# (docs/PERF.md, Level 5), and the host-benchmark regression gate
+# against BENCH_host.json.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash check-host fault-json
+.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash smoke-checkpoint check-host fault-json
 
-ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash check-host
+ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash smoke-checkpoint check-host
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -166,6 +168,25 @@ smoke-crash:
 	rm -rf /tmp/cambricon-smoke-crash-wal /tmp/cambricon-smoke-crash-runs.json /tmp/cambricon-smoke-crash-run2.json; \
 	echo "smoke-crash: ok"
 	@rm -f /tmp/cambricon-smoke-crash-srv
+
+# Checkpoint smoke run: interrupt a program with -checkpoint-at, resume
+# the written CAMCKPT1 file in a fresh process, and assert both the
+# interrupted run and the resumed run report statistics byte-identical
+# to one uninterrupted run (docs/PERF.md, Level 5).
+smoke-checkpoint:
+	@$(GO) build -o /tmp/cambricon-smoke-ckpt-sim ./cmd/camsim
+	@/tmp/cambricon-smoke-ckpt-sim -json testdata/sum_loop.cam > /tmp/cambricon-smoke-ckpt-plain.json
+	@/tmp/cambricon-smoke-ckpt-sim -checkpoint-at 12 -checkpoint /tmp/cambricon-smoke-ckpt.bin -json testdata/sum_loop.cam > /tmp/cambricon-smoke-ckpt-run.json
+	@diff /tmp/cambricon-smoke-ckpt-plain.json /tmp/cambricon-smoke-ckpt-run.json >/dev/null || { \
+		echo "smoke-checkpoint: interrupted run diverges from plain run"; \
+		diff /tmp/cambricon-smoke-ckpt-plain.json /tmp/cambricon-smoke-ckpt-run.json; exit 1; }
+	@/tmp/cambricon-smoke-ckpt-sim -resume /tmp/cambricon-smoke-ckpt.bin -json > /tmp/cambricon-smoke-ckpt-resumed.json
+	@diff /tmp/cambricon-smoke-ckpt-plain.json /tmp/cambricon-smoke-ckpt-resumed.json >/dev/null || { \
+		echo "smoke-checkpoint: resumed run diverges from plain run"; \
+		diff /tmp/cambricon-smoke-ckpt-plain.json /tmp/cambricon-smoke-ckpt-resumed.json; exit 1; }
+	@rm -f /tmp/cambricon-smoke-ckpt-sim /tmp/cambricon-smoke-ckpt.bin \
+		/tmp/cambricon-smoke-ckpt-plain.json /tmp/cambricon-smoke-ckpt-run.json /tmp/cambricon-smoke-ckpt-resumed.json
+	@echo "smoke-checkpoint: ok"
 
 # Host-benchmark regression gate: re-measure the warm-start layer and
 # fail if the host-portable signals (cold/warm ratios, warm-row

@@ -54,6 +54,7 @@ func main() {
 	faultJSON := flag.String("fault-json", "", "run a fault-injection campaign and write the report to this file (\"-\" = stdout)")
 	faultSites := flag.Int("fault-sites", 50, "fault sites injected per benchmark in the campaign")
 	faultBench := flag.String("fault-bench", "", "restrict the fault campaign to one benchmark (empty = all)")
+	faultCkpts := flag.Int("fault-checkpoints", 8, "interval checkpoints per benchmark for campaign fast-forwarding (0 = full prefix replay; report bytes are identical either way)")
 	hostJSON := flag.String("host-json", "", "run the host-throughput benchmarks and write the record to this file (e.g. BENCH_host.json, - for stdout)")
 	hostRuns := flag.Int("host-runs", 10, "timed iterations per host-benchmark row")
 	checkHost := flag.String("check-host", "", "re-run the host benchmarks and exit nonzero if they regressed against this baseline record")
@@ -135,7 +136,7 @@ func main() {
 	}
 
 	if *faultJSON != "" {
-		if err := emitFaultJSON(suite, *workers, *faultSites, *faultBench, *faultJSON); err != nil {
+		if err := emitFaultJSON(suite, *workers, *faultSites, *faultCkpts, *faultBench, *faultJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "camrepro:", err)
 			os.Exit(1)
 		}
@@ -281,8 +282,10 @@ func emitProfileJSON(suite *bench.Suite, path string) error {
 // emitFaultJSON runs a deterministic fault-injection campaign over the
 // Table III benchmarks (or one of them) and writes the
 // cambricon-fault/v1 report. The campaign seed is the suite seed, so
-// `-seed N -fault-sites K` fully determines the report bytes.
-func emitFaultJSON(suite *bench.Suite, workers, sites int, only, path string) error {
+// `-seed N -fault-sites K` fully determines the report bytes —
+// checkpoints only change how fast the sites are swept (docs/PERF.md,
+// Level 5), never what the report says.
+func emitFaultJSON(suite *bench.Suite, workers, sites, checkpoints int, only, path string) error {
 	targets, err := suite.FaultTargets()
 	if err != nil {
 		return err
@@ -299,7 +302,7 @@ func emitFaultJSON(suite *bench.Suite, workers, sites int, only, path string) er
 		}
 		targets = kept
 	}
-	c := fault.Campaign{Seed: suite.Seed, Sites: sites, Workers: workers}
+	c := fault.Campaign{Seed: suite.Seed, Sites: sites, Workers: workers, Checkpoints: checkpoints}
 	rep, err := c.Run(context.Background(), targets)
 	if err != nil {
 		return err

@@ -28,6 +28,14 @@
 //	camsim -max-cycles 100000 prog.cam       # watchdog: fail instead of hang
 //	camsim -bin prog.bin                     # run a binary instruction image;
 //	                                         # a corrupted image is a clean error
+//
+// Mid-run checkpointing (docs/PERF.md, Level 5): capture the machine at a
+// dynamic instruction boundary into a CAMCKPT1 file, and later resume it
+// to completion — the resumed run's statistics are bit-identical to the
+// uninterrupted run's:
+//
+//	camsim -checkpoint-at 500 -checkpoint c.bin prog.cam
+//	camsim -resume c.bin
 package main
 
 import (
@@ -73,6 +81,9 @@ func main() {
 	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode; statistics are bit-identical either way)")
 	dumpDecoded := flag.Bool("dump-decoded", false, "print the pre-decoded listing with fusion decisions instead of running")
 	binFlag := flag.Bool("bin", false, "treat the program argument as a binary instruction image (8 bytes per instruction, little-endian), not assembly text")
+	ckptAt := flag.Int64("checkpoint-at", -1, "with a program file: capture a mid-run checkpoint at this dynamic instruction index, then continue (requires -checkpoint)")
+	ckptOut := flag.String("checkpoint", "", "write the CAMCKPT1 checkpoint captured by -checkpoint-at to this file")
+	resumeFile := flag.String("resume", "", "resume a CAMCKPT1 checkpoint file to completion instead of running a program")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Var(&gprs, "gpr", "initialize a register, e.g. -gpr 1=64 (repeatable)")
 	flag.Var(&pokes, "poke", "write fixed-point values to main memory, e.g. -poke 100=1.5,2.25 (repeatable)")
@@ -85,6 +96,36 @@ func main() {
 
 	if *version {
 		fmt.Printf("camsim %s (cambricon-bench-sim)\n", cambricon.Version)
+		return
+	}
+
+	if (*ckptAt >= 0) != (*ckptOut != "") {
+		fmt.Fprintln(os.Stderr, "camsim: -checkpoint-at and -checkpoint go together")
+		os.Exit(2)
+	}
+
+	if *resumeFile != "" {
+		if *benchmark != "" || flag.NArg() > 0 || *ckptAt >= 0 {
+			fmt.Fprintln(os.Stderr, "camsim: -resume replaces the program; drop -benchmark, -checkpoint-at and file arguments")
+			os.Exit(2)
+		}
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			fatal(fmt.Errorf("-resume: %w", err))
+		}
+		stats, err := resumeCheckpoint(f, *maxCycles)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			printJSON(&stats)
+		} else {
+			fmt.Printf("%v\n", &stats)
+		}
+		if *hist {
+			printHistogram(&stats)
+		}
 		return
 	}
 
@@ -105,6 +146,10 @@ func main() {
 		}
 		if len(gprs)+len(pokes)+len(dumps) > 0 {
 			fmt.Fprintln(os.Stderr, "camsim: -gpr/-poke/-dump are ignored with -benchmark (the benchmark carries its own image)")
+		}
+		if *ckptAt >= 0 {
+			fmt.Fprintln(os.Stderr, "camsim: -checkpoint-at needs a program file (benchmarks verify against their reference model in one piece)")
+			os.Exit(2)
 		}
 		if *benchmark == "all" {
 			if *traceOut != "" || *profileFlag || *profileJSON != "" {
@@ -207,7 +252,19 @@ func main() {
 		m.LoadProgram(insts)
 	}
 	obs := newObserver(m, *traceOut, *profileFlag, *profileJSON, flag.Arg(0))
-	stats, err := m.Run()
+	var stats sim.Stats
+	if *ckptAt >= 0 {
+		f, cerr := os.Create(*ckptOut)
+		if cerr != nil {
+			fatal(fmt.Errorf("-checkpoint: %w", cerr))
+		}
+		stats, err = runCheckpointed(m, *ckptAt, f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("-checkpoint %s: %w", *ckptOut, cerr)
+		}
+	} else {
+		stats, err = m.Run()
+	}
 	obs.finish(err, *topN)
 	if err != nil {
 		fatal(err)
@@ -321,6 +378,46 @@ func executeBenchmark(p *codegen.Program, m *sim.Machine, predecode bool) (sim.S
 	}
 	m.LoadDecoded(dp)
 	return p.ExecutePreparedContext(context.Background(), m)
+}
+
+// runCheckpointed is the testable core of -checkpoint-at/-checkpoint:
+// run the loaded program until the given dynamic instruction boundary,
+// write the CAMCKPT1 checkpoint, and continue to completion. The final
+// statistics are bit-identical to an uninterrupted run's; a program that
+// ends before the boundary is an error (there is nothing to checkpoint).
+func runCheckpointed(m *sim.Machine, at int64, w io.Writer) (sim.Stats, error) {
+	stats, done, err := m.RunUntil(at)
+	if err != nil {
+		return stats, err
+	}
+	if done {
+		return stats, fmt.Errorf("-checkpoint-at %d: program ended after %d instructions", at, stats.Instructions)
+	}
+	if err := sim.WriteCheckpoint(w, m.Checkpoint()); err != nil {
+		return stats, fmt.Errorf("-checkpoint: %w", err)
+	}
+	return m.Resume()
+}
+
+// resumeCheckpoint is the testable core of -resume: rebuild the machine
+// a CAMCKPT1 checkpoint describes and run it to completion. maxCycles,
+// when positive, re-arms the watchdog for the remainder.
+func resumeCheckpoint(r io.Reader, maxCycles int64) (sim.Stats, error) {
+	snap, err := sim.ReadCheckpoint(r)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	m, err := sim.New(snap.Config())
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	if maxCycles > 0 {
+		m.SetMaxCycles(maxCycles)
+	}
+	if err := m.Restore(snap); err != nil {
+		return sim.Stats{}, err
+	}
+	return m.Resume()
 }
 
 // dumpDecodedProgram prints the program's pre-decoded listing — encoded

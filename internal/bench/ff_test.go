@@ -1,0 +1,127 @@
+package bench
+
+// Tests pinning the checkpoint fast-forwarding contract (docs/PERF.md,
+// Level 5): a campaign with Checkpoints set produces a report
+// byte-identical to the ordinary full-replay campaign — across all five
+// fault models, so the stuck-lane fallback and the windowed dma-bit hop
+// path are exercised too — and degrades cleanly when checkpoints cannot
+// be prepared.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cambricon/internal/fault"
+	"cambricon/internal/metrics"
+)
+
+// ffCampaignBytes runs campaign c over the suite's named target and
+// returns the serialized report.
+func ffCampaignBytes(t *testing.T, s *Suite, c fault.Campaign, name string) []byte {
+	t.Helper()
+	targets, err := s.FaultTargets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target fault.Target
+	for _, tgt := range targets {
+		if tgt.Name() == name {
+			target = tgt
+		}
+	}
+	if target == nil {
+		t.Fatalf("target %q not found", name)
+	}
+	rep, err := c.Run(context.Background(), []fault.Target{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignFastForwardByteIdentical is the differential gate: the
+// fast-forwarded campaign's report bytes equal the full-replay
+// campaign's, for every worker count, over the full fault-model
+// taxonomy.
+func TestCampaignFastForwardByteIdentical(t *testing.T) {
+	slow := ffCampaignBytes(t, NewSuite(7),
+		fault.Campaign{Seed: 7, Sites: 30, Workers: 1}, "MLP")
+	for _, workers := range []int{1, 4} {
+		reg := metrics.New()
+		fast := ffCampaignBytes(t, NewSuite(7),
+			fault.Campaign{Seed: 7, Sites: 30, Workers: workers, Checkpoints: 4, Metrics: reg}, "MLP")
+		if !bytes.Equal(slow, fast) {
+			t.Fatalf("workers=%d: fast-forwarded report differs from full replay:\n--- replay ---\n%s\n--- fastforward ---\n%s",
+				workers, slow, fast)
+		}
+		// All 30 sites dispatch through the fast-forward path (stuck-lane
+		// sites fall back to full replay inside the target, but they are
+		// still dispatched through it).
+		if got := reg.Counter(fault.MetricFaultFastForward, "").Value(); got != 30 {
+			t.Fatalf("workers=%d: fast-forward dispatches = %d, want 30", workers, got)
+		}
+	}
+}
+
+// TestCampaignFastForwardModelSubset pins the combination the host
+// benchmark measures: a transient-models-only campaign, fast-forwarded,
+// still matches its own full replay byte for byte.
+func TestCampaignFastForwardModelSubset(t *testing.T) {
+	models := []fault.Model{fault.ModelSpadBit, fault.ModelGPRBit, fault.ModelFetchBit, fault.ModelDMABit}
+	slow := ffCampaignBytes(t, NewSuite(9),
+		fault.Campaign{Seed: 9, Sites: 20, Workers: 2, Models: models}, "MLP")
+	fast := ffCampaignBytes(t, NewSuite(9),
+		fault.Campaign{Seed: 9, Sites: 20, Workers: 2, Models: models, Checkpoints: 6}, "MLP")
+	if !bytes.Equal(slow, fast) {
+		t.Fatalf("transient-subset fast-forwarded report differs from full replay:\n--- replay ---\n%s\n--- fastforward ---\n%s", slow, fast)
+	}
+}
+
+// TestCampaignFastForwardByteIdenticalSOM pins the byte-identity gate on
+// the benchmark the host measurement uses (SOM) with the host row's
+// transient-model campaign shape, across seeds — the workload where the
+// convergence early exit actually triggers. The report must match full
+// replay byte for byte, and at least one site must have completed
+// through a convergence proof (otherwise the Level 5 speedup machinery
+// silently regressed to prefix-skipping).
+func TestCampaignFastForwardByteIdenticalSOM(t *testing.T) {
+	models := []fault.Model{fault.ModelSpadBit, fault.ModelGPRBit, fault.ModelFetchBit, fault.ModelDMABit}
+	for _, seed := range []uint64{7, 11} {
+		slow := ffCampaignBytes(t, NewSuite(seed),
+			fault.Campaign{Seed: seed, Sites: 32, Workers: 2, Models: models}, "SOM")
+		reg := metrics.New()
+		s := NewSuite(seed)
+		s.Metrics = reg
+		fast := ffCampaignBytes(t, s,
+			fault.Campaign{Seed: seed, Sites: 32, Workers: 2, Models: models, Checkpoints: 8}, "SOM")
+		if !bytes.Equal(slow, fast) {
+			t.Fatalf("seed %d: SOM fast-forwarded report differs from full replay:\n--- replay ---\n%s\n--- fastforward ---\n%s",
+				seed, slow, fast)
+		}
+		if got := reg.Counter(MetricFFConverged, "").Value(); got == 0 {
+			t.Fatalf("seed %d: no site completed through a convergence proof", seed)
+		}
+	}
+}
+
+// TestCampaignFastForwardColdFallback pins the degradation path: a cold
+// suite cannot prepare checkpoints, so a Checkpoints campaign silently
+// runs the ordinary path — same report, zero fast-forwarded runs.
+func TestCampaignFastForwardColdFallback(t *testing.T) {
+	reg := metrics.New()
+	cold := ffCampaignBytes(t, coldSuite(7),
+		fault.Campaign{Seed: 7, Sites: 15, Workers: 2, Checkpoints: 4, Metrics: reg}, "MLP")
+	warm := ffCampaignBytes(t, NewSuite(7),
+		fault.Campaign{Seed: 7, Sites: 15, Workers: 2}, "MLP")
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold-fallback report differs from warm full replay")
+	}
+	if got := reg.Counter(fault.MetricFaultFastForward, "").Value(); got != 0 {
+		t.Fatalf("cold suite fast-forwarded %d runs, want 0", got)
+	}
+}

@@ -30,6 +30,12 @@ const HostSchema = "cambricon-bench-host/v1"
 // also the canonical smoke benchmark elsewhere in the repo.
 const hostBenchmark = "MLP"
 
+// hostFFCheckpoints is the interval-checkpoint count of the
+// campaign-fastforward rows: enough that the average fault-free prefix
+// shrinks to ~1/18 of the run, few enough that preparing them stays a
+// small one-time cost.
+const hostFFCheckpoints = 8
+
 // dispatchBenchmark is the Table III benchmark the pre-decoded-dispatch
 // rows run. The dispatch layer (docs/PERF.md, Level 4) removes per-fetch
 // work — re-encoding for the injector hook, operand-role resolution,
@@ -71,6 +77,13 @@ type HostReport struct {
 	// over DispatchBenchmark runs with pre-decoded dispatch than with the
 	// per-step decode loop (zero in pre-dispatch reports).
 	PredecodeSpeedup float64 `json:"campaign_speedup_baseline_over_predecoded,omitempty"`
+	// FastForwardSpeedup is the replay/checkpointed wall-time ratio of
+	// the campaign-fastforward rows: how many times faster a warm,
+	// transient-models-only fault campaign over DispatchBenchmark runs
+	// when sites fast-forward from interval checkpoints instead of
+	// replaying the whole fault-free prefix (zero in pre-checkpoint
+	// reports).
+	FastForwardSpeedup float64 `json:"campaign_speedup_replay_over_fastforward,omitempty"`
 }
 
 // HostEntry is one measurement row.
@@ -142,6 +155,13 @@ func hostCampaignFn(s *Suite, sites int) (func() error, error) {
 // hostCampaignFnFor is hostCampaignFn over an arbitrary Table III
 // benchmark (the dispatch rows run dispatchBenchmark instead).
 func hostCampaignFnFor(s *Suite, name string, sites int) (func() error, error) {
+	return hostCampaignFnWith(s, name, fault.Campaign{Seed: s.Seed, Sites: sites, Workers: 1})
+}
+
+// hostCampaignFnWith is the fully parameterized variant: the caller
+// supplies the campaign (checkpoint count, model subset), the helper
+// binds it to one target of the suite.
+func hostCampaignFnWith(s *Suite, name string, c fault.Campaign) (func() error, error) {
 	targets, err := s.FaultTargets()
 	if err != nil {
 		return nil, err
@@ -155,7 +175,6 @@ func hostCampaignFnFor(s *Suite, name string, sites int) (func() error, error) {
 	if target == nil {
 		return nil, fmt.Errorf("bench: host: no benchmark %q", name)
 	}
-	c := fault.Campaign{Seed: s.Seed, Sites: sites, Workers: 1}
 	return func() error {
 		_, err := c.Run(context.Background(), []fault.Target{target})
 		return err
@@ -295,12 +314,46 @@ func RunHostBenchmarks(seed uint64, runs, sites int) (*HostReport, error) {
 		return nil, err
 	}
 
-	rep.Entries = []HostEntry{warmCamp, coldCamp, warmRest, coldRest, decCamp, baseCamp}
+	// Checkpoint fast-forwarding (docs/PERF.md, Level 5): the same warm,
+	// pre-decoded campaign over the loop-heavy dispatch benchmark,
+	// restricted to the transient fault models — whole-run stuck-lane
+	// faults cannot fast-forward (every cycle is faulted) and would
+	// dilute the measurement — with and without prepared checkpoints.
+	// Reports are byte-identical either way (pinned by differential
+	// tests); only the wall clock moves.
+	ffModels := []fault.Model{fault.ModelSpadBit, fault.ModelGPRBit, fault.ModelFetchBit, fault.ModelDMABit}
+	replayRun, err := hostCampaignFnWith(warmSuite, dispatchBenchmark,
+		fault.Campaign{Seed: seed, Sites: sites, Workers: 1, Models: ffModels})
+	if err != nil {
+		return nil, err
+	}
+	ffRun, err := hostCampaignFnWith(warmSuite, dispatchBenchmark,
+		fault.Campaign{Seed: seed, Sites: sites, Workers: 1, Models: ffModels, Checkpoints: hostFFCheckpoints})
+	if err != nil {
+		return nil, err
+	}
+	if err := replayRun(); err != nil {
+		return nil, err
+	}
+	if err := ffRun(); err != nil {
+		return nil, err
+	}
+	replayCamp, err := hostMeasure("campaign-fastforward/replay", runs, nil, replayRun)
+	if err != nil {
+		return nil, err
+	}
+	ffCamp, err := hostMeasure("campaign-fastforward/checkpointed", runs, nil, ffRun)
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Entries = []HostEntry{warmCamp, coldCamp, warmRest, coldRest, decCamp, baseCamp, replayCamp, ffCamp}
 	rep.CampaignSpeedup = ratio(coldCamp.NSPerRun, warmCamp.NSPerRun)
 	rep.CampaignAllocRatio = ratio(coldCamp.AllocsPerRun, warmCamp.AllocsPerRun)
 	rep.RestoreSpeedup = ratio(coldRest.NSPerRun, warmRest.NSPerRun)
 	rep.RestoreAllocRatio = ratio(coldRest.AllocsPerRun, warmRest.AllocsPerRun)
 	rep.PredecodeSpeedup = ratio(baseCamp.NSPerRun, decCamp.NSPerRun)
+	rep.FastForwardSpeedup = ratio(replayCamp.NSPerRun, ffCamp.NSPerRun)
 	return rep, nil
 }
 

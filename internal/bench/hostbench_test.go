@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"cambricon/internal/fault"
 )
 
 // TestHostReportSchema pins the BENCH_host.json format: versioned
@@ -23,7 +25,8 @@ func TestHostReportSchema(t *testing.T) {
 		t.Fatalf("dispatch benchmark = %q, want %q", rep.DispatchBenchmark, dispatchBenchmark)
 	}
 	want := []string{"campaign-run/warm", "campaign-run/cold", "machine-acquire/warm", "machine-acquire/cold",
-		"campaign-dispatch/predecoded", "campaign-dispatch/baseline"}
+		"campaign-dispatch/predecoded", "campaign-dispatch/baseline",
+		"campaign-fastforward/replay", "campaign-fastforward/checkpointed"}
 	if len(rep.Entries) != len(want) {
 		t.Fatalf("entries = %d, want %d", len(rep.Entries), len(want))
 	}
@@ -36,7 +39,8 @@ func TestHostReportSchema(t *testing.T) {
 		}
 	}
 	if rep.CampaignSpeedup <= 0 || rep.CampaignAllocRatio <= 0 ||
-		rep.RestoreSpeedup <= 0 || rep.RestoreAllocRatio <= 0 || rep.PredecodeSpeedup <= 0 {
+		rep.RestoreSpeedup <= 0 || rep.RestoreAllocRatio <= 0 ||
+		rep.PredecodeSpeedup <= 0 || rep.FastForwardSpeedup <= 0 {
 		t.Fatalf("ratios not computed: %+v", rep)
 	}
 
@@ -109,6 +113,38 @@ func BenchmarkPredecodedDispatch(b *testing.B) {
 	}
 	b.Run("predecoded", func(b *testing.B) { run(b, true) })
 	b.Run("baseline", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkFastForwardCampaign compares a warm single-worker
+// transient-models-only fault campaign (golden + 32 faulted runs) over
+// the dispatch benchmark with checkpoint fast-forwarding against full
+// prefix replay — the Level 5 acceptance measurement (see
+// BENCH_host.json's campaign-fastforward rows and docs/PERF.md). Fault
+// reports are byte-identical between the two variants; only host time
+// moves.
+func BenchmarkFastForwardCampaign(b *testing.B) {
+	run := func(b *testing.B, checkpoints int) {
+		s := NewSuite(7)
+		fn, err := hostCampaignFnWith(s, dispatchBenchmark, fault.Campaign{
+			Seed: s.Seed, Sites: 32, Workers: 1, Checkpoints: checkpoints,
+			Models: []fault.Model{fault.ModelSpadBit, fault.ModelGPRBit, fault.ModelFetchBit, fault.ModelDMABit},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fn(); err != nil { // untimed: generation, snapshots, checkpoints
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("checkpointed", func(b *testing.B) { run(b, hostFFCheckpoints) })
+	b.Run("replay", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkWarmRestart compares acquiring a ready-to-run machine via

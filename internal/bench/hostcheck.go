@@ -39,6 +39,9 @@ var hostRatios = []struct {
 	// Pre-decoded dispatch (docs/PERF.md, Level 4). The `base <= 0` skip
 	// below keeps reports generated before the dispatch layer checkable.
 	{"campaign_speedup_baseline_over_predecoded", func(r *HostReport) float64 { return r.PredecodeSpeedup }},
+	// Checkpoint fast-forwarding (docs/PERF.md, Level 5); same skip for
+	// pre-checkpoint reports.
+	{"campaign_speedup_replay_over_fastforward", func(r *HostReport) float64 { return r.FastForwardSpeedup }},
 }
 
 // CheckHost compares a freshly measured HostReport against a committed

@@ -26,6 +26,7 @@ const (
 	MetricRunWall       = "cambricon_bench_run_wall_seconds"
 	MetricPoolHits      = "cambricon_pool_hits_total"
 	MetricPoolMisses    = "cambricon_pool_misses_total"
+	MetricPoolMemShared = "cambricon_pool_mem_shared_total"
 	MetricRestores      = "cambricon_snapshot_restores_total"
 	MetricRestoreBytes  = "cambricon_snapshot_restore_bytes_total"
 	MetricSnapPrepared  = "cambricon_snapshot_prepared"
@@ -33,6 +34,7 @@ const (
 	MetricSnapDense     = "cambricon_snapshot_dense_bytes"
 	MetricWatchdogTrips = "cambricon_sim_watchdog_trips_total"
 	MetricCancellations = "cambricon_sim_cancellations_total"
+	MetricFFConverged   = "cambricon_fault_ff_converged_total"
 	MetricPredecoded    = "cambricon_bench_programs_predecoded_total"
 	MetricDecodeHits    = "cambricon_bench_decode_cache_hits_total"
 	MetricDecodeMisses  = "cambricon_bench_decode_cache_misses_total"
@@ -49,10 +51,12 @@ type suiteMetrics struct {
 	runsFailed    *metrics.Counter
 	cacheHits     *metrics.Counter
 
-	poolHits     *metrics.Counter
-	poolMisses   *metrics.Counter
-	restores     *metrics.Counter
-	restoreBytes *metrics.Counter
+	poolHits      *metrics.Counter
+	poolMisses    *metrics.Counter
+	poolMemShared *metrics.Counter
+	restores      *metrics.Counter
+	restoreBytes  *metrics.Counter
+	ffConvergedC  *metrics.Counter
 
 	predecodedN  *metrics.Counter
 	decodeHits   *metrics.Counter
@@ -84,8 +88,10 @@ func newSuiteMetrics(reg *metrics.Registry) *suiteMetrics {
 		cacheHits:     reg.Counter(MetricCacheHits, "Stats calls served from the suite's singleflight cache"),
 		poolHits:      reg.Counter(MetricPoolHits, "machine acquisitions served by recycling a pooled machine"),
 		poolMisses:    reg.Counter(MetricPoolMisses, "machine acquisitions that built a fresh machine"),
+		poolMemShared: reg.Counter(MetricPoolMemShared, "pool acquisitions that reconfigured a machine from another configuration with the same memory geometry, reusing its main-memory allocation"),
 		restores:      reg.Counter(MetricRestores, "snapshot restores performed by the warm-start layer"),
 		restoreBytes:  reg.Counter(MetricRestoreBytes, "bytes copied by snapshot restores (dirty pages only on the warm path)"),
+		ffConvergedC:  reg.Counter(MetricFFConverged, "fast-forwarded fault runs completed early by a convergence proof (golden observation returned without simulating the remainder)"),
 		predecodedN:   reg.Counter(MetricPredecoded, "benchmark programs pre-decoded and fusion-planned"),
 		decodeHits:    reg.Counter(MetricDecodeHits, "decoded-program requests served from the suite's singleflight cache"),
 		decodeMisses:  reg.Counter(MetricDecodeMisses, "decoded-program requests that paid for a fresh pre-decode"),
@@ -129,7 +135,11 @@ func (sm *suiteMetrics) cacheHit() {
 	}
 }
 
-func (sm *suiteMetrics) poolAcquired(reused bool) {
+// poolAcquired records one pool acquisition. shared marks a
+// cross-configuration steal (the machine came from a different
+// architectural entry with the same memory geometry and was
+// Reconfigured); a shared acquisition is also a hit.
+func (sm *suiteMetrics) poolAcquired(reused, shared bool) {
 	if sm == nil {
 		return
 	}
@@ -137,6 +147,15 @@ func (sm *suiteMetrics) poolAcquired(reused bool) {
 		sm.poolHits.Inc()
 	} else {
 		sm.poolMisses.Inc()
+	}
+	if shared {
+		sm.poolMemShared.Inc()
+	}
+}
+
+func (sm *suiteMetrics) ffConverged() {
+	if sm != nil {
+		sm.ffConvergedC.Inc()
 	}
 }
 

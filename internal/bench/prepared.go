@@ -20,20 +20,28 @@ import (
 // machinePool caches sim.Machine instances per architectural
 // configuration (the pool key normalizes the watchdog budget away, see
 // sim.Machine.SetMaxCycles). Machines are handed out bare; callers
-// restore them to a snapshot before use. The zero value is ready.
+// restore them to a snapshot before use. Configurations that differ only
+// in non-memory parameters (issue width, lane counts, timing knobs —
+// the ablation and sweep axes) share machines across entries: a pool
+// miss steals an idle machine from any entry with the same memory
+// geometry and Reconfigures it, reusing its 16 MiB main-memory
+// allocation instead of building a fresh one. The zero value is ready.
 type machinePool struct {
-	mu      sync.Mutex
-	entries map[sim.Config]*poolEntry
-	builds  atomic.Int64
-	reuses  atomic.Int64
+	mu        sync.Mutex
+	entries   map[sim.Config]*poolEntry
+	byMem     map[memKey][]*poolEntry
+	builds    atomic.Int64
+	reuses    atomic.Int64
+	memShared atomic.Int64
 }
 
 type poolEntry struct {
 	pool sync.Pool
 	// pristine is the post-construction zero state of this configuration,
-	// captured from the first machine built for it: handcrafted kernels
-	// (ablations, sweeps) restore to it so a recycled machine is
-	// indistinguishable from a fresh one.
+	// synthesized from the configuration alone (sim.PristineSnapshot):
+	// handcrafted kernels (ablations, sweeps) restore to it so a recycled
+	// — or cross-configuration stolen — machine is indistinguishable from
+	// a fresh one.
 	pristine *sim.Snapshot
 }
 
@@ -43,64 +51,114 @@ func poolKey(cfg sim.Config) sim.Config {
 	return cfg
 }
 
-func (p *machinePool) entry(cfg sim.Config) *poolEntry {
+// memKey is a configuration's memory geometry — the sharing domain for
+// cross-configuration machine steals (sim.Machine.Reconfigure accepts
+// exactly the configurations whose memKey matches).
+type memKey struct {
+	main, vspad, mspad, banks, bankBytes int
+}
+
+func memKeyOf(cfg sim.Config) memKey {
+	return memKey{
+		main:      cfg.MainMemBytes,
+		vspad:     cfg.VectorSpadBytes,
+		mspad:     cfg.MatrixSpadBytes,
+		banks:     cfg.SpadBanks,
+		bankBytes: cfg.BankBytes,
+	}
+}
+
+func (p *machinePool) entry(cfg sim.Config) (*poolEntry, error) {
 	key := poolKey(cfg)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.entries == nil {
 		p.entries = map[sim.Config]*poolEntry{}
+		p.byMem = map[memKey][]*poolEntry{}
 	}
 	e := p.entries[key]
 	if e == nil {
-		e = &poolEntry{}
+		pristine, err := sim.PristineSnapshot(key)
+		if err != nil {
+			return nil, err
+		}
+		e = &poolEntry{pristine: pristine}
 		p.entries[key] = e
+		mk := memKeyOf(key)
+		p.byMem[mk] = append(p.byMem[mk], e)
 	}
-	return e
+	return e, nil
 }
 
-// acquire returns a machine for cfg — recycled when the pool has one
-// (reused=true), freshly built otherwise — with its watchdog budget set
-// to cfg.MaxCycles. The machine's other state is whatever the previous
-// user left; callers must Restore a snapshot (or load a program onto a
-// pristine machine) before running.
-func (p *machinePool) acquire(cfg sim.Config) (*sim.Machine, bool, error) {
-	e := p.entry(cfg)
+// stealMem pulls an idle machine from any sibling entry sharing cfg's
+// memory geometry (never cfg's own entry — the caller already missed
+// there).
+func (p *machinePool) stealMem(cfg sim.Config, own *poolEntry) *sim.Machine {
+	mk := memKeyOf(cfg)
+	p.mu.Lock()
+	siblings := p.byMem[mk]
+	p.mu.Unlock()
+	for _, e := range siblings {
+		if e == own {
+			continue
+		}
+		if m, ok := e.pool.Get().(*sim.Machine); ok && m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// acquire returns a machine for cfg with its watchdog budget set to
+// cfg.MaxCycles: recycled from cfg's own entry when possible
+// (reused=true), stolen and reconfigured from a same-memory-geometry
+// entry otherwise (reused and shared=true), freshly built as the last
+// resort. The machine's other state is whatever the previous user left;
+// callers must Restore a snapshot (or load a program onto a pristine
+// machine) before running.
+func (p *machinePool) acquire(cfg sim.Config) (m *sim.Machine, reused, shared bool, err error) {
+	e, err := p.entry(cfg)
+	if err != nil {
+		return nil, false, false, err
+	}
 	if m, ok := e.pool.Get().(*sim.Machine); ok && m != nil {
 		p.reuses.Add(1)
 		m.SetMaxCycles(cfg.MaxCycles)
-		return m, true, nil
+		return m, true, false, nil
 	}
-	m, err := sim.New(cfg)
+	if m := p.stealMem(cfg, e); m != nil {
+		if err := m.Reconfigure(cfg); err == nil {
+			p.reuses.Add(1)
+			p.memShared.Add(1)
+			return m, true, true, nil
+		}
+		// A same-memKey reconfigure can only fail on an invalid cfg,
+		// which sim.New below will report; drop the stolen machine.
+	}
+	m, err = sim.New(cfg)
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
 	p.builds.Add(1)
-	p.mu.Lock()
-	if e.pristine == nil {
-		// First machine for this configuration: capture its untouched
-		// state so acquirePristine can reset recycled machines to it.
-		e.pristine = m.Snapshot()
-	}
-	p.mu.Unlock()
-	return m, false, nil
+	return m, false, false, nil
 }
 
 // acquirePristine is acquire plus a restore to the configuration's
 // post-construction zero state: registers, PRNG and all memory exactly as
 // sim.New left them.
-func (p *machinePool) acquirePristine(cfg sim.Config) (*sim.Machine, bool, error) {
-	m, reused, err := p.acquire(cfg)
+func (p *machinePool) acquirePristine(cfg sim.Config) (*sim.Machine, bool, bool, error) {
+	m, reused, shared, err := p.acquire(cfg)
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
-	e := p.entry(cfg)
-	p.mu.Lock()
-	pristine := e.pristine
-	p.mu.Unlock()
-	if err := m.Restore(pristine); err != nil {
-		return nil, false, err
+	e, err := p.entry(cfg)
+	if err != nil {
+		return nil, false, false, err
 	}
-	return m, reused, nil
+	if err := m.Restore(e.pristine); err != nil {
+		return nil, false, false, err
+	}
+	return m, reused, shared, nil
 }
 
 // release detaches the machine's observers and returns it to the pool.
@@ -209,12 +267,12 @@ func (s *Suite) preparedSnapshot(ctx context.Context, prog *codegen.Program, cfg
 		rec := reqtrace.From(ctx)
 		sp := rec.Start(reqtrace.Root, "snapshot.prepare")
 		defer rec.End(sp)
-		m, reused, err := s.pool.acquirePristine(poolKey(cfg))
+		m, reused, shared, err := s.pool.acquirePristine(poolKey(cfg))
 		if err != nil {
 			pe.err = err
 			return
 		}
-		s.sm().poolAcquired(reused)
+		s.sm().poolAcquired(reused, shared)
 		if err := prog.Init(m); err != nil {
 			pe.err = err
 			return
@@ -269,13 +327,13 @@ func (s *Suite) preparedMachine(ctx context.Context, prog *codegen.Program, cfg 
 	}
 	sp := rec.Start(reqtrace.Root, "pool.acquire")
 	s.Chaos.PoolAcquire()
-	m, reused, err := s.pool.acquire(cfg)
+	m, reused, shared, err := s.pool.acquire(cfg)
 	rec.AnnotateBool(sp, "reused", reused)
 	rec.End(sp)
 	if err != nil {
 		return nil, false, err
 	}
-	sm.poolAcquired(reused)
+	sm.poolAcquired(reused, shared)
 	sp = rec.Start(reqtrace.Root, "snapshot.restore")
 	if cerr := s.Chaos.SnapshotRestore(); cerr != nil {
 		// An injected restore failure must not poison the pool: the
@@ -299,6 +357,38 @@ func (s *Suite) preparedMachine(ctx context.Context, prog *codegen.Program, cfg 
 	return m, true, nil
 }
 
+// checkpointMachine acquires a pooled machine restored directly to the
+// given snapshot — typically a mid-run checkpoint — skipping the
+// prepared-snapshot restore preparedMachine performs. A fast-forwarding
+// campaign overwrites that state with its own checkpoint anyway, and
+// going straight there lets consecutive sites sharing a checkpoint take
+// the cheap dirty-page-only restore path instead of paying two full
+// delta switches per site. Warm suites only (release via
+// releaseMachine with pooled=true).
+func (s *Suite) checkpointMachine(cfg sim.Config, snap *sim.Snapshot) (*sim.Machine, error) {
+	sm := s.sm()
+	s.Chaos.PoolAcquire()
+	m, reused, shared, err := s.pool.acquire(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sm.poolAcquired(reused, shared)
+	if cerr := s.Chaos.SnapshotRestore(); cerr != nil {
+		// As in preparedMachine: the machine was never restored, so
+		// re-pooling it as-is is safe.
+		s.pool.release(m)
+		return nil, cerr
+	}
+	if err := m.Restore(snap); err != nil {
+		// A restore mismatch means the machine does not belong to this
+		// snapshot's configuration; drop it rather than re-pooling.
+		return nil, err
+	}
+	sm.restored(m.LastRestoreBytes())
+	m.SetMetrics(sm.simMetrics())
+	return m, nil
+}
+
 // kernelMachine returns a machine in post-construction zero state for a
 // handcrafted kernel (ablations, sweeps, extension programs). Warm
 // suites recycle pooled machines through a pristine-state restore
@@ -314,11 +404,11 @@ func (s *Suite) kernelMachine(cfg sim.Config) (*sim.Machine, bool, error) {
 		m.SetMetrics(sm.simMetrics())
 		return m, false, nil
 	}
-	m, reused, err := s.pool.acquirePristine(cfg)
+	m, reused, shared, err := s.pool.acquirePristine(cfg)
 	if err != nil {
 		return nil, false, err
 	}
-	sm.poolAcquired(reused)
+	sm.poolAcquired(reused, shared)
 	m.SetMetrics(sm.simMetrics())
 	return m, true, nil
 }
@@ -337,4 +427,12 @@ func (s *Suite) releaseMachine(m *sim.Machine, pooled bool) {
 // pool-leak/reuse check in tests).
 func (s *Suite) PoolStats() (builds, reuses int64) {
 	return s.pool.builds.Load(), s.pool.reuses.Load()
+}
+
+// PoolMemShared reports how many acquisitions were served by
+// reconfiguring a machine pooled under a different architectural
+// configuration with the same memory geometry — each one a main-memory
+// allocation the sweep did not have to make.
+func (s *Suite) PoolMemShared() int64 {
+	return s.pool.memShared.Load()
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. sync.Pool deliberately drops a random quarter of Puts in
+// race mode, so tests asserting exact pool hit/steal counts cannot be
+// deterministic there.
+const raceEnabled = true

@@ -110,8 +110,9 @@ func TestSuiteMetricsNilHooksZeroAllocs(t *testing.T) {
 		sm.runStarted()
 		sm.runDone("MLP", sim.Stats{Cycles: 1}, time.Microsecond, nil)
 		sm.cacheHit()
-		sm.poolAcquired(true)
-		sm.poolAcquired(false)
+		sm.poolAcquired(true, false)
+		sm.poolAcquired(true, true)
+		sm.poolAcquired(false, false)
 		sm.restored(4096)
 		sm.snapshotPrepared(snap)
 		if sm.simMetrics() != nil {

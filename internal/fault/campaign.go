@@ -122,6 +122,30 @@ type BufferedTarget interface {
 	RunBuf(inj Injector, maxCycles int64, buf []byte) Observation
 }
 
+// FastForwardTarget is an optional Target extension for O(sites)
+// campaigns: the target keeps interval checkpoints of its golden run and
+// services each transient fault site by restoring the nearest checkpoint
+// at or before the site's dynamic index and simulating only the delta,
+// instead of replaying the whole prefix on the observed (injected) path.
+// Implementations must keep RunSiteBuf observationally identical to
+// RunBuf with a retargeted injector — the campaign pins this with
+// differential tests, and silently falls back to the buffered path when
+// PrepareCheckpoints fails.
+type FastForwardTarget interface {
+	BufferedTarget
+	// PrepareCheckpoints captures (or reuses) k evenly spaced mid-run
+	// checkpoints of the fault-free run. It is called once per campaign
+	// target, after the golden run, before any RunSiteBuf; an error
+	// disables fast-forwarding for this target (the campaign falls back
+	// to RunBuf).
+	PrepareCheckpoints(k int) error
+	// RunSiteBuf is RunBuf for one fault site, free to fast-forward from
+	// a prepared checkpoint. Whole-run models (stuck-lane) and any other
+	// site the target cannot fast-forward must produce their observation
+	// by the ordinary path internally.
+	RunSiteBuf(f Fault, maxCycles int64, buf []byte) Observation
+}
+
 // Campaign sweeps seeded fault sites across a set of benchmark targets.
 type Campaign struct {
 	// Seed drives site generation; the same seed yields a byte-identical
@@ -129,6 +153,17 @@ type Campaign struct {
 	Seed uint64
 	// Sites is the number of fault sites swept per benchmark.
 	Sites int
+	// Checkpoints, when positive, asks each FastForwardTarget to keep
+	// that many interval checkpoints of its golden run and service fault
+	// sites by restore-then-delta-simulate. Reports are byte-identical
+	// with or without checkpoints; targets that do not implement
+	// FastForwardTarget (or whose preparation fails) run unchanged.
+	Checkpoints int
+	// Models, when non-empty, restricts site generation to a model
+	// subset (round-robin over the subset, see SitesOf). nil sweeps the
+	// full taxonomy, byte-identical to campaigns before the field
+	// existed.
+	Models []Model
 	// Workers bounds concurrent faulted runs within one target (<= 0
 	// means GOMAXPROCS).
 	Workers int
@@ -148,8 +183,9 @@ type Campaign struct {
 
 // Metric names exported by an instrumented Campaign.
 const (
-	MetricFaultRuns    = "cambricon_fault_runs_total"
-	MetricFaultTargets = "cambricon_fault_targets_total"
+	MetricFaultRuns        = "cambricon_fault_runs_total"
+	MetricFaultTargets     = "cambricon_fault_targets_total"
+	MetricFaultFastForward = "cambricon_fault_fastforward_runs_total"
 )
 
 // DefaultWatchdogFactor is the golden-cycles multiplier used when
@@ -186,6 +222,7 @@ func (c *Campaign) Run(ctx context.Context, targets []Target) (*Report, error) {
 		Seed:           c.Seed,
 		SitesPerBench:  c.Sites,
 		WatchdogFactor: factor,
+		Models:         c.Models,
 	}
 
 	// A failing target cancels the whole sweep; the parent context's own
@@ -286,7 +323,7 @@ func (c *Campaign) runTarget(ctx context.Context, t Target, factor int64, worker
 	case golden.Err != nil:
 		return nil, fmt.Errorf("fault: golden run of %s failed: %w", t.Name(), golden.Err)
 	}
-	sites := Sites(BenchSeed(c.Seed, t.Name()), c.Sites, golden.Geometry)
+	sites := SitesOf(BenchSeed(c.Seed, t.Name()), c.Sites, golden.Geometry, c.Models)
 	budget := golden.Cycles*factor + 1024
 
 	br := &BenchmarkReport{
@@ -297,6 +334,17 @@ func (c *Campaign) runTarget(ctx context.Context, t Target, factor int64, worker
 	}
 
 	bt, buffered := t.(BufferedTarget)
+	ft, fastforward := t.(FastForwardTarget)
+	if fastforward && c.Checkpoints > 0 {
+		// Preparation failure is not a campaign failure: the target keeps
+		// producing correct observations through the ordinary path, just
+		// without the O(sites) speedup.
+		fastforward = ft.PrepareCheckpoints(c.Checkpoints) == nil
+	} else {
+		fastforward = false
+	}
+	ffRuns := c.Metrics.Counter(MetricFaultFastForward,
+		"faulted runs dispatched through checkpoint fast-forwarding")
 
 	// Dispatch sites in ascending dynamic-index order (ties broken by
 	// site index) while every result is still written to its site-order
@@ -327,12 +375,19 @@ func (c *Campaign) runTarget(ctx context.Context, t Target, factor int64, worker
 				i := order[j]
 				inj.Retarget(sites[i])
 				var obs Observation
-				if buffered {
+				switch {
+				case fastforward:
+					obs = ft.RunSiteBuf(sites[i], budget, buf)
+					if cap(obs.Output) > cap(buf) {
+						buf = obs.Output
+					}
+					ffRuns.Inc()
+				case buffered:
 					obs = bt.RunBuf(inj, budget, buf)
 					if cap(obs.Output) > cap(buf) {
 						buf = obs.Output
 					}
-				} else {
+				default:
 					obs = t.Run(inj, budget)
 				}
 				rec := RunRecord{

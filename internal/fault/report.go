@@ -70,12 +70,15 @@ type BenchmarkReport struct {
 // Report is the machine-readable campaign result. It contains no maps
 // and no timestamps, so the same seed marshals to byte-identical JSON.
 type Report struct {
-	Schema         string             `json:"schema"`
-	Seed           uint64             `json:"seed"`
-	SitesPerBench  int                `json:"sites_per_benchmark"`
-	WatchdogFactor int64              `json:"watchdog_factor"`
-	Benchmarks     []*BenchmarkReport `json:"benchmarks"`
-	Total          Tally              `json:"total"`
+	Schema         string `json:"schema"`
+	Seed           uint64 `json:"seed"`
+	SitesPerBench  int    `json:"sites_per_benchmark"`
+	WatchdogFactor int64  `json:"watchdog_factor"`
+	// Models names the swept model subset (Campaign.Models); absent for
+	// full-taxonomy sweeps, so their reports keep the pre-field bytes.
+	Models     []Model            `json:"models,omitempty"`
+	Benchmarks []*BenchmarkReport `json:"benchmarks"`
+	Total      Tally              `json:"total"`
 }
 
 // Write marshals the report as indented JSON.

@@ -43,8 +43,20 @@ func (r *rng) intn(n int) int {
 // coordinates are drawn from the seeded stream. The same (seed, n, geo)
 // always yields the same slice.
 func Sites(seed uint64, n int, geo Geometry) []Fault {
+	return SitesOf(seed, n, geo, nil)
+}
+
+// SitesOf is Sites restricted to a model subset: sites rotate round-robin
+// over models instead of the full taxonomy, drawing coordinates from the
+// same seeded stream. A nil or empty subset means all models,
+// byte-identical to Sites; the same (seed, n, geo, models) always yields
+// the same slice.
+func SitesOf(seed uint64, n int, geo Geometry, models []Model) []Fault {
 	if n <= 0 {
 		return nil
+	}
+	if len(models) == 0 {
+		models = []Model{ModelSpadBit, ModelGPRBit, ModelFetchBit, ModelDMABit, ModelStuckLane}
 	}
 	r := &rng{s: seed}
 	at := func() int64 {
@@ -55,7 +67,7 @@ func Sites(seed uint64, n int, geo Geometry) []Fault {
 	}
 	sites := make([]Fault, 0, n)
 	for i := 0; i < n; i++ {
-		f := Fault{Model: Model(i % NumModels)}
+		f := Fault{Model: models[i%len(models)]}
 		switch f.Model {
 		case ModelSpadBit:
 			f.At = at()

@@ -1,0 +1,88 @@
+package mem
+
+// Tests for the convergence-check accessors: Scratchpad.DiffWords and
+// Main's AppendDirtyPages/PageEquals.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScratchpadDiffWords(t *testing.T) {
+	// Size 30 is deliberately not a multiple of the 8-byte scan chunk, so
+	// the tail path is exercised too.
+	s, err := NewScratchpad("t", 30, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := s.Image()
+	if words, ok := s.DiffWords(img, 4); !ok || words != nil {
+		t.Fatalf("equal pad: got %v, %v; want nil, true", words, ok)
+	}
+	if _, ok := s.DiffWords(img[:10], 4); ok {
+		t.Fatal("length mismatch accepted")
+	}
+	// The 8-byte chunk scan covers bytes [0, 24), the byte tail covers
+	// [24, 30). Flip both bytes of some words to check de-duplication.
+	s.FlipBit(2, 3)  // word 1
+	s.FlipBit(3, 0)  // word 1 again — must not duplicate
+	s.FlipBit(21, 5) // word 10 (chunk path)
+	s.FlipBit(28, 1) // word 14 (tail path)
+	s.FlipBit(29, 6) // word 14 again — must not duplicate
+	words, ok := s.DiffWords(img, 4)
+	if !ok {
+		t.Fatal("diff within max reported failure")
+	}
+	if want := []int{1, 10, 14}; !reflect.DeepEqual(words, want) {
+		t.Fatalf("DiffWords = %v, want %v", words, want)
+	}
+	if _, ok := s.DiffWords(img, 2); ok {
+		t.Fatal("diff beyond max not refused")
+	}
+}
+
+func TestMainDirtyPagesAndPageEquals(t *testing.T) {
+	m, err := NewMain(4 * PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.AppendDirtyPages(nil); ok {
+		t.Fatal("untracked memory reported a dirty set")
+	}
+	if err := m.WriteBytes(PageBytes+5, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	img := m.SparseImage()
+	m.BeginDirtyTracking()
+	if pages, ok := m.AppendDirtyPages(nil); !ok || len(pages) != 0 {
+		t.Fatalf("fresh tracking: got %v, %v; want empty, true", pages, ok)
+	}
+	for p := 0; p < 4; p++ {
+		if !m.PageEquals(img, p) {
+			t.Fatalf("page %d unequal to its own image", p)
+		}
+	}
+	// Dirty two pages, one of them with a content change.
+	if err := m.WriteBytes(0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(3*PageBytes, []byte{0}); err != nil { // same value: dirty but equal
+		t.Fatal(err)
+	}
+	pages, ok := m.AppendDirtyPages(nil)
+	if !ok || !reflect.DeepEqual(pages, []int{0, 3}) {
+		t.Fatalf("dirty pages = %v, %v; want [0 3], true", pages, ok)
+	}
+	if m.PageEquals(img, 0) {
+		t.Fatal("changed page compared equal")
+	}
+	if !m.PageEquals(img, 1) || !m.PageEquals(img, 3) {
+		t.Fatal("unchanged pages compared unequal")
+	}
+	if m.PageEquals(img, -1) || m.PageEquals(img, 4) {
+		t.Fatal("out-of-range page compared equal")
+	}
+	if m.PageEquals(nil, 0) {
+		t.Fatal("nil image compared equal")
+	}
+}

@@ -1,8 +1,10 @@
 package mem
 
 import (
+	"bytes"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"cambricon/internal/fixed"
 )
@@ -120,6 +122,81 @@ func (m *Main) SparseImage() *SparseImage {
 	return s
 }
 
+// StoredPages returns the indices of the stored (nonzero) pages in
+// ascending order — the iteration order checkpoint serialization uses so
+// identical images always serialize to identical bytes.
+func (s *SparseImage) StoredPages() []int {
+	pages := make([]int, 0, len(s.pos))
+	for p := range s.pos {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	return pages
+}
+
+// Page returns the stored contents of page p, or nil when the page is
+// all-zero. The returned slice aliases the image and must not be mutated.
+func (s *SparseImage) Page(p int) []byte { return s.page(p) }
+
+// BuildSparseImage reconstructs an image from its serialized parts: the
+// memory capacity and the stored pages in ascending index order. Every
+// page must be full PageBytes except possibly the last (the packing
+// invariant SparseImage capture establishes); violations are errors so a
+// corrupted checkpoint cannot build a malformed image.
+func BuildSparseImage(size int, pages []int, contents [][]byte) (*SparseImage, error) {
+	if len(pages) != len(contents) {
+		return nil, fmt.Errorf("mem: sparse image: %d page indices, %d page contents", len(pages), len(contents))
+	}
+	s := &SparseImage{size: size, pos: make(map[int]int, len(pages))}
+	lastPage := (size + PageBytes - 1) / PageBytes
+	prev := -1
+	for i, p := range pages {
+		if p <= prev || p < 0 || p >= lastPage {
+			return nil, fmt.Errorf("mem: sparse image: bad page index %d (prev %d, pages %d)", p, prev, lastPage)
+		}
+		prev = p
+		want := PageBytes
+		if hi := (p + 1) * PageBytes; hi > size {
+			want = size - p*PageBytes
+		}
+		if len(contents[i]) != want {
+			return nil, fmt.Errorf("mem: sparse image: page %d is %d bytes, want %d", p, len(contents[i]), want)
+		}
+		s.pos[p] = i
+		s.data = append(s.data, contents[i]...)
+	}
+	return s, nil
+}
+
+// ZeroSparseImage builds the sparse image of an all-zero memory of the
+// given size — no pages resident. Restoring it zeroes the target, which
+// is how the bench pool synthesizes a pristine (post-construction)
+// snapshot without ever capturing one from a machine.
+func ZeroSparseImage(size int) *SparseImage {
+	return &SparseImage{size: size, pos: map[int]int{}}
+}
+
+// Tracking reports whether dirty-page tracking is active — i.e. whether
+// the memory's contents are provably "last restored image + dirty pages",
+// the invariant delta snapshot switches rely on.
+func (m *Main) Tracking() bool { return m.dirty != nil }
+
+// MarkPagesDirty marks every page the image stores as dirty (no-op
+// without tracking). Marking the resident pages of both the previously
+// restored image and the next one — on top of whatever the machine
+// dirtied since — bounds every page that can differ between the current
+// contents and the next image, which lets RestoreFromSparse switch a
+// tracked memory between snapshots with a dirty-walk instead of a full
+// 16 MiB rebuild.
+func (m *Main) MarkPagesDirty(img *SparseImage) {
+	if m.dirty == nil || img == nil {
+		return
+	}
+	for p := range img.pos {
+		m.dirty[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
 // RestoreFromSparse reinstates a SparseImage of this memory: with dirty
 // tracking active only pages written since the last snapshot/restore are
 // touched (copied back from the image, or zeroed when the image does not
@@ -204,6 +281,50 @@ func (m *Main) markDirty(addr, n int) {
 	for p := addr / PageBytes; p <= (addr+n-1)/PageBytes; p++ {
 		m.dirty[p>>6] |= 1 << (uint(p) & 63)
 	}
+}
+
+// AppendDirtyPages appends the indices of every page written since the
+// last snapshot/restore to buf and reports whether tracking is active
+// (without tracking there is no dirty set to enumerate and ok is
+// false). The bitmap is left untouched — this is a read-only view for
+// convergence checks, not a restore.
+func (m *Main) AppendDirtyPages(buf []int) ([]int, bool) {
+	if m.dirty == nil {
+		return buf, false
+	}
+	for w, word := range m.dirty {
+		for ; word != 0; word &= word - 1 {
+			buf = append(buf, w<<6+bits.TrailingZeros64(word))
+		}
+	}
+	return buf, true
+}
+
+// PageEquals reports whether the live contents of page p equal the
+// image's page p (absent pages are all-zero). Out-of-range pages or a
+// capacity mismatch compare unequal, so callers degrade conservatively.
+func (m *Main) PageEquals(img *SparseImage, p int) bool {
+	if img == nil || img.size != len(m.data) {
+		return false
+	}
+	lo := p * PageBytes
+	hi := lo + PageBytes
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	if lo < 0 || lo >= hi {
+		return false
+	}
+	live := m.data[lo:hi]
+	if src := img.page(p); src != nil {
+		return bytes.Equal(live, src)
+	}
+	for _, b := range live {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // RestoreFrom reinstates img (a prior Image of this memory): with

@@ -5,6 +5,8 @@
 package mem
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"cambricon/internal/fixed"
@@ -70,6 +72,49 @@ func (s *Scratchpad) Image() []byte {
 	return img
 }
 
+// DiffWords compares the live scratchpad contents against img (a prior
+// Image of this scratchpad) and appends the indices of the differing
+// 16-bit words to a fresh slice, giving up (ok false) once more than max
+// words differ or when img has the wrong length. An equal pad returns
+// (nil, true) after a single bytes.Equal pass; convergence checks use
+// the word list to ask whether each surviving difference is ever read
+// again.
+func (s *Scratchpad) DiffWords(img []byte, max int) (words []int, ok bool) {
+	if len(img) != len(s.data) {
+		return nil, false
+	}
+	if bytes.Equal(s.data, img) {
+		return nil, true
+	}
+	i := 0
+	for ; i+8 <= len(s.data); i += 8 {
+		a := binary.LittleEndian.Uint64(s.data[i:])
+		b := binary.LittleEndian.Uint64(img[i:])
+		if x := a ^ b; x != 0 {
+			for k := 0; k < 8; k += 2 {
+				if x>>(8*uint(k))&0xffff != 0 {
+					words = append(words, (i+k)/2)
+					if len(words) > max {
+						return nil, false
+					}
+				}
+			}
+		}
+	}
+	for ; i < len(s.data); i++ {
+		if s.data[i] != img[i] {
+			w := i / 2
+			if len(words) == 0 || words[len(words)-1] != w {
+				words = append(words, w)
+				if len(words) > max {
+					return nil, false
+				}
+			}
+		}
+	}
+	return words, true
+}
+
 // BeginDirtyTracking clears and (re)enables write tracking: after the
 // call, RestoreFrom skips the copy entirely when nothing was written
 // since.
@@ -81,6 +126,20 @@ func (s *Scratchpad) BeginDirtyTracking() {
 // DropDirtyTracking disables write tracking; the next RestoreFrom falls
 // back to a full copy.
 func (s *Scratchpad) DropDirtyTracking() { s.tracking = false }
+
+// Tracking reports whether write tracking is active.
+func (s *Scratchpad) Tracking() bool { return s.tracking }
+
+// MarkDirty forces the next RestoreFrom to copy even if nothing was
+// written (no-op without tracking). Used when a tracked scratchpad
+// switches to a different snapshot image: the whole-pad granularity means
+// the switch is a full pad copy, but tracking survives so later restores
+// to the same image stay skippable.
+func (s *Scratchpad) MarkDirty() {
+	if s.tracking {
+		s.dirty = true
+	}
+}
 
 // RestoreFrom reinstates img (a prior Image of this scratchpad), copying
 // only when the pad was written since BeginDirtyTracking (or when

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cambricon/internal/core"
+)
+
+// ckptKernel exercises everything a mid-run checkpoint must carry: the
+// PRNG (RV), scalar state, vector-scratchpad and main-memory traffic
+// (dirty pages), a loop, and — via the VAV→VEXP chain — fused pairs, so
+// stop points that land inside a pair cover the split-vs-fused boundary.
+const ckptKernel = `
+	SMOVE  $1, #32          // element count
+	SMOVE  $2, #0           // vspad region A
+	SMOVE  $3, #4096        // vspad region B
+	SMOVE  $8, #5           // loop counter
+l:	RV     $2, $1           // fresh random vector each iteration
+	VLOAD  $3, $1, #1000    // input from main
+	VAV    $3, $1, $2, $3   // input + random
+	VEXP   $3, $1, $3       // fused consumer of the VAV above
+	VSTORE $3, $1, #2000    // result back to main
+	SADD   $10, $10, #7
+	SADD   $8, $8, #-1
+	CB     #l, $8
+`
+
+// ckptMachine builds a machine running ckptKernel through the requested
+// dispatch path.
+func ckptMachine(t *testing.T, cfg Config, predecoded bool) *Machine {
+	t.Helper()
+	m := mustNew(t, cfg)
+	prog := mustAssemble(t, ckptKernel).Instructions
+	if predecoded {
+		dp, err := Predecode(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LoadDecoded(dp)
+	} else {
+		m.LoadProgram(prog)
+	}
+	snapInit(t, m)
+	return m
+}
+
+// compareResumed fails unless two machines agree on statistics, every
+// GPR, and every byte of the memory spaces.
+func compareResumed(t *testing.T, label string, want, got *Machine, wantStats, gotStats Stats) {
+	t.Helper()
+	if !reflect.DeepEqual(wantStats, gotStats) {
+		t.Fatalf("%s: stats diverge:\nuninterrupted %+v\nresumed       %+v", label, wantStats, gotStats)
+	}
+	for r := 0; r < core.NumGPRs; r++ {
+		if want.GPR(uint8(r)) != got.GPR(uint8(r)) {
+			t.Fatalf("%s: $%d = %d, uninterrupted %d", label, r,
+				int32(got.GPR(uint8(r))), int32(want.GPR(uint8(r))))
+		}
+	}
+	compareMachineSpaces(t, label, want, got)
+}
+
+// TestCheckpointResumeBitIdentical stops a run at a spread of dynamic
+// instruction boundaries — including ones that land inside fused pairs —
+// captures a checkpoint, restores it onto a fresh machine, and requires
+// the resumed remainder to be bit-identical to the uninterrupted run, on
+// both the baseline and the pre-decoded dispatch paths.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	for _, path := range []struct {
+		name       string
+		predecoded bool
+	}{{"baseline", false}, {"predecoded", true}} {
+		t.Run(path.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			ref := ckptMachine(t, cfg, path.predecoded)
+			wantStats, err := ref.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := wantStats.Instructions
+			for _, k := range []int64{0, 1, 2, 7, 8, 9, total / 2, total - 1, total, total + 100} {
+				m := ckptMachine(t, cfg, path.predecoded)
+				partial, done, err := m.RunUntil(k)
+				if err != nil {
+					t.Fatalf("RunUntil(%d): %v", k, err)
+				}
+				if wantDone := k >= total; done != wantDone {
+					t.Fatalf("RunUntil(%d): done=%v, want %v", k, done, wantDone)
+				}
+				if !done && partial.Instructions != k {
+					t.Fatalf("RunUntil(%d) stopped at instruction %d", k, partial.Instructions)
+				}
+				ckpt := m.Checkpoint()
+				if ckpt.MidRun() != true || ckpt.Instructions() != partial.Instructions {
+					t.Fatalf("checkpoint at %d reports midrun=%v instructions=%d",
+						k, ckpt.MidRun(), ckpt.Instructions())
+				}
+
+				// Resume on the same machine.
+				sameStats, err := m.Resume()
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResumed(t, path.name+"/same-machine", ref, m, wantStats, sameStats)
+
+				// Restore the checkpoint onto a fresh machine and resume.
+				fresh := mustNew(t, cfg)
+				if err := fresh.Restore(ckpt); err != nil {
+					t.Fatal(err)
+				}
+				freshStats, err := fresh.Resume()
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResumed(t, path.name+"/fresh-machine", ref, fresh, wantStats, freshStats)
+			}
+		})
+	}
+}
+
+// TestCheckpointSegmentedTraceIdentical runs the kernel as a chain of
+// RunUntil segments with an instruction trace attached and requires the
+// concatenated segment traces to equal the uninterrupted run's byte for
+// byte — indices, cycle numbers and PCs all carry across the stops.
+func TestCheckpointSegmentedTraceIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	ref := ckptMachine(t, cfg, true)
+	var want bytes.Buffer
+	ref.SetTrace(&want)
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := ckptMachine(t, cfg, true)
+	var got bytes.Buffer
+	m.SetTrace(&got)
+	for k := int64(3); ; k += 7 {
+		_, done, err := m.RunUntil(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		// Hop through a checkpoint restore mid-trace to prove restores
+		// do not perturb the observed run either.
+		ckpt := m.Checkpoint()
+		if err := m.Restore(ckpt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want.String() != got.String() {
+		t.Fatalf("segmented trace diverges from uninterrupted trace:\nwant %d bytes\ngot  %d bytes",
+			want.Len(), got.Len())
+	}
+}
+
+// TestCheckpointWatchdogIdentical arms a tripping watchdog and requires
+// the error surfaced after a mid-run checkpoint/restore/resume to be
+// byte-identical to the uninterrupted run's — diagnostics include the
+// dynamic index and cycle, so they prove the restored timing state.
+func TestCheckpointWatchdogIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 200
+	ref := ckptMachine(t, cfg, true)
+	wantStats, wantErr := ref.Run()
+	if wantErr == nil {
+		t.Fatal("watchdog budget of 200 cycles did not trip")
+	}
+	if _, ok := wantErr.(*WatchdogError); !ok {
+		t.Fatalf("want *WatchdogError, got %T: %v", wantErr, wantErr)
+	}
+
+	m := ckptMachine(t, cfg, true)
+	if _, done, err := m.RunUntil(5); done || err != nil {
+		t.Fatalf("RunUntil(5): done=%v err=%v", done, err)
+	}
+	fresh := mustNew(t, cfg)
+	if err := fresh.Restore(m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	gotStats, gotErr := fresh.Resume()
+	if gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("errors diverge:\nuninterrupted %v\nresumed       %v", wantErr, gotErr)
+	}
+	if !reflect.DeepEqual(wantStats, gotStats) {
+		t.Fatalf("stats diverge:\nuninterrupted %+v\nresumed       %+v", wantStats, gotStats)
+	}
+}
+
+// TestCheckpointSerializationRoundTrip writes a mid-run checkpoint
+// through the CAMCKPT1 encoder, reads it back, resumes on a fresh
+// machine, and requires bit-identical results; a second encode of the
+// decoded snapshot must reproduce the file exactly (deterministic
+// encoding). Every corrupted or truncated variant of the file must be
+// rejected with an error, never a wrong machine state.
+func TestCheckpointSerializationRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	ref := ckptMachine(t, cfg, true)
+	wantStats, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := ckptMachine(t, cfg, true)
+	if _, _, err := m.RunUntil(17); err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	if err := WriteCheckpoint(&file, m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, err := ReadCheckpoint(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Config() != cfg {
+		t.Fatalf("config round trip: got %+v want %+v", ckpt.Config(), cfg)
+	}
+	if !ckpt.MidRun() || ckpt.Instructions() != 17 {
+		t.Fatalf("read checkpoint reports midrun=%v instructions=%d", ckpt.MidRun(), ckpt.Instructions())
+	}
+	var again bytes.Buffer
+	if err := WriteCheckpoint(&again, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(file.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding a decoded checkpoint changed the bytes")
+	}
+
+	fresh := mustNew(t, cfg)
+	if err := fresh.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	gotStats, err := fresh.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResumed(t, "roundtrip", ref, fresh, wantStats, gotStats)
+
+	t.Run("corruption", func(t *testing.T) {
+		raw := file.Bytes()
+		for _, off := range []int{0, 8, 12, 20, len(raw) / 2, len(raw) - 2} {
+			bad := append([]byte(nil), raw...)
+			bad[off] ^= 0x40
+			if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+				t.Errorf("flipped byte at offset %d accepted", off)
+			}
+		}
+		for _, cut := range []int{0, 4, len(raw) / 3, len(raw) - 1} {
+			if _, err := ReadCheckpoint(bytes.NewReader(raw[:cut])); err == nil {
+				t.Errorf("truncation to %d bytes accepted", cut)
+			}
+		}
+		if _, err := ReadCheckpoint(bytes.NewReader(append(append([]byte(nil), raw...), 0))); err == nil {
+			t.Error("trailing garbage accepted")
+		}
+	})
+}
+
+// TestCheckpointRunBoundarySnapshotUnchanged pins that run-boundary
+// snapshots still restore to reset timing state (stats zero), i.e. the
+// mid-run machinery did not change the long-standing Snapshot contract.
+func TestCheckpointRunBoundarySnapshotUnchanged(t *testing.T) {
+	cfg := DefaultConfig()
+	m := ckptMachine(t, cfg, true)
+	snap := m.Snapshot()
+	if snap.MidRun() || snap.Instructions() != 0 {
+		t.Fatalf("run-boundary snapshot reports midrun=%v instructions=%d", snap.MidRun(), snap.Instructions())
+	}
+	want, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("restored rerun diverges:\nfirst  %+v\nsecond %+v", want, got)
+	}
+}
+
+// TestReconfigureGeometry pins the Reconfigure contract: identical
+// memory geometry is accepted (and the machine then runs under the new
+// configuration), differing geometry is rejected.
+func TestReconfigureGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	m := mustNew(t, cfg)
+
+	alt := cfg
+	alt.IssueWidth = 1
+	alt.Seed = 0x1234
+	if err := m.Reconfigure(alt); err != nil {
+		t.Fatalf("same-geometry reconfigure rejected: %v", err)
+	}
+	pristine, err := PristineSnapshot(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(pristine); err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(mustAssemble(t, ckptKernel).Instructions)
+	snapInit(t, m)
+	got, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := mustNew(t, alt)
+	ref.LoadProgram(mustAssemble(t, ckptKernel).Instructions)
+	snapInit(t, ref)
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reconfigured machine diverges from fresh machine:\nfresh        %+v\nreconfigured %+v", want, got)
+	}
+
+	bad := cfg
+	bad.MainMemBytes *= 2
+	if err := m.Reconfigure(bad); err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("differing-geometry reconfigure: err=%v, want geometry error", err)
+	}
+}
+
+// FuzzMidRunSnapshot feeds arbitrary binary program images and an
+// arbitrary stop index through the mid-run snapshot machinery: run the
+// program uninterrupted, then again stopped at the index with the state
+// round-tripped through the CAMCKPT1 encoder and restored onto a fresh
+// machine, and require the resumed remainder to reproduce the
+// uninterrupted run's statistics, error and registers exactly. The
+// watchdog is armed so fuzzed livelocks terminate — and so watchdog
+// trips themselves are covered on both sides of the stop.
+func FuzzMidRunSnapshot(f *testing.F) {
+	f.Add(fuzzSeedImage(f, "\tSMOVE $1, #5\n"), uint16(0))
+	f.Add(fuzzSeedImage(f, "\tSMOVE $1, #3\nspin:\tSADD $1, $1, #-1\n\tCB #spin, $1\n"), uint16(4))
+	f.Add(fuzzSeedImage(f, "spin:\tJUMP #spin\n"), uint16(9)) // watchdog trips after the stop
+	f.Add(fuzzSeedImage(f, "\tSMOVE $0, #4\n\tSMOVE $1, #0\n\tVLOAD $1, $0, #100\n\tVAV $1, $0, $1, $1\n\tVSTORE $1, $0, #200\n"), uint16(3))
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 1 << 16
+	f.Fuzz(func(t *testing.T, img []byte, stop uint16) {
+		if len(img) > 512*core.WordBytes {
+			return
+		}
+		prog, err := core.DecodeProgram(img)
+		if err != nil {
+			return
+		}
+		dp, err := Predecode(prog)
+		if err != nil {
+			return // rejected programs are the other fuzzers' business
+		}
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatalf("default config rejected: %v", err)
+		}
+		ref.LoadDecoded(dp)
+		wantStats, wantErr := ref.Run()
+
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LoadDecoded(dp)
+		k := int64(stop)
+		if wantStats.Instructions > 0 {
+			k %= wantStats.Instructions + 1
+		}
+		partial, done, err := m.RunUntil(k)
+		if err != nil {
+			// The prefix died before reaching k: the uninterrupted run
+			// must have died identically.
+			if wantErr == nil || wantErr.Error() != err.Error() {
+				t.Fatalf("prefix error %v, uninterrupted %v", err, wantErr)
+			}
+			return
+		}
+		if !done && partial.Instructions != k {
+			t.Fatalf("RunUntil(%d) stopped at %d", k, partial.Instructions)
+		}
+
+		var file bytes.Buffer
+		if err := WriteCheckpoint(&file, m.Checkpoint()); err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := ReadCheckpoint(bytes.NewReader(file.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Restore(ckpt); err != nil {
+			t.Fatal(err)
+		}
+		gotStats, gotErr := fresh.Resume()
+		if (wantErr == nil) != (gotErr == nil) ||
+			(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+			t.Fatalf("errors diverge at stop %d: uninterrupted %v, resumed %v", k, wantErr, gotErr)
+		}
+		if !reflect.DeepEqual(wantStats, gotStats) {
+			t.Fatalf("stats diverge at stop %d:\nuninterrupted %+v\nresumed       %+v", k, wantStats, gotStats)
+		}
+		for r := 0; r < core.NumGPRs; r++ {
+			if ref.GPR(uint8(r)) != fresh.GPR(uint8(r)) {
+				t.Fatalf("$%d = %d, uninterrupted %d", r,
+					int32(fresh.GPR(uint8(r))), int32(ref.GPR(uint8(r))))
+			}
+		}
+	})
+}

@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cambricon/internal/core"
+	"cambricon/internal/mem"
+)
+
+// Checkpoint file format ("CAMCKPT1"): a versioned, integrity-checked
+// serialization of a Snapshot — run-boundary or mid-run — so a machine
+// state can cross process boundaries (camsim -checkpoint / -resume).
+// Layout, all integers little-endian:
+//
+//	magic   [8]byte  "CAMCKPT1"
+//	version uint32   (currently 1)
+//	flags   uint32   bit 0: mid-run, bit 1: program was pre-decoded
+//	config  uint32 length + JSON        (Config, all exported fields)
+//	gpr     core.NumGPRs × uint32
+//	pc      int64
+//	rng     uint64
+//	program uint32 length + core.EncodeProgram bytes (0 = none)
+//	vspad   uint32 length + bytes
+//	mspad   uint32 length + bytes
+//	main    uint64 size, uint32 pages, then per page ascending:
+//	        uint32 index + uint32 length + bytes
+//	mid-run only: Stats (fixed-size, binary.Write) + pipeState fields
+//	crc     uint32   IEEE CRC-32 of everything above
+//
+// The CRC and the per-field validation on read mean a truncated or
+// bit-flipped file is an error, never a silently wrong machine state.
+const (
+	ckptMagic   = "CAMCKPT1"
+	ckptVersion = 1
+
+	ckptFlagMidRun    = 1 << 0
+	ckptFlagPredecode = 1 << 1
+)
+
+// WriteCheckpoint serializes s to w. The encoding is deterministic:
+// identical snapshots produce identical bytes.
+func WriteCheckpoint(w io.Writer, s *Snapshot) error {
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	w32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	w64 := func(v uint64) { binary.Write(&buf, binary.LittleEndian, v) }
+	w32(ckptVersion)
+	var flags uint32
+	if s.stats != nil {
+		flags |= ckptFlagMidRun
+	}
+	if s.dec != nil {
+		flags |= ckptFlagPredecode
+	}
+	w32(flags)
+
+	cfgJSON, err := json.Marshal(s.cfg)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint: marshal config: %w", err)
+	}
+	w32(uint32(len(cfgJSON)))
+	buf.Write(cfgJSON)
+
+	binary.Write(&buf, binary.LittleEndian, s.gpr)
+	w64(uint64(int64(s.pc)))
+	w64(s.rng)
+
+	var progImg []byte
+	if len(s.prog) > 0 {
+		if progImg, err = core.EncodeProgram(s.prog); err != nil {
+			return fmt.Errorf("sim: checkpoint: encode program: %w", err)
+		}
+	}
+	w32(uint32(len(progImg)))
+	buf.Write(progImg)
+
+	w32(uint32(len(s.vspad)))
+	buf.Write(s.vspad)
+	w32(uint32(len(s.mspad)))
+	buf.Write(s.mspad)
+
+	w64(uint64(s.main.Size()))
+	pages := s.main.StoredPages()
+	w32(uint32(len(pages)))
+	for _, p := range pages {
+		pg := s.main.Page(p)
+		w32(uint32(p))
+		w32(uint32(len(pg)))
+		buf.Write(pg)
+	}
+
+	if s.stats != nil {
+		binary.Write(&buf, binary.LittleEndian, s.stats)
+		writePipeState(&buf, s.pipe)
+	}
+
+	w32(crc32.ChecksumIEEE(buf.Bytes()))
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+func writePipeState(buf *bytes.Buffer, p *pipeState) {
+	le := binary.LittleEndian
+	w64 := func(v int64) { binary.Write(buf, le, v) }
+	w32 := func(v int) { binary.Write(buf, le, uint32(v)) }
+	ws := func(vs []int64) {
+		w32(len(vs))
+		binary.Write(buf, le, vs)
+	}
+	w64(p.count)
+	w32(p.iqPos)
+	w32(p.robPos)
+	w64(p.fetchCycle)
+	w32(p.fetchSlot)
+	w64(p.redirect)
+	ws(p.iqIssued)
+	w64(p.issueCycle)
+	w32(p.issueSlot)
+	w64(p.lastIssueTime)
+	ws(p.robCommit)
+	w64(p.commitCycle)
+	w32(p.commitSlot)
+	w64(p.lastCommit)
+	w64(p.memCount)
+	w32(p.mqPos)
+	w64(p.mqMaxDone)
+	w32(len(p.mq))
+	for i := range p.mq {
+		q := &p.mq[i]
+		w64(q.done)
+		w32(q.nAcc)
+		buf.WriteByte(q.wmask)
+		buf.WriteByte(q.amask)
+		for _, a := range q.accBuf {
+			buf.WriteByte(byte(a.sp))
+			if a.write {
+				buf.WriteByte(1)
+			} else {
+				buf.WriteByte(0)
+			}
+			w64(int64(a.reg.Addr))
+			w64(int64(a.reg.N))
+		}
+	}
+	ws(p.mqRetire)
+	w64(p.scalarNext)
+	w64(p.l1Next)
+	w64(p.vectorFree)
+	w64(p.matrixFree)
+	binary.Write(buf, le, p.regReady[:])
+}
+
+// ckptReader parses the checkpoint byte stream with bounds checking; the
+// first short read latches an error so parsing code stays linear.
+type ckptReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("sim: checkpoint: truncated at offset %d (need %d bytes)", r.off, n)
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *ckptReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *ckptReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *ckptReader) i64() int64 { return int64(r.u64()) }
+
+func (r *ckptReader) cint() int {
+	v := r.u32()
+	if v > math.MaxInt32 {
+		r.err = fmt.Errorf("sim: checkpoint: count %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *ckptReader) byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *ckptReader) i64s(maxLen int) []int64 {
+	n := r.cint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		r.err = fmt.Errorf("sim: checkpoint: slice length %d exceeds limit %d", n, maxLen)
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.i64()
+	}
+	return vs
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint.
+// The CRC, magic, version and every structural invariant are verified;
+// pre-decoded programs are re-predecoded so the restored machine runs
+// through the same dispatch path it was checkpointed from.
+func ReadCheckpoint(src io.Reader) (*Snapshot, error) {
+	raw, err := io.ReadAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint: read: %w", err)
+	}
+	if len(raw) < len(ckptMagic)+12 {
+		return nil, fmt.Errorf("sim: checkpoint: file too short (%d bytes)", len(raw))
+	}
+	if string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("sim: checkpoint: bad magic %q", raw[:len(ckptMagic)])
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("sim: checkpoint: CRC mismatch (file %08x, computed %08x)", want, got)
+	}
+	r := &ckptReader{b: body, off: len(ckptMagic)}
+
+	if v := r.u32(); r.err == nil && v != ckptVersion {
+		return nil, fmt.Errorf("sim: checkpoint: unsupported version %d (want %d)", v, ckptVersion)
+	}
+	flags := r.u32()
+
+	var cfg Config
+	cfgJSON := r.take(r.cint())
+	if r.err == nil {
+		if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint: parse config: %w", err)
+		}
+		if err := cfg.validate(); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint: invalid config: %w", err)
+		}
+	}
+
+	s := &Snapshot{cfg: cfg}
+	for i := range s.gpr {
+		s.gpr[i] = r.u32()
+	}
+	s.pc = int(r.i64())
+	s.rng = r.u64()
+
+	if progImg := r.take(r.cint()); r.err == nil && len(progImg) > 0 {
+		prog, err := core.DecodeProgram(progImg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: checkpoint: decode program: %w", err)
+		}
+		s.prog = prog
+		if flags&ckptFlagPredecode != 0 {
+			dp, err := Predecode(prog)
+			if err != nil {
+				return nil, fmt.Errorf("sim: checkpoint: predecode program: %w", err)
+			}
+			s.dec = dp
+			s.prog = dp.insts
+		}
+	}
+
+	s.vspad = append([]byte(nil), r.take(r.cint())...)
+	s.mspad = append([]byte(nil), r.take(r.cint())...)
+	if r.err == nil && (len(s.vspad) != cfg.VectorSpadBytes || len(s.mspad) != cfg.MatrixSpadBytes) {
+		return nil, fmt.Errorf("sim: checkpoint: scratchpad images %d/%d bytes, config says %d/%d",
+			len(s.vspad), len(s.mspad), cfg.VectorSpadBytes, cfg.MatrixSpadBytes)
+	}
+
+	mainSize := int(r.i64())
+	nPages := r.cint()
+	if r.err == nil && mainSize != cfg.MainMemBytes {
+		return nil, fmt.Errorf("sim: checkpoint: main image %d bytes, config says %d", mainSize, cfg.MainMemBytes)
+	}
+	pages := make([]int, 0, nPages)
+	contents := make([][]byte, 0, nPages)
+	for i := 0; i < nPages && r.err == nil; i++ {
+		pages = append(pages, r.cint())
+		contents = append(contents, r.take(r.cint()))
+	}
+	if r.err == nil {
+		if s.main, err = mem.BuildSparseImage(mainSize, pages, contents); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint: %w", err)
+		}
+	}
+
+	if flags&ckptFlagMidRun != 0 && r.err == nil {
+		var st Stats
+		if err := binary.Read(bytes.NewReader(r.take(int(statsWireSize))), binary.LittleEndian, &st); err != nil && r.err == nil {
+			return nil, fmt.Errorf("sim: checkpoint: read stats: %w", err)
+		}
+		s.stats = &st
+		if s.pipe, err = readPipeState(r, &cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("sim: checkpoint: %d trailing bytes", len(body)-r.off)
+	}
+	return s, nil
+}
+
+// statsWireSize is the serialized size of Stats — fixed because every
+// field is an int64 or an int64 array (binary.Write lays it out with no
+// padding).
+var statsWireSize = int64(binary.Size(Stats{}))
+
+func readPipeState(r *ckptReader, cfg *Config) (*pipeState, error) {
+	// Ring sizes are bounded by the validated configuration, so a
+	// corrupted length cannot force a huge allocation.
+	maxRing := cfg.IssueQueueDepth + cfg.ROBDepth + cfg.MemQueueDepth
+	p := &pipeState{}
+	p.count = r.i64()
+	p.iqPos = r.cint()
+	p.robPos = r.cint()
+	p.fetchCycle = r.i64()
+	p.fetchSlot = r.cint()
+	p.redirect = r.i64()
+	p.iqIssued = r.i64s(maxRing)
+	p.issueCycle = r.i64()
+	p.issueSlot = r.cint()
+	p.lastIssueTime = r.i64()
+	p.robCommit = r.i64s(maxRing)
+	p.commitCycle = r.i64()
+	p.commitSlot = r.cint()
+	p.lastCommit = r.i64()
+	p.memCount = r.i64()
+	p.mqPos = r.cint()
+	p.mqMaxDone = r.i64()
+	nMQ := r.cint()
+	if r.err == nil && nMQ > maxRing {
+		return nil, fmt.Errorf("sim: checkpoint: memory queue length %d exceeds limit %d", nMQ, maxRing)
+	}
+	p.mq = make([]mqEntry, nMQ)
+	for i := 0; i < nMQ && r.err == nil; i++ {
+		q := &p.mq[i]
+		q.done = r.i64()
+		q.nAcc = r.cint()
+		if r.err == nil && (q.nAcc < 0 || q.nAcc > len(q.accBuf)) {
+			return nil, fmt.Errorf("sim: checkpoint: memory queue entry has %d accesses", q.nAcc)
+		}
+		q.wmask = r.byte()
+		q.amask = r.byte()
+		for j := range q.accBuf {
+			q.accBuf[j].sp = space(r.byte())
+			q.accBuf[j].write = r.byte() != 0
+			q.accBuf[j].reg.Addr = int(r.i64())
+			q.accBuf[j].reg.N = int(r.i64())
+		}
+	}
+	p.mqRetire = r.i64s(maxRing)
+	p.scalarNext = r.i64()
+	p.l1Next = r.i64()
+	p.vectorFree = r.i64()
+	p.matrixFree = r.i64()
+	for i := range p.regReady {
+		p.regReady[i] = r.i64()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(p.iqIssued) != cfg.IssueQueueDepth || len(p.robCommit) != cfg.ROBDepth ||
+		len(p.mq) != cfg.MemQueueDepth || len(p.mqRetire) != cfg.MemQueueDepth {
+		return nil, fmt.Errorf("sim: checkpoint: pipeline ring sizes %d/%d/%d/%d do not match config %d/%d/%d",
+			len(p.iqIssued), len(p.robCommit), len(p.mq), len(p.mqRetire),
+			cfg.IssueQueueDepth, cfg.ROBDepth, cfg.MemQueueDepth)
+	}
+	return p, nil
+}

@@ -240,31 +240,47 @@ func (m *Machine) LoadDecoded(dp *DecodedProgram) {
 
 // runDecoded executes the installed DecodedProgram. The program was
 // validated by Predecode, so the baseline loop's per-run validation scan
-// is skipped. Fault-free untraced runs without a watchdog take the tight
-// fused loop; runs with an injector, tracer, instruction trace or cycle
-// budget take the general pre-decoded loop, which performs the baseline
+// is skipped. Fault-free untraced runs take the tight fused loop (which
+// also implements the MaxCycles watchdog with diagnostics identical to
+// the baseline loop's); runs with an injector, tracer or instruction
+// trace take the general pre-decoded loop, which performs the baseline
 // loop's observability work step for step (bit-identical traces, fault
 // reports and watchdog diagnostics) while still skipping per-fetch
 // re-encoding and operand-role resolution.
 func (m *Machine) runDecoded(ctx context.Context) (Stats, error) {
-	if m.tracer == nil && m.trace == nil && m.inj == nil && m.cfg.MaxCycles <= 0 {
+	if m.tracer == nil && m.trace == nil && m.inj == nil && m.rec == nil {
 		return m.runDecodedTight(ctx)
 	}
 	return m.runDecodedSlow(ctx)
 }
 
 // runDecodedTight is the fused hot loop: no tracer, no instruction trace,
-// no injector, no watchdog. Per dynamic instruction it performs only the
-// functional execution, the statistics updates and the timing-model
-// advance — operand roles come from the decode, and fused pairs execute
-// with a single dispatch.
+// no injector. Per dynamic instruction it performs only the functional
+// execution, the statistics updates and the timing-model advance —
+// operand roles come from the decode, and fused pairs execute with a
+// single dispatch. A positive MaxCycles arms the same per-commit watchdog
+// as the baseline loop (the reusable event buffer then records stage
+// timestamps for the diagnostic; timing is unaffected).
 func (m *Machine) runDecodedTight(ctx context.Context) (Stats, error) {
 	dp := m.dec
 	dec := dp.dec
 	limit := m.cfg.MaxDynamicInstructions
+	watchdog := m.cfg.MaxCycles > 0
 	done := ctx.Done()
+	stopAt := m.stopAt
+	var evp *trace.InstEvent
+	if watchdog {
+		// The watchdog diagnostic reads only the stage timestamps advance
+		// assigns unconditionally, so the buffer needs no per-step reset.
+		evp = &m.ev
+	}
 	for m.pc >= 0 && m.pc < len(dec) {
 		n := m.stats.Instructions
+		if stopAt >= 0 && n >= stopAt {
+			m.stopped = true
+			m.stats.Cycles = m.pipe.lastCommit
+			return m.stats, nil
+		}
 		if done != nil && n&1023 == 0 {
 			select {
 			case <-done:
@@ -282,11 +298,13 @@ func (m *Machine) runDecodedTight(ctx context.Context) (Stats, error) {
 		d := &dec[m.pc]
 		// A fused pair executes both constituents from this iteration.
 		// Fall back to single steps when the second constituent would
-		// cross the instruction limit or a cancellation poll point, so
-		// those checks fire at exactly the baseline loop's boundaries.
+		// cross the instruction limit, a cancellation poll point or a
+		// RunUntil stop boundary, so those checks fire at exactly the
+		// baseline loop's boundaries.
 		if k := dp.fuse[m.pc]; k != FuseNone && n+2 <= limit &&
-			(done == nil || (n+1)&1023 != 0) {
-			if err := m.stepFused(d, &dec[m.pc+1], k); err != nil {
+			(done == nil || (n+1)&1023 != 0) &&
+			(stopAt < 0 || n+2 <= stopAt) {
+			if err := m.stepFused(d, &dec[m.pc+1], k, evp); err != nil {
 				m.stats.Cycles = m.pipe.lastCommit
 				return m.stats, err
 			}
@@ -301,7 +319,19 @@ func (m *Machine) runDecodedTight(ctx context.Context) (Stats, error) {
 		m.stats.Instructions++
 		m.stats.ByType[d.Type]++
 		m.stats.ByOpcode[d.Inst.Op]++
-		m.pipe.advanceWith(d.Src(), d.DestReg, d.HasDest, &m.eff, nil)
+		commit := m.pipe.advanceWith(d.Src(), d.DestReg, d.HasDest, &m.eff, evp)
+		if watchdog && commit > m.cfg.MaxCycles {
+			m.stats.Cycles = m.pipe.lastCommit
+			m.metWatchdog.Inc()
+			return m.stats, &WatchdogError{
+				PC:    m.pc,
+				Inst:  d.Inst,
+				Index: m.stats.Instructions - 1,
+				Cycle: commit,
+				Limit: m.cfg.MaxCycles,
+				Stage: stageAt(&m.ev, m.cfg.MaxCycles),
+			}
+		}
 		if m.eff.branchTaken {
 			m.stats.BranchesTaken++
 			m.pc += m.eff.branchOffset
@@ -325,8 +355,11 @@ func (m *Machine) runDecodedTight(ctx context.Context) (Stats, error) {
 // instead of re-reading the scratchpad region holding the identical data
 // (the scratchpad write itself is never skipped). Fusion legality
 // guarantees neither constituent branches or writes a register the
-// hand-off depends on.
-func (m *Machine) stepFused(d1, d2 *core.DecodedInst, k FuseKind) error {
+// hand-off depends on. A non-nil evp arms the watchdog: the cycle budget
+// is checked after each constituent's commit, so a pair whose first half
+// trips the budget errors out before the second half executes — exactly
+// the baseline loop's instruction boundary.
+func (m *Machine) stepFused(d1, d2 *core.DecodedInst, k FuseKind, evp *trace.InstEvent) error {
 	m.eff.reset()
 	if err := m.execInto(d1.Inst, &m.eff); err != nil {
 		return &RuntimeError{PC: m.pc, Inst: d1.Inst, Err: err}
@@ -334,7 +367,18 @@ func (m *Machine) stepFused(d1, d2 *core.DecodedInst, k FuseKind) error {
 	m.stats.Instructions++
 	m.stats.ByType[d1.Type]++
 	m.stats.ByOpcode[d1.Inst.Op]++
-	m.pipe.advanceWith(d1.Src(), d1.DestReg, d1.HasDest, &m.eff, nil)
+	commit := m.pipe.advanceWith(d1.Src(), d1.DestReg, d1.HasDest, &m.eff, evp)
+	if evp != nil && commit > m.cfg.MaxCycles {
+		m.metWatchdog.Inc()
+		return &WatchdogError{
+			PC:    m.pc,
+			Inst:  d1.Inst,
+			Index: m.stats.Instructions - 1,
+			Cycle: commit,
+			Limit: m.cfg.MaxCycles,
+			Stage: stageAt(&m.ev, m.cfg.MaxCycles),
+		}
+	}
 
 	var err error
 	if n1 := int(int32(m.gpr[d1.Inst.R[1]])); k != FuseLoadMatVec && n1 > 0 {
@@ -359,7 +403,18 @@ func (m *Machine) stepFused(d1, d2 *core.DecodedInst, k FuseKind) error {
 	m.stats.Instructions++
 	m.stats.ByType[d2.Type]++
 	m.stats.ByOpcode[d2.Inst.Op]++
-	m.pipe.advanceWith(d2.Src(), d2.DestReg, d2.HasDest, &m.eff, nil)
+	commit = m.pipe.advanceWith(d2.Src(), d2.DestReg, d2.HasDest, &m.eff, evp)
+	if evp != nil && commit > m.cfg.MaxCycles {
+		m.metWatchdog.Inc()
+		return &WatchdogError{
+			PC:    m.pc + 1,
+			Inst:  d2.Inst,
+			Index: m.stats.Instructions - 1,
+			Cycle: commit,
+			Limit: m.cfg.MaxCycles,
+			Stage: stageAt(&m.ev, m.cfg.MaxCycles),
+		}
+	}
 	return nil
 }
 
@@ -383,7 +438,13 @@ func (m *Machine) runDecodedSlow(ctx context.Context) (Stats, error) {
 	watchdog := m.cfg.MaxCycles > 0
 	needEv := tracing || watchdog
 	done := ctx.Done()
+	stopAt := m.stopAt
 	for m.pc >= 0 && m.pc < len(dec) {
+		if stopAt >= 0 && m.stats.Instructions >= stopAt {
+			m.stopped = true
+			m.stats.Cycles = m.pipe.lastCommit
+			return m.stats, nil
+		}
 		if done != nil && m.stats.Instructions&1023 == 0 {
 			select {
 			case <-done:
@@ -427,6 +488,9 @@ func (m *Machine) runDecodedSlow(ctx context.Context) (Stats, error) {
 		m.stats.Instructions++
 		m.stats.ByType[typ]++
 		m.stats.ByOpcode[inst.Op]++
+		if m.rec != nil {
+			m.rec.record(m.stats.Instructions-1, src, dst, hasDst, &m.eff)
+		}
 		var evp *trace.InstEvent
 		if needEv {
 			if tracing {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -471,9 +472,10 @@ func compareRegion(t *testing.T, trial int, name string, m *Machine,
 // comparePaths runs one program through the per-step decode loop and the
 // pre-decoded fused dispatch loop under identical configurations and
 // fails the test unless every architectural bit and every statistic
-// agrees. A third machine runs the decoded program with a (never-fired)
-// watchdog armed, which steers it down the observed slow loop — so one
-// call covers both decoded dispatchers against the baseline.
+// agrees. A third machine runs the decoded program with an instruction
+// trace attached (written to io.Discard) and a never-fired watchdog
+// armed, which steers it down the observed slow loop — so one call
+// covers both decoded dispatchers against the baseline.
 func comparePaths(t *testing.T, label string, cfg Config, prog []core.Instruction,
 	setup func(set func(r uint8, v int32))) {
 	t.Helper()
@@ -482,6 +484,7 @@ func comparePaths(t *testing.T, label string, cfg Config, prog []core.Instructio
 	slowCfg := cfg
 	slowCfg.MaxCycles = 1 << 40 // arms the watchdog without ever tripping it
 	slow := mustNew(t, slowCfg)
+	slow.SetTrace(io.Discard) // steers the decoded dispatch down the slow loop
 	if setup != nil {
 		setup(func(r uint8, v int32) {
 			base.SetGPR(r, uint32(v))

@@ -66,9 +66,10 @@ func FuzzRunDecodedProgram(f *testing.F) {
 // interpreters — the per-step decode loop and the pre-decoded fused
 // dispatch loop — and requires identical outcomes: same statistics, same
 // cycles, same registers, and the same error (or clean termination) for
-// every program the decoder accepts. The watchdog is armed, so the
-// decoded side runs the observed slow loop, the path fault campaigns
-// take; TestPredecoded* in differential_test.go covers the tight loop.
+// every program the decoder accepts. The watchdog is armed, so the fuzz
+// covers the tight loop's in-loop watchdog (including mid-fused-pair
+// trips) against the baseline's; TestPredecoded* in differential_test.go
+// steers the observed slow loop as well.
 func FuzzPredecodedEquivalence(f *testing.F) {
 	f.Add(fuzzSeedImage(f, "\tSMOVE $1, #5\n"))
 	f.Add(fuzzSeedImage(f, "\tSMOVE $1, #3\nspin:\tSADD $1, $1, #-1\n\tCB #spin, $1\n"))

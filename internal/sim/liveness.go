@@ -1,0 +1,339 @@
+package sim
+
+// Golden-run access tracing and convergence proofs — the machinery that
+// turns fault-site fast-forwarding from "skip the fault-free prefix"
+// into "stop simulating as soon as the faulted run provably rejoins the
+// golden run" (docs/PERF.md, Level 5).
+//
+// A transient fault that ends up masked usually perturbs almost
+// nothing: one scratchpad word or one register holds a corrupted value
+// that the rest of the program never reads again, while every byte the
+// program does read — and the whole pipeline timing state — re-converges
+// with the fault-free run within a few hundred instructions. Replaying
+// the faulted remainder to the end is then pure waste. AccessTrace
+// records, once per prepared target, which locations the golden run
+// reads at which dynamic instruction index; Liveness condenses that into
+// a last-read index per register and per scratchpad word. At any later
+// checkpoint boundary, Machine.ConvergedWith can compare a faulted
+// machine against the golden checkpoint and prove: every location that
+// still differs is one the golden run never reads again, and everything
+// else — PC, PRNG, statistics, pipeline timing, main memory — is equal.
+// From that boundary on, the faulted run and the golden run commit the
+// same instructions with the same timing and produce the same outputs,
+// so the fault-free run's observation can be returned without simulating
+// the suffix.
+//
+// Soundness rests on the access sets the execution core already reports
+// to the timing model: the memory-dependence and register-scoreboard
+// logic require every operand read and write region, so the recorded
+// trace covers every architectural read. The differential campaign tests
+// (byte-identical reports with fast-forwarding on and off, across
+// benchmarks, seeds and fault models) pin the proof against the
+// implementation.
+
+import (
+	"fmt"
+
+	"cambricon/internal/core"
+	"cambricon/internal/mem"
+)
+
+// accessRec is one dynamic instruction of a recorded golden run: its
+// source/destination scalar registers and its memory access regions,
+// exactly as reported to the timing model.
+type accessRec struct {
+	nAcc   uint8
+	nSrc   uint8
+	dst    uint8
+	hasDst bool
+	src    [6]uint8
+	acc    [4]access
+}
+
+// AccessTrace records the architectural reads and writes of one complete
+// run, dynamic instruction by dynamic instruction. Attach it with
+// Machine.SetAccessTrace before a full run (from index 0); recording
+// routes execution through the general observing loop, so the recorded
+// run's statistics stay bit-identical to an unobserved run. An
+// AccessTrace is not safe for concurrent use while recording; once
+// condensed into a Liveness it is no longer needed.
+type AccessTrace struct {
+	recs []accessRec
+	// dma holds the dynamic indices of instructions that offer an
+	// in-flight DMA payload to an attached injector (transfers with a
+	// non-empty payload), ascending.
+	dma []int64
+	// bad marks a recording that did not start at instruction 0 or
+	// skipped indices (e.g. attached mid-run); Liveness refuses it.
+	bad bool
+}
+
+// NewAccessTrace returns an empty trace ready to record one run.
+func NewAccessTrace() *AccessTrace { return &AccessTrace{} }
+
+// SetAccessTrace attaches an access-trace recorder (nil detaches it).
+// While attached, runs take the general observing loop and append one
+// record per committed instruction; like tracers and injectors, the
+// recorder never changes simulated statistics, cycles or behaviour.
+func (m *Machine) SetAccessTrace(t *AccessTrace) { m.rec = t }
+
+// record appends one committed instruction. idx is its dynamic index
+// (stats.Instructions after the increment, minus one).
+func (t *AccessTrace) record(idx int64, src []uint8, dst uint8, hasDst bool, e *effect) {
+	if idx != int64(len(t.recs)) {
+		t.bad = true
+		return
+	}
+	var r accessRec
+	r.nAcc = uint8(e.nAccess)
+	copy(r.acc[:], e.accessBuf[:e.nAccess])
+	r.nSrc = uint8(len(src))
+	copy(r.src[:], src)
+	r.dst, r.hasDst = dst, hasDst
+	t.recs = append(t.recs, r)
+	if e.isDMA && e.dmaBytes > 0 {
+		t.dma = append(t.dma, idx)
+	}
+}
+
+// mainWrite is one main-memory write of the golden run: the dynamic
+// index it committed at and the page range it covered.
+type mainWrite struct {
+	idx    int64
+	lo, hi int32 // inclusive page range
+}
+
+// Liveness is the condensed read schedule of a recorded golden run: for
+// every scalar register and every 16-bit scratchpad word, the last
+// dynamic instruction index that reads it (-1 = never read); plus the
+// run's DMA-offer indices and its main-memory write schedule. A location
+// whose last read is before boundary j is dead at j: a faulted run whose
+// state differs from the golden run only in dead locations commits an
+// identical remainder. A Liveness is immutable and safe to share across
+// campaign workers.
+type Liveness struct {
+	n         int64 // recorded run length in dynamic instructions
+	gprLast   [core.NumGPRs]int64
+	vspadLast []int64 // per 16-bit word
+	mspadLast []int64
+	dma       []int64
+	writes    []mainWrite
+}
+
+// Liveness condenses the recorded run against the machine geometry it
+// was recorded on. It fails when the trace is unusable (recording did
+// not cover a complete run from instruction 0).
+func (t *AccessTrace) Liveness(cfg Config) (*Liveness, error) {
+	if t.bad {
+		return nil, fmt.Errorf("sim: access trace did not cover a complete run from instruction 0")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lv := &Liveness{
+		n:         int64(len(t.recs)),
+		vspadLast: make([]int64, cfg.VectorSpadBytes/2),
+		mspadLast: make([]int64, cfg.MatrixSpadBytes/2),
+		dma:       t.dma,
+	}
+	for i := range lv.gprLast {
+		lv.gprLast[i] = -1
+	}
+	for i := range lv.vspadLast {
+		lv.vspadLast[i] = -1
+	}
+	for i := range lv.mspadLast {
+		lv.mspadLast[i] = -1
+	}
+	for i := range t.recs {
+		r := &t.recs[i]
+		idx := int64(i)
+		for _, s := range r.src[:r.nSrc] {
+			lv.gprLast[int(s)%core.NumGPRs] = idx
+		}
+		for _, a := range r.acc[:r.nAcc] {
+			if a.reg.N <= 0 {
+				continue
+			}
+			if a.sp == spaceMain {
+				if a.write {
+					lv.writes = append(lv.writes, mainWrite{
+						idx: idx,
+						lo:  int32(a.reg.Addr / mem.PageBytes),
+						hi:  int32((a.reg.Addr + a.reg.N - 1) / mem.PageBytes),
+					})
+				}
+				continue
+			}
+			if a.write {
+				continue
+			}
+			last := lv.vspadLast
+			if a.sp == spaceMat {
+				last = lv.mspadLast
+			}
+			lo, hi := a.reg.Addr/2, (a.reg.Addr+a.reg.N-1)/2
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(last) {
+				hi = len(last) - 1
+			}
+			for w := lo; w <= hi; w++ {
+				last[w] = idx
+			}
+		}
+	}
+	return lv, nil
+}
+
+// Instructions returns the recorded run's dynamic instruction count.
+func (lv *Liveness) Instructions() int64 { return lv.n }
+
+// DMAOfferAfter returns the dynamic index of the golden run's first DMA
+// payload offer at or after at, and whether one exists. A dma-bit fault
+// site whose At has no offer at or after it can never fire: the faulted
+// run is the golden run.
+func (lv *Liveness) DMAOfferAfter(at int64) (int64, bool) {
+	lo, hi := 0, len(lv.dma)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lv.dma[mid] < at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(lv.dma) {
+		return 0, false
+	}
+	return lv.dma[lo], true
+}
+
+// appendMainPages appends (with duplicates) every main-memory page the
+// golden run writes in dynamic index range [from, to).
+func (lv *Liveness) appendMainPages(buf []int, from, to int64) []int {
+	lo, hi := 0, len(lv.writes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lv.writes[mid].idx < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, w := range lv.writes[lo:] {
+		if w.idx >= to {
+			break
+		}
+		for p := w.lo; p <= w.hi; p++ {
+			buf = append(buf, int(p))
+		}
+	}
+	return buf
+}
+
+// maxDiffWords bounds how many differing scratchpad words ConvergedWith
+// will reason about: transient faults leave at most a handful of inert
+// words behind, so a larger diff means the run genuinely diverged and
+// the scan should give up rather than keep enumerating.
+const maxDiffWords = 64
+
+// ConvergedWith reports whether this machine — stopped at a RunUntil
+// boundary — has provably converged with the golden run represented by
+// the checkpoint s (captured at the same dynamic instruction boundary)
+// and the liveness lv of the same run: the PC, PRNG, statistics (modulo
+// the FaultsInjected counter), pipeline timing state and all main-memory
+// pages that can differ are equal, and every register or scratchpad word
+// that still differs is dead — never read by the golden run's remainder.
+// When it holds, the remainder of this run commits the same instructions
+// with the same timing and outputs as the golden run, so a caller can
+// stop simulating and use the golden run's result.
+//
+// The second result is a retry hint: 0 means convergence is hopeless (a
+// location that matters diverged — stop checking), a positive value is
+// the earliest dynamic index at which every currently blocking location
+// becomes dead, so checks before it cannot succeed.
+//
+// The machine must have been restored from a checkpoint of the same
+// golden run (its memory dirty tracking bounds the main-memory pages
+// that can differ); s must be a mid-run checkpoint at the machine's
+// current instruction index.
+func (m *Machine) ConvergedWith(s *Snapshot, lv *Liveness) (converged bool, retryAt int64) {
+	if s == nil || s.stats == nil || s.pipe == nil || lv == nil || m.lastSnap == nil {
+		return false, 0
+	}
+	j := m.stats.Instructions
+	if j != s.stats.Instructions || m.pc != s.pc || m.rng != s.rng {
+		return false, 0
+	}
+	// Statistics must match exactly, except that the faulted run counts
+	// the fault it applied; FaultsInjected never feeds back into timing
+	// or results.
+	a, b := m.stats, *s.stats
+	a.FaultsInjected, b.FaultsInjected = 0, 0
+	if a != b {
+		return false, 0
+	}
+	if !m.pipe.stateEqual(s.pipe) {
+		return false, 0
+	}
+	retry := int64(-1)
+	need := func(last int64) bool {
+		if last < j {
+			return true // dead: golden never reads it again
+		}
+		if last+1 > retry {
+			retry = last + 1
+		}
+		return false
+	}
+	for r := 0; r < core.NumGPRs; r++ {
+		if m.gpr[r] != s.gpr[r] {
+			need(lv.gprLast[r])
+		}
+	}
+	for _, p := range [2]struct {
+		pad  *mem.Scratchpad
+		img  []byte
+		last []int64
+	}{
+		{m.vspad, s.vspad, lv.vspadLast},
+		{m.mspad, s.mspad, lv.mspadLast},
+	} {
+		diffs, ok := p.pad.DiffWords(p.img, maxDiffWords)
+		if !ok {
+			return false, 0
+		}
+		for _, w := range diffs {
+			if w >= len(p.last) {
+				return false, 0
+			}
+			need(p.last[w])
+		}
+	}
+	// Main memory must be exactly equal on every page that can differ:
+	// the machine is lastSnap + its dirty pages, the checkpoint is
+	// lastSnap + the golden writes since, so the union bounds the
+	// difference. (Main outputs are what the observation serializes, so
+	// no liveness slack is taken here.)
+	pages, ok := m.main.AppendDirtyPages(nil)
+	if !ok {
+		return false, 0
+	}
+	pages = lv.appendMainPages(pages, m.lastSnap.Instructions(), j)
+	seen := make(map[int]struct{}, len(pages))
+	for _, p := range pages {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		if !m.main.PageEquals(s.main, p) {
+			return false, 0
+		}
+	}
+	if retry >= 0 {
+		return false, retry
+	}
+	return true, 0
+}

@@ -62,12 +62,27 @@ type Machine struct {
 	// bit-identical cycle counts — the same contract as tracer).
 	inj fault.Injector
 
+	// rec, when non-nil, records each committed instruction's operand
+	// registers and memory access regions (see AccessTrace). Like inj it
+	// routes pre-decoded runs through the general observing loop and is
+	// behaviour-neutral.
+	rec *AccessTrace
+
 	// lastSnap remembers which Snapshot this machine's memory dirty
 	// tracking is relative to: Restore to the same snapshot copies only
 	// dirty regions, any other snapshot forces a full copy.
 	// lastRestoreBytes is the copy volume of the most recent Restore.
 	lastSnap         *Snapshot
 	lastRestoreBytes int
+
+	// stopAt, when >= 0, makes the run loops return cleanly (no error) at
+	// the first instruction boundary where stats.Instructions reaches it —
+	// the RunUntil mechanism behind mid-run checkpoints and fault-site
+	// fast-forwarding. -1 (set by every Run/Resume entry point) disables
+	// the check. stopped records whether the last run segment ended at the
+	// boundary rather than at program completion.
+	stopAt  int64
+	stopped bool
 
 	// metWatchdog/metCancel receive service-level event counts (nil —
 	// the default — is a no-op per the metrics package's nil contract,
@@ -120,6 +135,39 @@ func (m *Machine) Reset() {
 	}
 	m.stats = Stats{}
 	m.pipe.init(&m.cfg, &m.stats)
+}
+
+// Reconfigure rebinds the machine to a different configuration that
+// shares its memory geometry (main-memory size, scratchpad capacities
+// and banking), reusing the existing — dominant, 16 MiB — memory
+// allocations instead of building a fresh machine. The machine comes
+// back Reset with no program loaded and its snapshot lineage dropped;
+// memory contents are stale, so callers must Restore a snapshot (or
+// load a fresh image) before running, exactly like a pool-recycled
+// machine. A geometry mismatch is an error and leaves the machine
+// unchanged.
+func (m *Machine) Reconfigure(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.MainMemBytes != m.cfg.MainMemBytes ||
+		cfg.VectorSpadBytes != m.cfg.VectorSpadBytes ||
+		cfg.MatrixSpadBytes != m.cfg.MatrixSpadBytes ||
+		cfg.SpadBanks != m.cfg.SpadBanks ||
+		cfg.BankBytes != m.cfg.BankBytes {
+		return fmt.Errorf("sim: reconfigure: memory geometry mismatch (have %d/%d/%d banks=%d line=%d, want %d/%d/%d banks=%d line=%d)",
+			m.cfg.MainMemBytes, m.cfg.VectorSpadBytes, m.cfg.MatrixSpadBytes, m.cfg.SpadBanks, m.cfg.BankBytes,
+			cfg.MainMemBytes, cfg.VectorSpadBytes, cfg.MatrixSpadBytes, cfg.SpadBanks, cfg.BankBytes)
+	}
+	m.cfg = cfg
+	m.prog = nil
+	m.dec = nil
+	m.lastSnap = nil
+	m.vspad.DropDirtyTracking()
+	m.mspad.DropDirtyTracking()
+	m.main.DropDirtyTracking()
+	m.Reset()
+	return nil
 }
 
 // LoadProgram installs the program to run through the baseline
@@ -386,6 +434,54 @@ func (m *Machine) Run() (Stats, error) {
 // runaway loops).
 func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 	m.pc = 0
+	m.stopAt = -1
+	return m.resume(ctx)
+}
+
+// Resume continues execution from the machine's current state — after a
+// RunUntil stop or a Restore of a mid-run checkpoint — until the program
+// ends, returning the accumulated run statistics. Resuming a completed
+// run returns immediately. The resumed remainder is bit-identical (in
+// statistics, cycles, traces and fault behaviour) to the uninterrupted
+// run.
+func (m *Machine) Resume() (Stats, error) {
+	return m.ResumeContext(context.Background())
+}
+
+// ResumeContext is Resume with cooperative cancellation (see RunContext).
+func (m *Machine) ResumeContext(ctx context.Context) (Stats, error) {
+	m.stopAt = -1
+	return m.resume(ctx)
+}
+
+// RunUntil continues execution from the machine's current state until
+// the accumulated dynamic instruction count reaches n (returning at that
+// exact instruction boundary with done=false) or the program ends first
+// (done=true). Stopping never perturbs simulated state: any interleaving
+// of RunUntil segments, Checkpoint captures and Resume produces the same
+// statistics, cycles and traces as one uninterrupted run. Start from PC 0
+// by calling it on a machine that was Reset or restored to a run-boundary
+// snapshot.
+func (m *Machine) RunUntil(n int64) (Stats, bool, error) {
+	return m.RunUntilContext(context.Background(), n)
+}
+
+// RunUntilContext is RunUntil with cooperative cancellation (see
+// RunContext).
+func (m *Machine) RunUntilContext(ctx context.Context, n int64) (Stats, bool, error) {
+	if n < 0 {
+		n = 0
+	}
+	m.stopAt = n
+	stats, err := m.resume(ctx)
+	m.stopAt = -1
+	return stats, err == nil && !m.stopped, err
+}
+
+// resume dispatches the current run segment to the interpreter the
+// installed program form selects.
+func (m *Machine) resume(ctx context.Context) (Stats, error) {
+	m.stopped = false
 	if m.dec != nil {
 		// Pre-decoded dispatch: the program was validated by Predecode,
 		// and the decoded loops produce bit-identical statistics, cycles,
@@ -415,7 +511,13 @@ func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 	// untraced; timing is unaffected (advance only records into it).
 	needEv := tracing || watchdog
 	done := ctx.Done()
+	stopAt := m.stopAt
 	for m.pc >= 0 && m.pc < len(m.prog) {
+		if stopAt >= 0 && m.stats.Instructions >= stopAt {
+			m.stopped = true
+			m.stats.Cycles = m.pipe.lastCommit
+			return m.stats, nil
+		}
 		if done != nil && m.stats.Instructions&1023 == 0 {
 			select {
 			case <-done:
@@ -447,6 +549,11 @@ func (m *Machine) RunContext(ctx context.Context) (Stats, error) {
 		m.stats.Instructions++
 		m.stats.ByType[inst.Op.Type()]++
 		m.stats.ByOpcode[inst.Op]++
+		if m.rec != nil {
+			var srcBuf [6]uint8
+			dst, hasDst := inst.DestReg()
+			m.rec.record(m.stats.Instructions-1, inst.ReadRegs(srcBuf[:0]), dst, hasDst, &eff)
+		}
 		var evp *trace.InstEvent
 		if needEv {
 			m.ev = trace.InstEvent{}

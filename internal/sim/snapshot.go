@@ -27,10 +27,40 @@ type Snapshot struct {
 
 	vspad, mspad []byte
 	main         *mem.SparseImage
+
+	// stats/pipe are set only for mid-run captures (Checkpoint): the
+	// accumulated statistics and pipeline timing state at the capture
+	// boundary. Restore reinstates them instead of resetting, so resuming
+	// is bit-identical to never having stopped. Run-boundary snapshots
+	// (Snapshot) leave them nil and restore to reset state as before.
+	stats *Stats
+	pipe  *pipeState
 }
 
 // Config returns the configuration the snapshot was captured under.
 func (s *Snapshot) Config() Config { return s.cfg }
+
+// MidRun reports whether the snapshot was captured mid-run (by
+// Checkpoint) rather than at a run boundary (by Snapshot).
+func (s *Snapshot) MidRun() bool { return s.stats != nil }
+
+// Instructions returns the dynamic instruction index the snapshot was
+// captured at (0 for run-boundary snapshots).
+func (s *Snapshot) Instructions() int64 {
+	if s.stats == nil {
+		return 0
+	}
+	return s.stats.Instructions
+}
+
+// Stats returns a copy of the statistics captured with a mid-run
+// snapshot (the zero Stats for run-boundary snapshots).
+func (s *Snapshot) Stats() Stats {
+	if s.stats == nil {
+		return Stats{}
+	}
+	return *s.stats
+}
 
 // Bytes returns the resident size of the captured memory images: the
 // dense scratchpad copies plus only the nonzero pages of main memory.
@@ -55,6 +85,24 @@ func archEqual(a, b Config) bool {
 // rings) is not captured: Restore resets it exactly like a fresh machine,
 // and the attached tracer/injector are left untouched.
 func (m *Machine) Snapshot() *Snapshot {
+	return m.capture(false)
+}
+
+// Checkpoint captures the machine mid-run, at its current dynamic
+// instruction boundary: everything Snapshot captures plus the
+// accumulated statistics (including the CPI-stack stall counters) and
+// the full pipeline timing state (stage clocks, in-flight memory-queue
+// entries, functional-unit availability). Restoring the checkpoint —
+// onto this machine or any machine with an archEqual configuration —
+// and resuming (Resume, RunUntil) produces statistics, cycles, traces
+// and fault behaviour bit-identical to the uninterrupted run. Like
+// Snapshot, the call arms dirty tracking so a later Restore to this
+// checkpoint copies only memory written in between.
+func (m *Machine) Checkpoint() *Snapshot {
+	return m.capture(true)
+}
+
+func (m *Machine) capture(midRun bool) *Snapshot {
 	s := &Snapshot{
 		cfg:   m.cfg,
 		gpr:   m.gpr,
@@ -66,6 +114,11 @@ func (m *Machine) Snapshot() *Snapshot {
 		mspad: m.mspad.Image(),
 		main:  m.main.SparseImage(),
 	}
+	if midRun {
+		st := m.stats
+		s.stats = &st
+		s.pipe = m.pipe.capture()
+	}
 	m.vspad.BeginDirtyTracking()
 	m.mspad.BeginDirtyTracking()
 	m.main.BeginDirtyTracking()
@@ -73,15 +126,41 @@ func (m *Machine) Snapshot() *Snapshot {
 	return s
 }
 
+// PristineSnapshot synthesizes the snapshot of a freshly constructed
+// machine for cfg — zero registers, PC 0, seeded PRNG, no program, all
+// memory zero — without building one. Restoring it onto any archEqual
+// machine resets it to post-construction state; the bench pool uses this
+// to recycle machines across configurations (and, with the sparse
+// all-zero main image, the restore touches only pages that were dirtied).
+func PristineSnapshot(cfg Config) (*Snapshot, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := cfg.Seed
+	if rng == 0 {
+		rng = 1
+	}
+	return &Snapshot{
+		cfg:   cfg,
+		rng:   rng,
+		vspad: make([]byte, cfg.VectorSpadBytes),
+		mspad: make([]byte, cfg.MatrixSpadBytes),
+		main:  mem.ZeroSparseImage(cfg.MainMemBytes),
+	}, nil
+}
+
 // Restore reinstates a snapshot by copying into the machine's existing
 // buffers: registers, PC and PRNG come back exactly, statistics and
-// pipeline state reset as in a fresh machine, and the snapshot's program
-// is (re)loaded. When the machine's last Snapshot/Restore used the same
-// snapshot, only memory dirtied since is copied back; otherwise — a
-// brand-new or pool-recycled machine meeting this snapshot for the first
-// time — the full images are rebuilt and dirty tracking starts. Either
-// way the machine afterwards produces bit-identical runs to a freshly
-// constructed machine that replayed the same initialization.
+// pipeline state reset as in a fresh machine (run-boundary snapshots) or
+// come back exactly as captured (mid-run checkpoints, see Checkpoint),
+// and the snapshot's program is (re)loaded. When the machine's last
+// Snapshot/Restore used the same snapshot, only memory dirtied since is
+// copied back; when it used a different known snapshot with tracking
+// still live, the switch costs only the pages resident in either image
+// plus the dirtied ones; otherwise the full images are rebuilt and dirty
+// tracking starts. Either way the machine afterwards produces
+// bit-identical runs to a freshly constructed machine that replayed the
+// same history.
 //
 // The machine's own watchdog budget (Config.MaxCycles) is preserved; any
 // other configuration difference is an error.
@@ -90,11 +169,24 @@ func (m *Machine) Restore(s *Snapshot) error {
 		return fmt.Errorf("sim: restore: machine config %+v does not match snapshot config %+v", m.cfg, s.cfg)
 	}
 	if m.lastSnap != s {
-		// The machine's dirty state is relative to some other image (or
-		// none): invalidate tracking so the restores below copy in full.
-		m.vspad.DropDirtyTracking()
-		m.mspad.DropDirtyTracking()
-		m.main.DropDirtyTracking()
+		if m.lastSnap != nil && m.main.Tracking() && m.vspad.Tracking() && m.mspad.Tracking() {
+			// Delta switch: the machine's contents are provably "lastSnap +
+			// dirty", so every page that can differ from s is either dirty
+			// or resident in one of the two images. Marking those as dirty
+			// lets the tracked restore below rebuild only them instead of
+			// walking the whole 16 MiB space. (Scratchpads track a single
+			// whole-pad flag, so their switch is a full — but small — copy.)
+			m.main.MarkPagesDirty(m.lastSnap.main)
+			m.main.MarkPagesDirty(s.main)
+			m.vspad.MarkDirty()
+			m.mspad.MarkDirty()
+		} else {
+			// The machine's dirty state is relative to no known image:
+			// invalidate tracking so the restores below copy in full.
+			m.vspad.DropDirtyTracking()
+			m.mspad.DropDirtyTracking()
+			m.main.DropDirtyTracking()
+		}
 		m.lastSnap = s
 	}
 	copied := 0
@@ -117,8 +209,16 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.rng = s.rng
 	m.prog = s.prog
 	m.dec = s.dec
-	m.stats = Stats{}
-	m.pipe.init(&m.cfg, &m.stats)
+	if s.stats != nil {
+		// Mid-run snapshot: resume where the capture stopped — statistics
+		// and pipeline timing state come back exactly, so the remainder of
+		// the run is bit-identical to never having stopped.
+		m.stats = *s.stats
+		m.pipe.restoreState(s.pipe, &m.cfg, &m.stats)
+	} else {
+		m.stats = Stats{}
+		m.pipe.init(&m.cfg, &m.stats)
+	}
 	return nil
 }
 

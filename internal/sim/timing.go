@@ -119,6 +119,155 @@ func (p *pipeline) init(cfg *Config, stats *Stats) {
 	p.regReady = [core.NumGPRs]int64{}
 }
 
+// pipeState is a deep copy of the pipeline's timing state at a dynamic
+// instruction boundary — every field advanceWith reads or writes, with
+// the rings copied out of the live pipeline. Mid-run snapshots carry one
+// so a restored machine resumes with exactly the stage clocks, in-flight
+// memory-queue entries and functional-unit availability the capturing
+// machine had, making the resumed remainder bit-identical to the
+// uninterrupted run. A pipeState is immutable once captured.
+type pipeState struct {
+	count         int64
+	iqPos, robPos int
+	fetchCycle    int64
+	fetchSlot     int
+	redirect      int64
+	iqIssued      []int64
+	issueCycle    int64
+	issueSlot     int
+	lastIssueTime int64
+	robCommit     []int64
+	commitCycle   int64
+	commitSlot    int
+	lastCommit    int64
+	memCount      int64
+	mqPos         int
+	mqMaxDone     int64
+	mq            []mqEntry
+	mqRetire      []int64
+	scalarNext    int64
+	l1Next        int64
+	vectorFree    int64
+	matrixFree    int64
+	regReady      [core.NumGPRs]int64
+}
+
+// capture copies the pipeline's current timing state.
+func (p *pipeline) capture() *pipeState {
+	return &pipeState{
+		count:         p.count,
+		iqPos:         p.iqPos,
+		robPos:        p.robPos,
+		fetchCycle:    p.fetchCycle,
+		fetchSlot:     p.fetchSlot,
+		redirect:      p.redirect,
+		iqIssued:      append([]int64(nil), p.iqIssued...),
+		issueCycle:    p.issueCycle,
+		issueSlot:     p.issueSlot,
+		lastIssueTime: p.lastIssueTime,
+		robCommit:     append([]int64(nil), p.robCommit...),
+		commitCycle:   p.commitCycle,
+		commitSlot:    p.commitSlot,
+		lastCommit:    p.lastCommit,
+		memCount:      p.memCount,
+		mqPos:         p.mqPos,
+		mqMaxDone:     p.mqMaxDone,
+		mq:            append([]mqEntry(nil), p.mq...),
+		mqRetire:      append([]int64(nil), p.mqRetire...),
+		scalarNext:    p.scalarNext,
+		l1Next:        p.l1Next,
+		vectorFree:    p.vectorFree,
+		matrixFree:    p.matrixFree,
+		regReady:      p.regReady,
+	}
+}
+
+// restoreState reinstates a captured timing state, re-pointing the
+// pipeline at the owning machine's configuration and statistics (the
+// captured ring sizes match any archEqual configuration by construction).
+// Ring buffers are copied into the pipeline's existing backing arrays
+// when capacity allows, so restoring allocates nothing in steady state.
+func (p *pipeline) restoreState(s *pipeState, cfg *Config, stats *Stats) {
+	p.cfg = cfg
+	p.stats = stats
+	p.count = s.count
+	p.iqPos, p.robPos = s.iqPos, s.robPos
+	p.fetchCycle, p.fetchSlot, p.redirect = s.fetchCycle, s.fetchSlot, s.redirect
+	p.iqIssued = resizeInt64(p.iqIssued, len(s.iqIssued))
+	copy(p.iqIssued, s.iqIssued)
+	p.issueCycle, p.issueSlot, p.lastIssueTime = s.issueCycle, s.issueSlot, s.lastIssueTime
+	p.robCommit = resizeInt64(p.robCommit, len(s.robCommit))
+	copy(p.robCommit, s.robCommit)
+	p.commitCycle, p.commitSlot, p.lastCommit = s.commitCycle, s.commitSlot, s.lastCommit
+	p.memCount, p.mqPos, p.mqMaxDone = s.memCount, s.mqPos, s.mqMaxDone
+	if cap(p.mq) < len(s.mq) {
+		p.mq = make([]mqEntry, len(s.mq))
+	} else {
+		p.mq = p.mq[:len(s.mq)]
+	}
+	copy(p.mq, s.mq)
+	p.mqRetire = resizeInt64(p.mqRetire, len(s.mqRetire))
+	copy(p.mqRetire, s.mqRetire)
+	p.scalarNext, p.l1Next = s.scalarNext, s.l1Next
+	p.vectorFree, p.matrixFree = s.vectorFree, s.matrixFree
+	p.regReady = s.regReady
+}
+
+// int64sEqual reports element-wise equality of two int64 slices.
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stateEqual reports whether the pipeline's live timing state matches a
+// captured one: two pipelines in equal states produce identical timing
+// for any identical instruction remainder. Memory-queue entries are
+// compared semantically — done time, masks and the first nAcc access
+// regions — because ring inserts copy only the live access prefix,
+// leaving stale bytes in accBuf tails that the dependence scan (which
+// reads acc() = accBuf[:nAcc]) never sees.
+func (p *pipeline) stateEqual(s *pipeState) bool {
+	if s == nil {
+		return false
+	}
+	if p.count != s.count || p.iqPos != s.iqPos || p.robPos != s.robPos ||
+		p.fetchCycle != s.fetchCycle || p.fetchSlot != s.fetchSlot || p.redirect != s.redirect ||
+		p.issueCycle != s.issueCycle || p.issueSlot != s.issueSlot || p.lastIssueTime != s.lastIssueTime ||
+		p.commitCycle != s.commitCycle || p.commitSlot != s.commitSlot || p.lastCommit != s.lastCommit ||
+		p.memCount != s.memCount || p.mqPos != s.mqPos || p.mqMaxDone != s.mqMaxDone ||
+		p.scalarNext != s.scalarNext || p.l1Next != s.l1Next ||
+		p.vectorFree != s.vectorFree || p.matrixFree != s.matrixFree ||
+		p.regReady != s.regReady {
+		return false
+	}
+	if !int64sEqual(p.iqIssued, s.iqIssued) || !int64sEqual(p.robCommit, s.robCommit) ||
+		!int64sEqual(p.mqRetire, s.mqRetire) {
+		return false
+	}
+	if len(p.mq) != len(s.mq) {
+		return false
+	}
+	for i := range p.mq {
+		a, b := &p.mq[i], &s.mq[i]
+		if a.done != b.done || a.nAcc != b.nAcc || a.wmask != b.wmask || a.amask != b.amask {
+			return false
+		}
+		for k := 0; k < a.nAcc; k++ {
+			if a.accBuf[k] != b.accBuf[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // advance threads one executed instruction through the timing model and
 // returns the instruction's commit cycle.
 //
