@@ -13,9 +13,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash smoke-checkpoint check-host fault-json
+.PHONY: ci fmt vet build test race bench bench-host bench-json repro smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash smoke-checkpoint smoke-autoscale check-host fault-json
 
-ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash smoke-checkpoint check-host
+ci: fmt vet build race bench smoke smoke-fault smoke-host smoke-serve smoke-predecode smoke-reqtrace smoke-crash smoke-checkpoint smoke-autoscale check-host
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -187,6 +187,46 @@ smoke-checkpoint:
 	@rm -f /tmp/cambricon-smoke-ckpt-sim /tmp/cambricon-smoke-ckpt.bin \
 		/tmp/cambricon-smoke-ckpt-plain.json /tmp/cambricon-smoke-ckpt-run.json /tmp/cambricon-smoke-ckpt-resumed.json
 	@echo "smoke-checkpoint: ok"
+
+# Autoscaler smoke run: the metrics-driven pool autoscaler proven
+# against a real process (docs/OBSERVABILITY.md, "Metrics history, SLOs,
+# and autoscaling"). Start camserve with the sampler and an aggressive
+# autoscale spec, drive a queued burst through a single run slot, and
+# assert the pool scaled up under the observed queue pressure, the
+# history endpoints serve, and the pool scaled back down after the idle
+# deadline. The tsdb package is also re-checked under the race detector.
+smoke-autoscale:
+	$(GO) test -race -count=1 ./internal/tsdb
+	@$(GO) build -o /tmp/cambricon-smoke-as-srv ./cmd/camserve
+	@/tmp/cambricon-smoke-as-srv -addr 127.0.0.1:18935 -max-inflight 1 -queue-depth 32 \
+		-sample-interval 100ms -autoscale 'min=0,max=4,step=2,idle=1s,window=1s' \
+		-chaos 'run-delay=300ms:1' >/dev/null 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18935/readyz >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	for i in $$(seq 1 16); do \
+		curl -fsS -X POST -d '{"benchmark":"MLP"}' http://127.0.0.1:18935/run >/dev/null 2>&1 & \
+	done; \
+	up=0; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18935/metrics 2>/dev/null | grep -q '^cambricon_pool_scale_up_total [1-9]' && { up=1; break; }; \
+		sleep 0.2; \
+	done; \
+	[ $$up = 1 ] || { echo "smoke-autoscale: pool never scaled up under queue pressure"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18935/alerts 2>/dev/null | grep -q '"alerts"' || { echo "smoke-autoscale: /alerts failed"; exit 1; }; \
+	curl -fsS 'http://127.0.0.1:18935/dash?window=1m' 2>/dev/null | grep -q '<svg' || { echo "smoke-autoscale: /dash failed"; exit 1; }; \
+	curl -fsS 'http://127.0.0.1:18935/vars?window=1m' 2>/dev/null | grep -q '"series"' || { echo "smoke-autoscale: /vars failed"; exit 1; }; \
+	down=0; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:18935/metrics 2>/dev/null | grep -q '^cambricon_pool_scale_down_total [1-9]' && { down=1; break; }; \
+		sleep 0.2; \
+	done; \
+	[ $$down = 1 ] || { echo "smoke-autoscale: pool never scaled down after quiescence"; exit 1; }; \
+	echo "smoke-autoscale: ok"
+	@rm -f /tmp/cambricon-smoke-as-srv
 
 # Host-benchmark regression gate: re-measure the warm-start layer and
 # fail if the host-portable signals (cold/warm ratios, warm-row

@@ -1,0 +1,174 @@
+package main
+
+// The metrics-driven pool autoscaler (docs/OBSERVABILITY.md, "Metrics
+// history, SLOs, and autoscaling"): a tick-based control loop over the
+// tsdb history that pre-builds pooled machines when queue pressure
+// appears — an admitted request then finds a 16 MiB machine waiting
+// instead of paying its construction on the request path — and releases
+// idle machines (and, at the floor, the prepared snapshots) back to the
+// collector once traffic quiesces. Pressure is read from the sampled
+// cambricon_serve_queue_wait_seconds history, activity from the
+// cambricon_bench_runs_started_total rate, so the loop reacts to what
+// the service actually experienced rather than instantaneous gauges.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cambricon/internal/bench"
+	"cambricon/internal/metrics"
+	"cambricon/internal/tsdb"
+)
+
+// Metric names owned by the autoscaler.
+const (
+	metricPoolScaleUp   = "cambricon_pool_scale_up_total"
+	metricPoolScaleDown = "cambricon_pool_scale_down_total"
+	metricPoolTarget    = "cambricon_pool_target_size"
+	metricPoolIdle      = "cambricon_pool_idle_machines"
+)
+
+// autoscaleConfig is the parsed -autoscale spec.
+type autoscaleConfig struct {
+	min, max int           // idle-machine target bounds
+	step     int           // machines added/removed per scaling decision
+	idle     time.Duration // quiet time before scaling down a step
+	window   time.Duration // history window pressure/activity are read over
+}
+
+// parseAutoscale parses a -autoscale spec of comma-separated key=value
+// pairs: min, max, step (machine counts), idle, window (Go durations).
+// Example: `min=0,max=4,step=2,idle=30s,window=10s`. Omitted keys take
+// the defaults min=0 max=4 step=1 idle=1m window=10s.
+func parseAutoscale(spec string) (autoscaleConfig, error) {
+	cfg := autoscaleConfig{min: 0, max: 4, step: 1, idle: time.Minute, window: 10 * time.Second}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad -autoscale fragment %q (want key=value)", part)
+		}
+		switch key {
+		case "min", "max", "step":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad -autoscale %s=%q (want a non-negative integer)", key, val)
+			}
+			switch key {
+			case "min":
+				cfg.min = n
+			case "max":
+				cfg.max = n
+			case "step":
+				cfg.step = n
+			}
+		case "idle", "window":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("bad -autoscale %s=%q (want a positive duration)", key, val)
+			}
+			if key == "idle" {
+				cfg.idle = d
+			} else {
+				cfg.window = d
+			}
+		default:
+			return cfg, fmt.Errorf("unknown -autoscale key %q (want min/max/step/idle/window)", key)
+		}
+	}
+	if cfg.max < cfg.min {
+		return cfg, fmt.Errorf("-autoscale max=%d below min=%d", cfg.max, cfg.min)
+	}
+	if cfg.step <= 0 {
+		cfg.step = 1
+	}
+	return cfg, nil
+}
+
+// autoscaler is the control loop state. tick is only ever called from
+// the single observe goroutine (or a test driving it directly), so the
+// fields need no lock; the suite's pool levers do their own locking.
+type autoscaler struct {
+	cfg   autoscaleConfig
+	suite *bench.Suite
+	store *tsdb.Store
+
+	target       int
+	lastActive   time.Time
+	droppedSnaps bool
+
+	scaleUp   *metrics.Counter
+	scaleDown *metrics.Counter
+	targetG   *metrics.Gauge
+	idleG     *metrics.Gauge
+}
+
+func newAutoscaler(cfg autoscaleConfig, suite *bench.Suite, store *tsdb.Store, reg *metrics.Registry, now time.Time) *autoscaler {
+	a := &autoscaler{
+		cfg:        cfg,
+		suite:      suite,
+		store:      store,
+		target:     cfg.min,
+		lastActive: now,
+		scaleUp:    reg.Counter(metricPoolScaleUp, "autoscaler decisions that raised the pool target"),
+		scaleDown:  reg.Counter(metricPoolScaleDown, "autoscaler decisions that lowered the pool target"),
+		targetG:    reg.Gauge(metricPoolTarget, "idle pooled machines the autoscaler is steering toward"),
+		idleG:      reg.Gauge(metricPoolIdle, "machines sitting idle on the pool free lists"),
+	}
+	a.targetG.Set(int64(cfg.min))
+	return a
+}
+
+// tick makes one scaling decision against the sampled history and
+// applies it to the pool.
+func (a *autoscaler) tick(now time.Time) {
+	// Pressure: requests spent time in the admission queue during the
+	// window. Activity: any runs started (a busy-but-unqueued service
+	// must not be scaled down, even though it needs no growth).
+	queueRate, qok := a.store.CountRate(metricQueueWait, a.cfg.window)
+	pressure := qok && queueRate > 0
+	runRate, rok := a.store.Rate(bench.MetricRunsStarted, a.cfg.window)
+	active := pressure || (rok && runRate > 0)
+	if active {
+		a.lastActive = now
+		a.droppedSnaps = false
+	}
+
+	switch {
+	case pressure && a.target < a.cfg.max:
+		a.target += a.cfg.step
+		if a.target > a.cfg.max {
+			a.target = a.cfg.max
+		}
+		a.scaleUp.Inc()
+	case !active && now.Sub(a.lastActive) >= a.cfg.idle && a.target > a.cfg.min:
+		a.target -= a.cfg.step
+		if a.target < a.cfg.min {
+			a.target = a.cfg.min
+		}
+		a.scaleDown.Inc()
+	}
+	a.targetG.Set(int64(a.target))
+
+	idle := a.suite.PoolIdle()
+	if idle < a.target {
+		// Best-effort: a prewarm failure costs warmth, not correctness —
+		// requests fall back to building machines on the request path.
+		_, _ = a.suite.PoolPrewarm(a.target)
+	} else if idle > a.target && !active {
+		a.suite.PoolShrink(a.target)
+	}
+	a.idleG.Set(int64(a.suite.PoolIdle()))
+
+	// At the floor with a fully quiesced service, hand the prepared
+	// snapshots back too — once per quiet period.
+	if a.target == a.cfg.min && !active && !a.droppedSnaps && now.Sub(a.lastActive) >= a.cfg.idle {
+		a.suite.DropPreparedSnapshots()
+		a.droppedSnaps = true
+	}
+}

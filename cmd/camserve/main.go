@@ -81,6 +81,7 @@ import (
 	"cambricon/internal/reqtrace"
 	"cambricon/internal/sim"
 	"cambricon/internal/trace"
+	"cambricon/internal/tsdb"
 )
 
 // Metric names owned by the HTTP layer (the suite's own instruments are
@@ -92,6 +93,9 @@ const (
 	metricRequests  = "cambricon_serve_requests_total"
 	metricInFlight  = "cambricon_serve_runs_in_flight"
 	metricRunsTotal = "cambricon_serve_ledger_runs_total"
+	// metricInflightRuns (admitted minus completed, the full admitted
+	// window including response encoding) lives in observe.go; it must
+	// read 0 after every drain.
 )
 
 func main() {
@@ -110,6 +114,9 @@ func main() {
 	predecode := flag.Bool("predecode", true, "run through the pre-decoded fused dispatch loop (false = per-step decode)")
 	logFormat := flag.String("log-format", "text", "access-log encoding: text or json")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
+	sampleInterval := flag.Duration("sample-interval", 0, "metrics-history sampling cadence for /vars, /alerts, /dash and -autoscale (0 disables)")
+	sloSpec := flag.String("slo", "", "SLO burn-rate rules, e.g. 'wait=latency:cambricon_serve_queue_wait_seconds:0.0256:0.01'; empty installs the defaults when sampling, 'none' disables (docs/OBSERVABILITY.md)")
+	autoscaleSpec := flag.String("autoscale", "", "pool autoscaler spec, e.g. 'min=0,max=4,step=2,idle=30s,window=10s'; empty disables (requires -sample-interval)")
 	version := flag.Bool("version", false, "print the simulator version and exit")
 	flag.Parse()
 
@@ -139,6 +146,9 @@ func main() {
 		walSync:         *walSync,
 		walSegmentBytes: *walSegBytes,
 		chaosSpec:       *chaosSpec,
+		sampleInterval:  *sampleInterval,
+		sloSpec:         *sloSpec,
+		autoscaleSpec:   *autoscaleSpec,
 	}, logger)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "camserve: %v\n", err)
@@ -152,6 +162,9 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	go srv.warmup()
+	if *sampleInterval > 0 {
+		go srv.observe(ctx)
+	}
 	if *debugAddr != "" {
 		go func() {
 			logger.Info("pprof debug listener", "addr", *debugAddr)
@@ -224,6 +237,16 @@ type serverConfig struct {
 	walSync         bool
 	walSegmentBytes int64
 	chaosSpec       string
+
+	// sampleInterval > 0 turns on the metrics-history sampler (and with
+	// it /vars, /alerts, /dash); sloSpec and autoscaleSpec configure the
+	// burn-rate rules and the pool autoscaler on top of it (observe.go).
+	sampleInterval time.Duration
+	sloSpec        string
+	autoscaleSpec  string
+	// clock overrides time.Now for the sampler, SLO windows and
+	// autoscaler; tests inject a manual clock and drive observeTick.
+	clock func() time.Time
 }
 
 // server wires the benchmark suite, its metrics registry, the durable
@@ -261,6 +284,15 @@ type server struct {
 	// their retries instead of stampeding back in lockstep.
 	retryMu sync.Mutex
 	retry   *rand.Rand
+
+	// Observability loop (observe.go): the metrics-history sampler, the
+	// SLO rules evaluated over it, the pool autoscaler, and the clock
+	// they all share. All nil/zero when -sample-interval is unset.
+	tsdb         *tsdb.Store
+	sloRules     []tsdb.Rule
+	scaler       *autoscaler
+	clock        func() time.Time
+	inflightRuns *metrics.Gauge
 }
 
 func newServer(cfg serverConfig, logger *slog.Logger) (*server, error) {
@@ -309,6 +341,12 @@ func newServer(cfg serverConfig, logger *slog.Logger) (*server, error) {
 		configKey: suite.ConfigKey(),
 		flight:    reqtrace.NewStore[*runDebug](cfg.ledgerSize),
 		retry:     rand.New(rand.NewPCG(cfg.seed, 0x52657472)),
+		clock:     cfg.clock,
+		inflightRuns: reg.Gauge(metricInflightRuns,
+			"POST /run requests admitted and not yet completed (0 after a clean drain)"),
+	}
+	if err := s.setupObservability(reg); err != nil {
+		return nil, err
 	}
 	if ch != nil {
 		logger.Warn("chaos enabled", "spec", cfg.chaosSpec, "seed", ch.Seed())
@@ -369,6 +407,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /vars", s.handleVars)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /dash", s.handleDash)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRunByID)
 	mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
@@ -448,6 +489,12 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "generating benchmark programs", http.StatusServiceUnavailable)
 		return
 	}
+	// A fast-burning SLO degrades readiness: fall out of the load
+	// balancer while error budget is burning at page speed.
+	if burning := s.readyzDegraded(); len(burning) > 0 {
+		http.Error(w, "slo fast-burn: "+strings.Join(burning, ", "), http.StatusServiceUnavailable)
+		return
+	}
 	fmt.Fprintln(w, "ready")
 }
 
@@ -483,9 +530,15 @@ func (s *server) requestTimeout(r *http.Request) time.Duration {
 	return d
 }
 
-// retryAfter returns a jittered Retry-After hint in whole seconds
-// (1..4), drawn from a seeded stream.
+// retryAfter returns the Retry-After hint for a shed request: when the
+// sampler has queue-wait history, the recent p90 (clamped to 1..30s) —
+// clients back off for about as long as the queue actually takes —
+// otherwise a jittered 1..4s from a seeded stream, so shed clients
+// spread their retries instead of stampeding back in lockstep.
 func (s *server) retryAfter() int {
+	if hint, ok := s.pressureRetryAfter(); ok {
+		return hint
+	}
 	s.retryMu.Lock()
 	defer s.retryMu.Unlock()
 	return 1 + s.retry.IntN(4)
@@ -580,6 +633,8 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer s.runWG.Done()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+	s.inflightRuns.Add(1)
+	defer s.inflightRuns.Add(-1)
 
 	row.Status = ledger.StatusRunning
 	s.inflight.Store(row.ID, row)

@@ -210,9 +210,12 @@ func TestRunSaturationReturns503(t *testing.T) {
 	}
 }
 
-// TestRetryAfterJitter: the Retry-After hint on shed load is drawn from
-// a seeded stream over 1..4, not a constant — repeated sheds must see
-// more than one value so clients spread their retries.
+// TestRetryAfterJitter: with no sampler (testServer runs without
+// -sample-interval, so there is no queue-wait history) the Retry-After
+// hint on shed load falls back to a seeded jitter stream over 1..4, not
+// a constant — repeated sheds must see more than one value so clients
+// spread their retries. The pressure-aware path is pinned by
+// TestShedRetryAfterTracksQueueWait in observe_test.go.
 func TestRetryAfterJitter(t *testing.T) {
 	s, ts := testServer(t, 1, 64)
 	s.adm.slots <- struct{}{}
@@ -276,6 +279,9 @@ func TestConcurrentRunsConsistentMetrics(t *testing.T) {
 	}
 	if got := metricValue(t, page, metricInFlight); got != 0 {
 		t.Fatalf("in-flight gauge = %v after the burst, want 0", got)
+	}
+	if got := metricValue(t, page, metricInflightRuns); got != 0 {
+		t.Fatalf("inflight-runs gauge = %v after the burst, want 0 (admitted != completed)", got)
 	}
 	resp, err := http.Get(ts.URL + "/runs")
 	if err != nil {

@@ -17,6 +17,12 @@ import (
 	"cambricon/internal/sim"
 )
 
+// defaultPoolMaxIdle bounds each entry's free list: a release beyond it
+// drops the machine for the garbage collector instead of growing the
+// pool. 64 comfortably covers the campaign worker counts the suite runs
+// at while capping idle retention at 64 machines per configuration.
+const defaultPoolMaxIdle = 64
+
 // machinePool caches sim.Machine instances per architectural
 // configuration (the pool key normalizes the watchdog budget away, see
 // sim.Machine.SetMaxCycles). Machines are handed out bare; callers
@@ -25,7 +31,15 @@ import (
 // the ablation and sweep axes) share machines across entries: a pool
 // miss steals an idle machine from any entry with the same memory
 // geometry and Reconfigures it, reusing its 16 MiB main-memory
-// allocation instead of building a fresh one. The zero value is ready.
+// allocation instead of building a fresh one.
+//
+// Retention is an explicit bounded free list per entry (LIFO, capacity
+// defaultPoolMaxIdle, preallocated so acquire and release never
+// allocate) rather than a sync.Pool: machines survive until shrink —
+// not until the next GC cycle — which makes reuse deterministic
+// (testable under -race without GC pinning) and gives the autoscaler
+// real Grow/Shrink levers (prewarm, shrink, idle). The zero value is
+// ready.
 type machinePool struct {
 	mu        sync.Mutex
 	entries   map[sim.Config]*poolEntry
@@ -33,16 +47,32 @@ type machinePool struct {
 	builds    atomic.Int64
 	reuses    atomic.Int64
 	memShared atomic.Int64
+	drops     atomic.Int64
 }
 
 type poolEntry struct {
-	pool sync.Pool
+	// free is the bounded LIFO free list, guarded by machinePool.mu. Its
+	// capacity is fixed at construction; append never reallocates.
+	free []*sim.Machine
 	// pristine is the post-construction zero state of this configuration,
 	// synthesized from the configuration alone (sim.PristineSnapshot):
 	// handcrafted kernels (ablations, sweeps) restore to it so a recycled
 	// — or cross-configuration stolen — machine is indistinguishable from
 	// a fresh one.
 	pristine *sim.Snapshot
+}
+
+// pop removes and returns the most recently released idle machine, nil
+// when the free list is empty. Caller holds machinePool.mu.
+func (e *poolEntry) pop() *sim.Machine {
+	n := len(e.free)
+	if n == 0 {
+		return nil
+	}
+	m := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
+	return m
 }
 
 // poolKey normalizes a configuration to its architectural identity.
@@ -82,31 +112,15 @@ func (p *machinePool) entry(cfg sim.Config) (*poolEntry, error) {
 		if err != nil {
 			return nil, err
 		}
-		e = &poolEntry{pristine: pristine}
+		e = &poolEntry{
+			free:     make([]*sim.Machine, 0, defaultPoolMaxIdle),
+			pristine: pristine,
+		}
 		p.entries[key] = e
 		mk := memKeyOf(key)
 		p.byMem[mk] = append(p.byMem[mk], e)
 	}
 	return e, nil
-}
-
-// stealMem pulls an idle machine from any sibling entry sharing cfg's
-// memory geometry (never cfg's own entry — the caller already missed
-// there).
-func (p *machinePool) stealMem(cfg sim.Config, own *poolEntry) *sim.Machine {
-	mk := memKeyOf(cfg)
-	p.mu.Lock()
-	siblings := p.byMem[mk]
-	p.mu.Unlock()
-	for _, e := range siblings {
-		if e == own {
-			continue
-		}
-		if m, ok := e.pool.Get().(*sim.Machine); ok && m != nil {
-			return m
-		}
-	}
-	return nil
 }
 
 // acquire returns a machine for cfg with its watchdog budget set to
@@ -121,16 +135,30 @@ func (p *machinePool) acquire(cfg sim.Config) (m *sim.Machine, reused, shared bo
 	if err != nil {
 		return nil, false, false, err
 	}
-	if m, ok := e.pool.Get().(*sim.Machine); ok && m != nil {
+	p.mu.Lock()
+	if m := e.pop(); m != nil {
+		p.mu.Unlock()
 		p.reuses.Add(1)
 		m.SetMaxCycles(cfg.MaxCycles)
 		return m, true, false, nil
 	}
-	if m := p.stealMem(cfg, e); m != nil {
-		if err := m.Reconfigure(cfg); err == nil {
+	// Own entry is empty: steal from any sibling sharing cfg's memory
+	// geometry under the same critical section.
+	var stolen *sim.Machine
+	for _, sib := range p.byMem[memKeyOf(cfg)] {
+		if sib == e {
+			continue
+		}
+		if stolen = sib.pop(); stolen != nil {
+			break
+		}
+	}
+	p.mu.Unlock()
+	if stolen != nil {
+		if err := stolen.Reconfigure(cfg); err == nil {
 			p.reuses.Add(1)
 			p.memShared.Add(1)
-			return m, true, true, nil
+			return stolen, true, true, nil
 		}
 		// A same-memKey reconfigure can only fail on an invalid cfg,
 		// which sim.New below will report; drop the stolen machine.
@@ -141,6 +169,76 @@ func (p *machinePool) acquire(cfg sim.Config) (m *sim.Machine, reused, shared bo
 	}
 	p.builds.Add(1)
 	return m, false, false, nil
+}
+
+// idle reports the total number of machines sitting on free lists.
+func (p *machinePool) idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		n += len(e.free)
+	}
+	return n
+}
+
+// prewarm builds machines for cfg until its entry holds target idle
+// ones (bounded by the free-list capacity), returning how many it
+// built. The machines are bare, exactly as acquire would hand them out.
+func (p *machinePool) prewarm(cfg sim.Config, target int) (built int, err error) {
+	key := poolKey(cfg)
+	e, err := p.entry(key)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.mu.Lock()
+		need := target - len(e.free)
+		if need > cap(e.free)-len(e.free) {
+			need = cap(e.free) - len(e.free)
+		}
+		p.mu.Unlock()
+		if need <= 0 {
+			return built, nil
+		}
+		m, err := sim.New(key)
+		if err != nil {
+			return built, err
+		}
+		p.builds.Add(1)
+		p.mu.Lock()
+		if len(e.free) < cap(e.free) {
+			e.free = append(e.free, m)
+		}
+		p.mu.Unlock()
+		built++
+	}
+}
+
+// shrink drops idle machines until at most keep remain pool-wide,
+// releasing the excess to the garbage collector (largest free lists
+// first), and returns how many it dropped. In-use machines are
+// untouched — they rejoin or overflow the bound on release as usual.
+func (p *machinePool) shrink(keep int) (dropped int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		total := 0
+		var victim *poolEntry
+		for _, e := range p.entries {
+			total += len(e.free)
+			if victim == nil || len(e.free) > len(victim.free) {
+				victim = e
+			}
+		}
+		if total <= keep || victim == nil || len(victim.free) == 0 {
+			return dropped
+		}
+		victim.free[len(victim.free)-1] = nil
+		victim.free = victim.free[:len(victim.free)-1]
+		dropped++
+		p.drops.Add(1)
+	}
 }
 
 // acquirePristine is acquire plus a restore to the configuration's
@@ -161,7 +259,11 @@ func (p *machinePool) acquirePristine(cfg sim.Config) (*sim.Machine, bool, bool,
 	return m, reused, shared, nil
 }
 
-// release detaches the machine's observers and returns it to the pool.
+// release detaches the machine's observers and returns it to its
+// entry's free list; a full list (or an entry the pool never built,
+// which cannot happen through acquire) drops the machine instead. The
+// free list is preallocated, so the append never allocates and the warm
+// request path stays 0-alloc.
 func (p *machinePool) release(m *sim.Machine) {
 	m.SetTracer(nil)
 	m.SetInjector(nil)
@@ -170,16 +272,22 @@ func (p *machinePool) release(m *sim.Machine) {
 	key := poolKey(m.Config())
 	p.mu.Lock()
 	e := p.entries[key]
-	p.mu.Unlock()
-	if e != nil {
-		e.pool.Put(m)
+	if e != nil && len(e.free) < cap(e.free) {
+		e.free = append(e.free, m)
+		p.mu.Unlock()
+		return
 	}
+	p.mu.Unlock()
+	p.drops.Add(1)
 }
 
 // preparedEntry is the singleflight cell for one benchmark's post-Init
-// snapshot.
+// snapshot. done flips (atomically, after snap/err are written) when the
+// build finishes, so DropPreparedSnapshots can tell a completed entry
+// from one an in-flight builder still owns.
 type preparedEntry struct {
 	once sync.Once
+	done atomic.Bool
 	snap *sim.Snapshot
 	err  error
 }
@@ -264,6 +372,7 @@ func (s *Suite) preparedSnapshot(ctx context.Context, prog *codegen.Program, cfg
 	}
 	s.prepMu.Unlock()
 	pe.once.Do(func() {
+		defer pe.done.Store(true)
 		rec := reqtrace.From(ctx)
 		sp := rec.Start(reqtrace.Root, "snapshot.prepare")
 		defer rec.End(sp)
@@ -435,4 +544,64 @@ func (s *Suite) PoolStats() (builds, reuses int64) {
 // allocation the sweep did not have to make.
 func (s *Suite) PoolMemShared() int64 {
 	return s.pool.memShared.Load()
+}
+
+// serveConfig is the configuration run-path machines use: the suite's
+// architectural config with the run seed derived from the suite seed
+// (the same derivation runBenchmark performs), so prewarm targets the
+// exact pool entry the serving path draws from.
+func (s *Suite) serveConfig() sim.Config {
+	cfg := s.Config
+	cfg.Seed = s.Seed ^ 0xcafe
+	return cfg
+}
+
+// PoolIdle reports how many machines sit idle on the pool's free lists.
+func (s *Suite) PoolIdle() int {
+	return s.pool.idle()
+}
+
+// PoolDrops reports how many released machines overflowed the bounded
+// free list (or were dropped by shrink) and went to the collector.
+func (s *Suite) PoolDrops() int64 {
+	return s.pool.drops.Load()
+}
+
+// PoolPrewarm grows the run-path pool entry to n idle machines, building
+// the shortfall up front so admitted requests find a machine waiting
+// instead of paying a 16 MiB construction on the request path. Returns
+// how many machines were built.
+func (s *Suite) PoolPrewarm(n int) (int, error) {
+	return s.pool.prewarm(s.serveConfig(), n)
+}
+
+// PoolShrink drops idle pooled machines until at most keep remain,
+// returning how many were released to the collector. In-flight machines
+// are untouched.
+func (s *Suite) PoolShrink(keep int) int {
+	return s.pool.shrink(keep)
+}
+
+// DropPreparedSnapshots releases every completed per-benchmark prepared
+// snapshot (and cached build error), returning how many snapshots were
+// dropped. The next run of each benchmark pays one snapshot.prepare
+// again — the trade a quiesced service makes to hand resident image
+// memory back. Entries whose singleflight build is still in flight are
+// left alone.
+func (s *Suite) DropPreparedSnapshots() int {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	sm := s.sm()
+	dropped := 0
+	for name, pe := range s.prepared {
+		if !pe.done.Load() {
+			continue
+		}
+		delete(s.prepared, name)
+		if pe.snap != nil {
+			sm.snapshotDropped(pe.snap)
+			dropped++
+		}
+	}
+	return dropped
 }

@@ -95,11 +95,9 @@ func TestRunOnceSpanTimeline(t *testing.T) {
 // lookup with its span hooks, the snapshot restore, and a full decoded
 // run — performs zero heap allocations when the context carries no
 // recorder, exactly like the tracer/injector/metrics nil contracts.
-// (A fixed machine stands in for the pool: under the race detector
-// sync.Pool drops entries at random, so the pool itself cannot be in a
-// 0-alloc loop; preparedMachine's own hooks are the same nil-recorder
-// Start/Annotate/End calls exercised here and pinned alloc-free by
-// reqtrace's TestNilRecorderIsFree.)
+// (This variant holds one fixed machine; TestWarmPooledRequestPathAllocationFree
+// below runs the same loop through acquire/release now that the pool's
+// bounded free list is deterministic.)
 func TestWarmRequestPathNoRecorderAllocationFree(t *testing.T) {
 	s := NewSuite(7)
 	prog, err := s.Program(dispatchBenchmark)
@@ -133,5 +131,55 @@ func TestWarmRequestPathNoRecorderAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm request path allocates %v times per run without a recorder, want 0", allocs)
+	}
+}
+
+// TestWarmPooledRequestPathAllocationFree pins the full serving loop —
+// pool acquire, snapshot restore, decoded run, pool release — at zero
+// heap allocations per request. The explicit bounded free list makes
+// this testable: the machine released at the end of one iteration is
+// deterministically the machine acquired at the start of the next
+// (sync.Pool, which the free list replaced, shed entries at random and
+// could not be pinned this way). Bit-identical stats across iterations
+// ride along for free.
+func TestWarmPooledRequestPathAllocationFree(t *testing.T) {
+	s := NewSuite(7)
+	prog, err := s.Program(dispatchBenchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Prime the caches and the pool outside the measured loop: snapshot,
+	// decoded program, and one pooled machine.
+	m, pooled, err := s.preparedMachine(ctx, prog, s.serveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.releaseMachine(m, pooled)
+
+	cfg := s.serveConfig()
+	allocs := testing.AllocsPerRun(10, func() {
+		m, pooled, err := s.preparedMachine(ctx, prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		s.releaseMachine(m, pooled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != want {
+			t.Fatalf("pooled rerun stats diverge:\n got  %+v\n want %+v", st, want)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled request path allocates %v times per run, want 0", allocs)
+	}
+	if builds, _ := s.PoolStats(); builds != 1 {
+		t.Fatalf("pool built %d machines across the loop, want 1", builds)
 	}
 }

@@ -192,8 +192,7 @@ func (s *Suite) runBenchmark(ctx context.Context, name string) (st sim.Stats, er
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	cfg := s.Config
-	cfg.Seed = s.Seed ^ 0xcafe
+	cfg := s.serveConfig()
 	m, pooled, err := s.preparedMachine(ctx, p, cfg)
 	if err != nil {
 		return sim.Stats{}, err
@@ -256,8 +255,7 @@ func (s *Suite) Profile(name string) (*trace.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := s.Config
-	cfg.Seed = s.Seed ^ 0xcafe
+	cfg := s.serveConfig()
 	m, pooled, err := s.preparedMachine(context.Background(), p, cfg)
 	if err != nil {
 		return nil, err

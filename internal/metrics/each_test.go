@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEachVisitsSortedState pins the visitor contract Each shares with
+// the Prometheus encoder: series arrive in (family name, label key)
+// order carrying the same values a scrape would serialize.
+func TestEachVisitsSortedState(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "b", L("x", "2")).Add(5)
+	r.Counter("b_total", "b", L("x", "1")).Add(3)
+	r.Gauge("a_gauge", "a").Set(-7)
+	h := r.Histogram("c_seconds", "c", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(100)
+
+	type got struct {
+		name, labels string
+		kind         Kind
+		value        float64
+		count        uint64
+		sum          float64
+		buckets      []uint64
+	}
+	var visits []got
+	r.Each(func(s *Sample) {
+		g := got{name: s.Name, labels: s.Labels, kind: s.Kind, value: s.Value, count: s.Count, sum: s.Sum}
+		g.buckets = append(g.buckets, s.BucketCounts...) // must copy: reused buffer
+		visits = append(visits, g)
+	})
+	if len(visits) != 4 {
+		t.Fatalf("Each visited %d series, want 4: %+v", len(visits), visits)
+	}
+	order := []string{"a_gauge", "b_total", "b_total", "c_seconds"}
+	for i, want := range order {
+		if visits[i].name != want {
+			t.Fatalf("visit %d = %q, want %q (sorted family order)", i, visits[i].name, want)
+		}
+	}
+	if visits[1].labels != `x="1"` || visits[1].value != 3 || visits[2].labels != `x="2"` || visits[2].value != 5 {
+		t.Fatalf("labelled counters out of order or wrong: %+v", visits[1:3])
+	}
+	if visits[0].value != -7 {
+		t.Fatalf("gauge value = %v, want -7", visits[0].value)
+	}
+	hv := visits[3]
+	if hv.count != 3 || hv.sum != 102.5 {
+		t.Fatalf("histogram totals count=%d sum=%v, want 3 and 102.5", hv.count, hv.sum)
+	}
+	if len(hv.buckets) != 3 || hv.buckets[0] != 1 || hv.buckets[1] != 1 || hv.buckets[2] != 1 {
+		t.Fatalf("per-bucket counts = %v, want [1 1 1] (non-cumulative)", hv.buckets)
+	}
+	// Nil registry: no visits, no panic.
+	var nilReg *Registry
+	nilReg.Each(func(*Sample) { t.Fatal("nil registry visited a series") })
+}
+
+// TestLabelValueEscaping pins the exposition-format escaping of label
+// values character by character: backslash, newline and double quote
+// must come out as \\, \n and \" (and nothing else may be touched).
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`dou"ble`, `dou\"ble`},
+		{"all\\three\"here\n", `all\\three\"here\n`},
+		{"tab\tand ünïcode stay", "tab\tand ünïcode stay"},
+	}
+	for _, c := range cases {
+		r := New()
+		r.Counter("esc_total", "h", L("v", c.in)).Inc()
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		wantLine := `esc_total{v="` + c.want + `"} 1`
+		if !strings.Contains(buf.String(), wantLine+"\n") {
+			t.Fatalf("escaping %q: page lacks %q:\n%s", c.in, wantLine, buf.String())
+		}
+		// The escaped key must round-trip identically through Each.
+		r.Each(func(s *Sample) {
+			if s.Labels != `v="`+c.want+`"` {
+				t.Fatalf("Each label key = %q, want %q", s.Labels, `v="`+c.want+`"`)
+			}
+		})
+	}
+}
+
+// TestHelpEscaping pins HELP-comment escaping: backslash and newline are
+// escaped, double quotes pass through verbatim (per the format spec).
+func TestHelpEscaping(t *testing.T) {
+	r := New()
+	r.Counter("help_total", "line\nbreak \\ and \"quotes\"").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP help_total line\nbreak \\ and "quotes"`
+	if !strings.Contains(buf.String(), want+"\n") {
+		t.Fatalf("help escaping: page lacks %q:\n%s", want, buf.String())
+	}
+}
+
+// TestExpBucketsEdgeCases pins every degenerate input to nil (callers
+// registering with nil buckets get the bare +Inf histogram) and the
+// well-formed shape to exact powers.
+func TestExpBucketsEdgeCases(t *testing.T) {
+	for _, c := range []struct {
+		name          string
+		start, factor float64
+		n             int
+	}{
+		{"n=0", 1, 2, 0},
+		{"n<0", 1, 2, -3},
+		{"factor=1", 1, 1, 4},
+		{"factor<1", 1, 0.5, 4},
+		{"start=0", 0, 2, 4},
+		{"start<0", -1, 2, 4},
+	} {
+		if got := ExpBuckets(c.start, c.factor, c.n); got != nil {
+			t.Fatalf("ExpBuckets(%s) = %v, want nil", c.name, got)
+		}
+	}
+	got := ExpBuckets(0.25, 2, 5)
+	want := []float64{0.25, 0.5, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A degenerate-bucket histogram still observes into +Inf and totals.
+	r := New()
+	h := r.Histogram("degen_seconds", "", ExpBuckets(1, 1, 0))
+	h.Observe(3)
+	if h.Count() != 1 || h.Sum() != 3 {
+		t.Fatalf("bare +Inf histogram count=%d sum=%v, want 1 and 3", h.Count(), h.Sum())
+	}
+	r.Each(func(s *Sample) {
+		if len(s.Bounds) != 0 || len(s.BucketCounts) != 1 || s.BucketCounts[0] != 1 {
+			t.Fatalf("bare histogram sample %+v, want only the +Inf bucket", s)
+		}
+	})
+	// Non-finite bounds are dropped at registration, not at observe time.
+	h2 := New().Histogram("inf_seconds", "", []float64{1, math.Inf(1), math.NaN(), 2})
+	h2.Observe(1.5)
+	if h2.Count() != 1 {
+		t.Fatalf("histogram with non-finite bounds lost an observation")
+	}
+}

@@ -16,28 +16,49 @@ import (
 )
 
 // WritePrometheus encodes the registry's current state in Prometheus
-// text format v0.0.4. A nil registry writes nothing.
+// text format v0.0.4. A nil registry writes nothing. It walks the same
+// sorted family/series snapshot Registry.Each visits, so the exposition
+// and the tsdb sampler observe series in the same deterministic order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-
 	var buf []byte
-	for _, f := range fams {
-		buf = f.append(buf)
+	for _, fv := range r.snapshot() {
+		buf = fv.f.append(buf, fv.series)
 	}
 	_, err := w.Write(buf)
 	return err
 }
 
-func (f *family) append(buf []byte) []byte {
+// famView is one family plus its series, both in deterministic order.
+type famView struct {
+	f      *family
+	series []*series
+}
+
+// snapshot captures the registry's family and series sets — sorted by
+// name, then label key — under the registry lock. It is the shared
+// iteration base of WritePrometheus and Each: both walk series in the
+// same deterministic order. The pointers stay live (series hold
+// atomics); only the set membership is snapshotted.
+func (r *Registry) snapshot() []famView {
+	r.mu.Lock()
+	fams := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
+		fams = append(fams, famView{f: f, series: ss})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].f.name < fams[j].f.name })
+	return fams
+}
+
+func (f *family) append(buf []byte, series []*series) []byte {
 	buf = append(buf, "# HELP "...)
 	buf = append(buf, f.name...)
 	buf = append(buf, ' ')
@@ -48,12 +69,7 @@ func (f *family) append(buf []byte) []byte {
 	buf = append(buf, f.kind.String()...)
 	buf = append(buf, '\n')
 
-	ss := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
-		ss = append(ss, s)
-	}
-	sort.Slice(ss, func(i, j int) bool { return ss[i].key < ss[j].key })
-	for _, s := range ss {
+	for _, s := range series {
 		switch f.kind {
 		case KindCounter:
 			buf = appendSample(buf, f.name, "", s.key, "", float64(s.c.Value()), true)

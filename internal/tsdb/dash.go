@@ -1,0 +1,171 @@
+package tsdb
+
+// GET /dash: a server-rendered, zero-JavaScript HTML dashboard. One row
+// per series with an inline SVG sparkline over the window, plus the SLO
+// alert table when rules are installed. Rendering is pure string
+// building over the sorted series walk with fixed-precision formatting,
+// so for a given store state and injected clock the page is
+// byte-deterministic (golden-tested).
+
+import (
+	"html"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sparkline geometry (SVG user units).
+const (
+	sparkW   = 240
+	sparkH   = 32
+	sparkPad = 2
+)
+
+// WriteDash renders the dashboard for the window. alerts may be nil
+// (the alert table is omitted).
+func (s *Store) WriteDash(w io.Writer, window time.Duration, alerts []Alert) error {
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<title>cambricon dash</title>\n<style>\n")
+	b.WriteString(dashCSS)
+	b.WriteString("</style></head><body>\n<h1>cambricon metrics</h1>\n")
+
+	if s == nil {
+		b.WriteString("<p class=\"empty\">sampler disabled</p>\n</body></html>\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	b.WriteString("<p class=\"meta\">window ")
+	b.WriteString(window.String())
+	b.WriteString(" · interval ")
+	b.WriteString(s.Interval().String())
+	b.WriteString(" · passes ")
+	b.WriteString(strconv.FormatUint(s.Passes(), 10))
+	b.WriteString(" · rendered ")
+	b.WriteString(s.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString("</p>\n")
+
+	if alerts != nil {
+		b.WriteString("<h2>slo</h2>\n<table>\n<tr><th>rule</th><th>state</th><th>fast burn</th><th>slow burn</th><th>budget</th></tr>\n")
+		for _, a := range alerts {
+			b.WriteString("<tr class=\"slo-")
+			b.WriteString(a.State)
+			b.WriteString("\"><td>")
+			b.WriteString(html.EscapeString(a.Name))
+			b.WriteString("</td><td>")
+			b.WriteString(a.State)
+			b.WriteString("</td><td>")
+			b.WriteString(formatVal(a.FastBurn))
+			b.WriteString("</td><td>")
+			b.WriteString(formatVal(a.SlowBurn))
+			b.WriteString("</td><td>")
+			b.WriteString(formatVal(a.Budget))
+			b.WriteString("</td></tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+
+	b.WriteString("<h2>series</h2>\n<table>\n<tr><th>series</th><th>kind</th><th>last</th><th>history</th></tr>\n")
+	rows := 0
+	s.EachSeries(window, func(meta SeriesMeta, pts []Point) {
+		rows++
+		b.WriteString("<tr><td class=\"name\">")
+		b.WriteString(html.EscapeString(meta.Name))
+		if meta.Labels != "" {
+			b.WriteString("<span class=\"labels\">{")
+			b.WriteString(html.EscapeString(meta.Labels))
+			b.WriteString("}</span>")
+		}
+		b.WriteString("</td><td>")
+		b.WriteString(meta.Kind)
+		b.WriteString("</td><td class=\"num\">")
+		if len(pts) > 0 {
+			b.WriteString(formatVal(pts[len(pts)-1].V))
+		} else {
+			b.WriteString("·")
+		}
+		b.WriteString("</td><td>")
+		appendSparkline(&b, pts)
+		b.WriteString("</td></tr>\n")
+	})
+	b.WriteString("</table>\n<p class=\"meta\">")
+	b.WriteString(strconv.Itoa(rows))
+	b.WriteString(" series</p>\n</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// appendSparkline renders one series' points as an inline SVG polyline,
+// x spread evenly across the width, y scaled to the point range.
+func appendSparkline(b *strings.Builder, pts []Point) {
+	if len(pts) == 0 {
+		b.WriteString("<span class=\"empty\">no points</span>")
+		return
+	}
+	min, max := pts[0].V, pts[0].V
+	for _, p := range pts[1:] {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+	}
+	span := max - min
+	b.WriteString(`<svg class="spark" width="`)
+	b.WriteString(strconv.Itoa(sparkW))
+	b.WriteString(`" height="`)
+	b.WriteString(strconv.Itoa(sparkH))
+	b.WriteString(`" viewBox="0 0 `)
+	b.WriteString(strconv.Itoa(sparkW))
+	b.WriteString(" ")
+	b.WriteString(strconv.Itoa(sparkH))
+	b.WriteString(`"><polyline fill="none" stroke="currentColor" stroke-width="1" points="`)
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		x := float64(sparkPad)
+		if len(pts) > 1 {
+			x += float64(i) / float64(len(pts)-1) * float64(sparkW-2*sparkPad)
+		}
+		y := float64(sparkH / 2)
+		if span > 0 {
+			y = float64(sparkH-sparkPad) - (p.V-min)/span*float64(sparkH-2*sparkPad)
+		}
+		b.WriteString(formatCoord(x))
+		b.WriteString(",")
+		b.WriteString(formatCoord(y))
+	}
+	b.WriteString(`"/></svg>`)
+}
+
+// formatCoord renders an SVG coordinate with fixed single-decimal
+// precision — fixed precision keeps the page byte-stable across
+// platforms regardless of shortest-float rendering quirks.
+func formatCoord(v float64) string {
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// formatVal renders a sample value: integers exactly, fractions with up
+// to six significant digits.
+func formatVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+const dashCSS = `body{font:14px/1.4 system-ui,sans-serif;margin:1.5rem;color:#1a1a2e}
+h1{font-size:1.2rem}h2{font-size:1rem;margin-top:1.2rem}
+table{border-collapse:collapse}td,th{padding:.2rem .6rem;border-bottom:1px solid #ddd;text-align:left}
+td.num{text-align:right;font-variant-numeric:tabular-nums}
+td.name{font-family:ui-monospace,monospace;font-size:12px}
+.labels{color:#777}
+.meta,.empty{color:#777;font-size:12px}
+svg.spark{color:#2b6cb0;display:block}
+tr.slo-fast-burn td{background:#ffe5e5}
+tr.slo-slow-burn td{background:#fff4e0}
+`

@@ -1,0 +1,351 @@
+package tsdb
+
+// Declarative SLO engine: multi-window burn-rate rules (the Google SRE
+// workbook shape) evaluated against the sampled history. A rule states a
+// bad-event fraction budget; the burn rate is how many times faster than
+// budget the service is consuming error budget over a window. Firing
+// fast-burn requires BOTH the fast and slow windows to burn hot, which
+// keeps a short blip from paging while still catching a hard outage in
+// the fast window's span.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RuleKind selects how a rule turns samples into a bad fraction.
+type RuleKind string
+
+const (
+	// KindLatency reads one histogram family: bad = observations above
+	// Threshold (snapped to a bucket bound), total = all observations.
+	KindLatency RuleKind = "latency"
+	// KindRatio reads two counter families: bad = delta of Metric,
+	// total = delta of Total.
+	KindRatio RuleKind = "ratio"
+)
+
+// Default burn-rate thresholds: 14.4× burns a 30-day budget in ~2 days,
+// 6× in 5 days — the canonical page/ticket split.
+const (
+	DefaultFastBurn = 14.4
+	DefaultSlowBurn = 6.0
+)
+
+// Default evaluation windows.
+const (
+	DefaultFastWindow = 5 * time.Minute
+	DefaultSlowWindow = 1 * time.Hour
+)
+
+// Rule is one SLO burn-rate rule.
+type Rule struct {
+	Name      string
+	Kind      RuleKind
+	Metric    string  // latency: histogram family; ratio: bad-counter family
+	Total     string  // ratio only: total-counter family
+	Threshold float64 // latency only: seconds, snapped to a bucket bound
+	Budget    float64 // allowed bad fraction, e.g. 0.01 for a 99% SLO
+
+	Fast, Slow         time.Duration // evaluation windows
+	FastBurn, SlowBurn float64       // burn-rate thresholds
+}
+
+// Alert is one rule's evaluation result.
+type Alert struct {
+	Name      string  `json:"name"`
+	State     string  `json:"state"` // ok | slow-burn | fast-burn | no-data
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	Budget    float64 `json:"budget"`
+	FastBad   float64 `json:"fast_bad"`
+	FastTotal float64 `json:"fast_total"`
+	SlowBad   float64 `json:"slow_bad"`
+	SlowTotal float64 `json:"slow_total"`
+}
+
+// Alert states.
+const (
+	StateOK       = "ok"
+	StateSlowBurn = "slow-burn"
+	StateFastBurn = "fast-burn"
+	StateNoData   = "no-data"
+)
+
+// normalize fills a rule's zero-valued knobs with the defaults.
+func (r Rule) normalize() Rule {
+	if r.Fast <= 0 {
+		r.Fast = DefaultFastWindow
+	}
+	if r.Slow <= 0 {
+		r.Slow = DefaultSlowWindow
+	}
+	if r.FastBurn <= 0 {
+		r.FastBurn = DefaultFastBurn
+	}
+	if r.SlowBurn <= 0 {
+		r.SlowBurn = DefaultSlowBurn
+	}
+	return r
+}
+
+// badFraction evaluates the rule's bad/total counts over one window.
+func (r Rule) badFraction(s *Store, window time.Duration) (bad, total float64, ok bool) {
+	switch r.Kind {
+	case KindLatency:
+		return s.BadFraction(r.Metric, r.Threshold, window)
+	case KindRatio:
+		t, tok := s.SumDelta(r.Total, window)
+		if !tok || t <= 0 {
+			return 0, 0, false
+		}
+		b, _ := s.SumDelta(r.Metric, window)
+		if b < 0 {
+			b = 0
+		}
+		return b, t, true
+	}
+	return 0, 0, false
+}
+
+// Eval evaluates every rule against the store's current history and
+// returns one Alert per rule in rule order.
+func Eval(s *Store, rules []Rule) []Alert {
+	alerts := make([]Alert, 0, len(rules))
+	for _, raw := range rules {
+		r := raw.normalize()
+		a := Alert{Name: r.Name, Budget: r.Budget, State: StateNoData}
+		fb, ft, fok := r.badFraction(s, r.Fast)
+		sb, st, sok := r.badFraction(s, r.Slow)
+		if fok && ft > 0 {
+			a.FastBad, a.FastTotal = fb, ft
+			a.FastBurn = (fb / ft) / r.Budget
+		}
+		if sok && st > 0 {
+			a.SlowBad, a.SlowTotal = sb, st
+			a.SlowBurn = (sb / st) / r.Budget
+		}
+		switch {
+		case !fok && !sok:
+			// no data at all: leave StateNoData
+		case fok && sok && a.FastBurn >= r.FastBurn && a.SlowBurn >= r.FastBurn:
+			a.State = StateFastBurn
+		case sok && a.SlowBurn >= r.SlowBurn:
+			a.State = StateSlowBurn
+		default:
+			a.State = StateOK
+		}
+		alerts = append(alerts, a)
+	}
+	return alerts
+}
+
+// FastBurning returns the sorted names of rules currently in fast-burn,
+// the set /readyz degrades on.
+func FastBurning(alerts []Alert) []string {
+	var names []string
+	for _, a := range alerts {
+		if a.State == StateFastBurn {
+			names = append(names, a.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultRules are the rules camserve installs when sampling is enabled
+// and no -slo spec overrides them: a p-latency SLO on queue wait (99% of
+// admissions wait under ~26ms — the 100µs×4^k bucket bound closest to
+// 25ms) and an availability SLO on sheds vs. requests (99.9%).
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:      "queue-wait-fast",
+			Kind:      KindLatency,
+			Metric:    "cambricon_serve_queue_wait_seconds",
+			Threshold: 0.0256,
+			Budget:    0.01,
+		},
+		{
+			Name:   "shed-ratio",
+			Kind:   KindRatio,
+			Metric: "cambricon_serve_sheds_total",
+			Total:  "cambricon_serve_requests_total",
+			Budget: 0.001,
+		},
+	}
+}
+
+// ParseRules parses a comma-separated -slo spec. Each rule is
+//
+//	name=latency:METRIC:THRESHOLD:BUDGET[@FAST,SLOW][!FASTBURN[,SLOWBURN]]
+//	name=ratio:BAD/TOTAL:BUDGET[@FAST,SLOW][!FASTBURN[,SLOWBURN]]
+//
+// e.g. `wait=latency:cambricon_serve_queue_wait_seconds:0.0256:0.01@30s,5m!10`.
+// Durations use Go syntax. Omitted windows and burn thresholds take the
+// defaults. The literal spec "none" yields no rules.
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		// Windows contain commas (`@30s,5m`), so re-join split fragments
+		// that don't start a new `name=` rule.
+		if i := len(rules) - 1; i >= 0 && !strings.Contains(part, "=") {
+			r, err := amendRule(rules[i], part)
+			if err != nil {
+				return nil, err
+			}
+			rules[i] = r
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// parseRule parses one `name=kind:...` fragment (possibly missing its
+// trailing window/burn pieces, which arrive via amendRule).
+func parseRule(part string) (Rule, error) {
+	name, rest, found := strings.Cut(strings.TrimSpace(part), "=")
+	if !found || name == "" {
+		return Rule{}, fmt.Errorf("tsdb: slo rule %q: want name=kind:...", part)
+	}
+	r := Rule{Name: name}
+
+	// Peel optional suffixes right to left: !burns, then @windows.
+	if body, burns, ok := cutLast(rest, "!"); ok {
+		if err := parseBurns(&r, burns); err != nil {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: %w", name, err)
+		}
+		rest = body
+	}
+	if body, windows, ok := cutLast(rest, "@"); ok {
+		if err := parseWindows(&r, windows); err != nil {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: %w", name, err)
+		}
+		rest = body
+	}
+
+	fields := strings.Split(rest, ":")
+	switch fields[0] {
+	case string(KindLatency):
+		if len(fields) != 4 {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: want latency:METRIC:THRESHOLD:BUDGET", name)
+		}
+		r.Kind = KindLatency
+		r.Metric = fields[1]
+		var err error
+		if r.Threshold, err = strconv.ParseFloat(fields[2], 64); err != nil || r.Threshold <= 0 {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: bad threshold %q", name, fields[2])
+		}
+		if r.Budget, err = strconv.ParseFloat(fields[3], 64); err != nil || r.Budget <= 0 || r.Budget >= 1 {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: bad budget %q", name, fields[3])
+		}
+	case string(KindRatio):
+		if len(fields) != 3 {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: want ratio:BAD/TOTAL:BUDGET", name)
+		}
+		bad, total, ok := strings.Cut(fields[1], "/")
+		if !ok || bad == "" || total == "" {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: want BAD/TOTAL metrics", name)
+		}
+		r.Kind = KindRatio
+		r.Metric, r.Total = bad, total
+		var err error
+		if r.Budget, err = strconv.ParseFloat(fields[2], 64); err != nil || r.Budget <= 0 || r.Budget >= 1 {
+			return Rule{}, fmt.Errorf("tsdb: slo rule %q: bad budget %q", name, fields[2])
+		}
+	default:
+		return Rule{}, fmt.Errorf("tsdb: slo rule %q: unknown kind %q", name, fields[0])
+	}
+	return r, nil
+}
+
+// amendRule folds a comma-continuation fragment (the second half of a
+// window or burn pair) into the preceding rule.
+func amendRule(r Rule, part string) (Rule, error) {
+	part = strings.TrimSpace(part)
+	// `@30s,5m`: the fragment after the comma is the slow window.
+	if r.Fast > 0 && r.Slow == 0 && !strings.Contains(part, "!") {
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return r, fmt.Errorf("tsdb: slo rule %q: bad slow window %q", r.Name, part)
+		}
+		r.Slow = d
+		return r, nil
+	}
+	// `@30s,5m!10` continuation carrying both the slow window and burns.
+	if r.Fast > 0 && r.Slow == 0 {
+		win, burns, _ := strings.Cut(part, "!")
+		d, err := time.ParseDuration(win)
+		if err != nil {
+			return r, fmt.Errorf("tsdb: slo rule %q: bad slow window %q", r.Name, win)
+		}
+		r.Slow = d
+		if err := parseBurns(&r, burns); err != nil {
+			return r, fmt.Errorf("tsdb: slo rule %q: %w", r.Name, err)
+		}
+		return r, nil
+	}
+	// `!14.4,6`: the fragment after the comma is the slow burn.
+	if r.FastBurn > 0 && r.SlowBurn == 0 {
+		b, err := strconv.ParseFloat(part, 64)
+		if err != nil || b <= 0 {
+			return r, fmt.Errorf("tsdb: slo rule %q: bad slow burn %q", r.Name, part)
+		}
+		r.SlowBurn = b
+		return r, nil
+	}
+	return r, fmt.Errorf("tsdb: slo rule %q: unexpected fragment %q", r.Name, part)
+}
+
+func parseWindows(r *Rule, s string) error {
+	fast, slow, hasSlow := strings.Cut(s, ",")
+	d, err := time.ParseDuration(fast)
+	if err != nil {
+		return fmt.Errorf("bad fast window %q", fast)
+	}
+	r.Fast = d
+	if hasSlow {
+		if d, err = time.ParseDuration(slow); err != nil {
+			return fmt.Errorf("bad slow window %q", slow)
+		}
+		r.Slow = d
+	}
+	return nil
+}
+
+func parseBurns(r *Rule, s string) error {
+	fast, slow, hasSlow := strings.Cut(s, ",")
+	b, err := strconv.ParseFloat(fast, 64)
+	if err != nil || b <= 0 {
+		return fmt.Errorf("bad fast burn %q", fast)
+	}
+	r.FastBurn = b
+	if hasSlow {
+		if b, err = strconv.ParseFloat(slow, 64); err != nil || b <= 0 {
+			return fmt.Errorf("bad slow burn %q", slow)
+		}
+		r.SlowBurn = b
+	}
+	return nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}

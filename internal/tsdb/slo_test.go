@@ -1,0 +1,183 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"cambricon/internal/metrics"
+)
+
+// sloStore builds a store with a latency histogram and the shed/request
+// counter pair, pre-sampled through one baseline pass.
+func sloStore(t *testing.T) (*Store, *fakeClock, *metrics.Histogram, *metrics.Counter, *metrics.Counter) {
+	t.Helper()
+	reg := metrics.New()
+	h := reg.Histogram("wait_seconds", "", []float64{0.01, 0.1, 1})
+	bad := reg.Counter("sheds_total", "")
+	total := reg.Counter("requests_total", "")
+	s, clk := newTestStore(t, reg, 600)
+	clk.sample(s, time.Second) // baseline
+	return s, clk, h, bad, total
+}
+
+func latencyRule() Rule {
+	return Rule{
+		Name: "wait", Kind: KindLatency, Metric: "wait_seconds",
+		Threshold: 0.1, Budget: 0.01,
+		Fast: 30 * time.Second, Slow: 5 * time.Minute,
+	}
+}
+
+func ratioRule() Rule {
+	return Rule{
+		Name: "sheds", Kind: KindRatio, Metric: "sheds_total", Total: "requests_total",
+		Budget: 0.01, Fast: 30 * time.Second, Slow: 5 * time.Minute,
+	}
+}
+
+// TestSLOStates walks one latency rule through no-data → ok → fast-burn.
+func TestSLOStates(t *testing.T) {
+	s, clk, h, _, _ := sloStore(t)
+
+	alerts := Eval(s, []Rule{latencyRule()})
+	if len(alerts) != 1 || alerts[0].State != StateNoData {
+		t.Fatalf("pre-data alerts = %+v, want one no-data", alerts)
+	}
+
+	// 100 fast observations: bad fraction 0, ok.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	clk.sample(s, time.Second)
+	if a := Eval(s, []Rule{latencyRule()})[0]; a.State != StateOK {
+		t.Fatalf("healthy state = %q (%+v), want ok", a.State, a)
+	}
+
+	// 50 of 150 now slow: bad fraction 1/3, burn 33× budget in both
+	// windows → fast-burn.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	clk.sample(s, time.Second)
+	a := Eval(s, []Rule{latencyRule()})[0]
+	if a.State != StateFastBurn {
+		t.Fatalf("burning state = %q (%+v), want fast-burn", a.State, a)
+	}
+	if got := FastBurning([]Alert{a}); len(got) != 1 || got[0] != "wait" {
+		t.Fatalf("FastBurning = %v, want [wait]", got)
+	}
+}
+
+// TestSLOFastBurnNeedsBothWindows pins the multi-window AND: a burst of
+// bad events inside the fast window does not fire fast-burn when the
+// slow window has absorbed enough good traffic.
+func TestSLOFastBurnNeedsBothWindows(t *testing.T) {
+	s, clk, h, _, _ := sloStore(t)
+
+	// 4 minutes of good traffic fills the slow window.
+	for m := 0; m < 240; m++ {
+		for i := 0; i < 100; i++ {
+			h.Observe(0.005)
+		}
+		clk.sample(s, time.Second)
+	}
+	// A burst of pure badness landing in a tight fast window.
+	for i := 0; i < 40; i++ {
+		h.Observe(0.5)
+	}
+	clk.sample(s, time.Second)
+
+	rule := latencyRule()
+	rule.Fast = 2 * time.Second
+	a := Eval(s, []Rule{rule})[0]
+	if a.FastBurn < 14.4 {
+		t.Fatalf("fast window should be burning: %+v", a)
+	}
+	if a.State == StateFastBurn {
+		t.Fatalf("fast-burn fired with a healthy slow window: %+v", a)
+	}
+}
+
+// TestSLORatioRule pins ratio-rule evaluation over counter deltas.
+func TestSLORatioRule(t *testing.T) {
+	s, clk, _, bad, total := sloStore(t)
+
+	total.Add(1000)
+	clk.sample(s, time.Second)
+	if a := Eval(s, []Rule{ratioRule()})[0]; a.State != StateOK {
+		t.Fatalf("shed-free state = %q, want ok", a.State)
+	}
+
+	bad.Add(500)
+	total.Add(500)
+	clk.sample(s, time.Second)
+	a := Eval(s, []Rule{ratioRule()})[0]
+	if a.State != StateFastBurn {
+		t.Fatalf("mass-shed state = %q (%+v), want fast-burn", a.State, a)
+	}
+}
+
+// TestParseRules pins the -slo grammar.
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("wait=latency:wait_seconds:0.1:0.01@30s,5m!10,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("parsed %d rules, want 1", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "wait" || r.Kind != KindLatency || r.Metric != "wait_seconds" ||
+		r.Threshold != 0.1 || r.Budget != 0.01 ||
+		r.Fast != 30*time.Second || r.Slow != 5*time.Minute ||
+		r.FastBurn != 10 || r.SlowBurn != 2 {
+		t.Fatalf("parsed rule = %+v", r)
+	}
+
+	rules, err = ParseRules("a=ratio:bad_total/all_total:0.001,b=latency:lat_seconds:0.5:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Kind != KindRatio || rules[0].Total != "all_total" ||
+		rules[1].Kind != KindLatency || rules[1].Threshold != 0.5 {
+		t.Fatalf("parsed rules = %+v", rules)
+	}
+
+	if rules, err := ParseRules("none"); err != nil || rules != nil {
+		t.Fatalf(`ParseRules("none") = %v, %v; want nil, nil`, rules, err)
+	}
+	if rules, err := ParseRules(""); err != nil || rules != nil {
+		t.Fatalf(`ParseRules("") = %v, %v; want nil, nil`, rules, err)
+	}
+
+	for _, bad := range []string{
+		"nokind=latency",
+		"x=latency:m:0:0.01",   // zero threshold
+		"x=latency:m:0.1:1.5",  // budget >= 1
+		"x=ratio:lonely:0.01",  // missing /TOTAL
+		"x=mystery:m:0.1:0.01", // unknown kind
+		"=latency:m:0.1:0.01",  // empty name
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestDefaultRules sanity-checks the shipped rules reference real
+// camserve families and normalize cleanly.
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules()
+	if len(rules) == 0 {
+		t.Fatal("no default rules")
+	}
+	for _, r := range rules {
+		n := r.normalize()
+		if n.Fast <= 0 || n.Slow <= n.Fast || n.FastBurn <= n.SlowBurn {
+			t.Fatalf("rule %q normalizes badly: %+v", r.Name, n)
+		}
+		if r.Kind == KindRatio && r.Total == "" {
+			t.Fatalf("ratio rule %q lacks a total metric", r.Name)
+		}
+	}
+}

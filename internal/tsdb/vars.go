@@ -1,0 +1,60 @@
+package tsdb
+
+// GET /vars: the sampled history as JSON. The encoding is slice-based
+// (no maps) and walks the sorted series keys, so the output for a given
+// store state and injected clock is byte-deterministic — the golden test
+// and any diff-based tooling rely on that.
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// VarsSeries is one series in the /vars payload.
+type VarsSeries struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// Vars is the /vars payload shape.
+type Vars struct {
+	Now        int64        `json:"now_ms"`
+	IntervalMS int64        `json:"interval_ms"`
+	Capacity   int          `json:"capacity"`
+	Passes     uint64       `json:"passes"`
+	WindowMS   int64        `json:"window_ms"`
+	Series     []VarsSeries `json:"series"`
+}
+
+// Snapshot collects the windowed history into a Vars value.
+func (s *Store) Snapshot(window time.Duration) Vars {
+	v := Vars{Series: []VarsSeries{}}
+	if s == nil {
+		return v
+	}
+	v.Now = s.now().UnixMilli()
+	v.IntervalMS = s.interval.Milliseconds()
+	v.Capacity = s.cap
+	v.Passes = s.Passes()
+	v.WindowMS = window.Milliseconds()
+	s.EachSeries(window, func(meta SeriesMeta, pts []Point) {
+		v.Series = append(v.Series, VarsSeries{
+			Name:   meta.Name,
+			Labels: meta.Labels,
+			Kind:   meta.Kind,
+			Points: append([]Point{}, pts...),
+		})
+	})
+	return v
+}
+
+// WriteVars writes the windowed history as indented JSON, trailing
+// newline included.
+func (s *Store) WriteVars(w io.Writer, window time.Duration) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.Snapshot(window))
+}
